@@ -1,0 +1,70 @@
+// Command roofline emits roofline series (Figures 5-8) as aligned text or
+// CSV suitable for plotting:
+//
+//	roofline               # all three platforms, text
+//	roofline -csv          # CSV: platform,app,oi,tops,ceiling
+//	roofline -curve TPU    # sampled roofline curve for one platform
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math"
+
+	"tpusim/internal/experiments"
+	"tpusim/internal/platform"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("roofline: ")
+	csv := flag.Bool("csv", false, "emit CSV instead of text")
+	curve := flag.String("curve", "", "emit a sampled roofline curve for one platform (Haswell, K80, TPU)")
+	flag.Parse()
+
+	if *curve != "" {
+		emitCurve(*curve)
+		return
+	}
+
+	rls, err := experiments.Figure8()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *csv {
+		fmt.Println("platform,app,ops_per_byte,tops,ceiling_tops")
+		for _, r := range rls {
+			for _, p := range r.Points {
+				fmt.Printf("%s,%s,%.1f,%.3f,%.3f\n", r.Platform, p.App, p.OI, p.TOPS, p.Ceiling)
+			}
+		}
+		return
+	}
+	for _, r := range rls {
+		fmt.Print(experiments.RenderRoofline(r))
+		fmt.Println()
+	}
+}
+
+func emitCurve(name string) {
+	var k platform.Kind
+	switch name {
+	case "Haswell", "CPU":
+		k = platform.CPU
+	case "K80", "GPU":
+		k = platform.GPU
+	case "TPU":
+		k = platform.TPU
+	case "TPU'":
+		k = platform.TPUPrime
+	default:
+		log.Fatalf("unknown platform %q", name)
+	}
+	die := platform.MustSpecs(k).Die
+	fmt.Println("ops_per_byte,tops")
+	for e := 0.0; e <= 14; e += 0.25 {
+		oi := math.Pow(2, e)
+		fmt.Printf("%.2f,%.4f\n", oi, die.RooflineTOPS(oi))
+	}
+}

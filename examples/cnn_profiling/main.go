@@ -1,0 +1,98 @@
+// CNN profiling: why does CNN0 run at ~70 TOPS while CNN1 manages a
+// fraction of that? This example reproduces the paper's Table 3 analysis
+// of the two CNNs using the simulator's performance counters, layer by
+// layer: CNN0's deep feature maps fill the matrix unit, while CNN1 loses
+// half its MACs to shallow depths and stalls fetching its four fully
+// connected layers' 84M weights at an operational intensity of just 32.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"tpusim/internal/compiler"
+	"tpusim/internal/experiments"
+	"tpusim/internal/models"
+	"tpusim/internal/nn"
+	"tpusim/internal/tpu"
+)
+
+func main() {
+	log.SetFlags(0)
+	for _, name := range []string{"CNN0", "CNN1"} {
+		b, err := models.ByName(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		p, err := experiments.SimulateTPU(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		f := p.Counters.Fractions()
+		fmt.Printf("== %s: %d conv layers, %.0fM weights, batch %d ==\n",
+			name, countConv(b), float64(b.Model.Weights())/1e6, b.Model.Batch)
+		fmt.Printf("  array active %5.1f%%   useful MACs %5.1f%% of peak (%.0f%% of active)\n",
+			f.ArrayActive*100, f.UsefulMACs*100, f.UsefulMACs/f.ArrayActive*100)
+		fmt.Printf("  weight stall %5.1f%%   shift %4.1f%%   non-matrix %5.1f%%\n",
+			f.WeightStall*100, f.WeightShift*100, f.NonMatrix*100)
+		fmt.Printf("  delivered %.1f TOPS (paper: %.1f), %.0f inferences/s\n\n",
+			p.TOPS, b.PaperTOPS, p.IPS)
+
+		// Per-layer weight-intensity analysis.
+		fmt.Printf("  layer weight analysis:\n")
+		shallow, deep := 0, 0
+		var fcWeights int
+		for _, l := range b.Model.Layers {
+			switch l.Kind {
+			case nn.Conv:
+				if l.Conv.Cout < 128 {
+					shallow++
+				} else {
+					deep++
+				}
+			case nn.FC:
+				fcWeights += l.Weights()
+			}
+		}
+		fmt.Printf("    conv: %d deep layers, %d shallow (feature depth < 128)\n", deep, shallow)
+		if fcWeights > 0 {
+			fmt.Printf("    FC tail: %.0fM weights at OI = batch = %d ops/byte -> weight-fetch bound\n",
+				float64(fcWeights)/1e6, b.Model.Batch)
+		}
+
+		// Per-layer profile: the five hottest layers by frontier advance.
+		art, err := compiler.CompileShape(b.Model, compiler.Options{Allocator: compiler.Reuse})
+		if err != nil {
+			log.Fatal(err)
+		}
+		dev, err := tpu.New(tpu.DefaultConfig())
+		if err != nil {
+			log.Fatal(err)
+		}
+		counters, err := dev.Run(art.Program, nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		spans := dev.LayerProfile()
+		sort.Slice(spans, func(i, j int) bool { return spans[i].Cycles > spans[j].Cycles })
+		fmt.Printf("  hottest layers:\n")
+		for i, s := range spans {
+			if i == 5 {
+				break
+			}
+			fmt.Printf("    %-8s %9.0f cycles (%4.1f%% of run)\n",
+				b.Model.Layers[s.Tag].Name, s.Cycles, s.Cycles/float64(counters.Cycles)*100)
+		}
+		fmt.Println()
+	}
+	fmt.Println("Takeaway (Section 8): CNN1 could aggregate its short conv batches into a")
+	fmt.Println("deeper batch for the FC layers; even so it already runs >70x faster than")
+	fmt.Println("the CPU, 'so it's not clear whether or when such optimizations would be")
+	fmt.Println("performed.'")
+}
+
+func countConv(b models.Benchmark) int {
+	_, conv, _, _, _ := b.Model.LayerCounts()
+	return conv
+}

@@ -1,0 +1,96 @@
+// Design-space exploration: Section 7's study, interactively. Uses the
+// analytic performance model (validated against the cycle simulator within
+// Table 7's bound) to sweep memory bandwidth, clock rate, and matrix-unit
+// size, then evaluates the TPU' design the paper lands on: keep the 700 MHz
+// clock, swap DDR3 for GDDR5.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"tpusim/internal/models"
+	"tpusim/internal/perfmodel"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	fmt.Println("TPU design sensitivity, weighted mean over the datacenter mix")
+	fmt.Printf("%-8s", "knob")
+	scales := []float64{0.25, 0.5, 1, 2, 4}
+	for _, s := range scales {
+		fmt.Printf("%8.2fx", s)
+	}
+	fmt.Println()
+	for _, k := range perfmodel.Knobs() {
+		fmt.Printf("%-8s", k)
+		for _, s := range scales {
+			num, den := 0.0, 0.0
+			for _, b := range models.All() {
+				v, err := perfmodel.Sensitivity(b.Model, k, s)
+				if err != nil {
+					log.Fatal(err)
+				}
+				num += v * b.DeployShare
+				den += b.DeployShare
+			}
+			fmt.Printf("%9.2f", num/den)
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("\nCandidate designs (speedup over production TPU, GM / WM):")
+	candidates := []struct {
+		name string
+		p    perfmodel.Params
+	}{
+		{"clock 1050 MHz", scaled(perfmodel.Clock, 1.5)},
+		{"GDDR5 memory (TPU')", perfmodel.TPUPrime()},
+		{"GDDR5 + 1050 MHz", scaledFrom(perfmodel.TPUPrime(), perfmodel.Clock, 1.5)},
+		{"512x512 matrix unit", scaled(perfmodel.MatrixAcc, 2)},
+	}
+	for _, c := range candidates {
+		gm, wm := speedup(c.p)
+		fmt.Printf("  %-22s GM %.2fx, WM %.2fx\n", c.name, gm, wm)
+	}
+	fmt.Println("\nConclusion (Section 7): raising the clock alone does almost nothing, a")
+	fmt.Println("bigger matrix unit hurts, and GDDR5 weight memory alone nearly matches the")
+	fmt.Println("combined design — \"TPU' just has faster memory.\"")
+}
+
+func scaled(k perfmodel.Knob, s float64) perfmodel.Params {
+	p, err := perfmodel.Production().Scale(k, s)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return p
+}
+
+func scaledFrom(base perfmodel.Params, k perfmodel.Knob, s float64) perfmodel.Params {
+	p, err := base.Scale(k, s)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return p
+}
+
+func speedup(p perfmodel.Params) (gm, wm float64) {
+	logSum, num, den := 0.0, 0.0, 0.0
+	for _, b := range models.All() {
+		base, err := perfmodel.Estimate(b.Model, b.Model.Batch, perfmodel.Production())
+		if err != nil {
+			log.Fatal(err)
+		}
+		alt, err := perfmodel.Estimate(b.Model, b.Model.Batch, p)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sp := base.Seconds(perfmodel.Production()) / alt.Seconds(p)
+		logSum += math.Log(sp)
+		num += sp * b.DeployShare
+		den += b.DeployShare
+	}
+	return math.Exp(logSum / 6), num / den
+}

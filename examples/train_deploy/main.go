@@ -1,0 +1,133 @@
+// Train-then-deploy: the production pipeline around the TPU. The paper's
+// datacenters "bought off-the-shelf GPUs for training" and built the TPU
+// for inference; a quantization step bridges them. This example trains a
+// small classifier in float32 (our stand-in for the GPU), quantizes it,
+// compiles it for the TPU, and compares accuracy between the float model
+// and the int8 model running on the full simulated datapath.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"math/rand"
+
+	"tpusim/internal/compiler"
+	"tpusim/internal/fixed"
+	"tpusim/internal/nn"
+	"tpusim/internal/tensor"
+	"tpusim/internal/tpu"
+)
+
+// task: classify points by whether they fall inside a ring.
+func label(x, y float32) float32 {
+	r := math.Sqrt(float64(x*x + y*y))
+	if r > 0.4 && r < 0.8 {
+		return 1
+	}
+	return 0
+}
+
+func dataset(n int, seed int64) (*tensor.F32, *tensor.F32) {
+	rng := rand.New(rand.NewSource(seed))
+	in := tensor.NewF32(n, 3)
+	out := tensor.NewF32(n, 1)
+	for i := 0; i < n; i++ {
+		x := rng.Float32()*2 - 1
+		y := rng.Float32()*2 - 1
+		in.Data[i*3], in.Data[i*3+1], in.Data[i*3+2] = x, y, 1 // bias column
+		out.Data[i] = label(x, y)
+	}
+	return in, out
+}
+
+func accuracy(pred, want *tensor.F32) float64 {
+	correct := 0
+	for i := range want.Data {
+		p := float32(0)
+		if pred.Data[i] > 0.5 {
+			p = 1
+		}
+		if p == want.Data[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(want.Data))
+}
+
+func main() {
+	log.SetFlags(0)
+	const trainN, testN = 512, 256
+
+	model := &nn.Model{
+		Name: "ring", Class: nn.MLP, Batch: testN, TimeSteps: 1,
+		Layers: []nn.Layer{
+			{Name: "fc0", Kind: nn.FC, In: 3, Out: 32, Act: fixed.Tanh},
+			{Name: "fc1", Kind: nn.FC, In: 32, Out: 16, Act: fixed.Tanh},
+			{Name: "fc2", Kind: nn.FC, In: 16, Out: 1, Act: fixed.Sigmoid},
+		},
+	}
+	params := nn.InitRandom(model, 12, 0.7)
+
+	trainX, trainY := dataset(trainN, 1)
+	testX, testY := dataset(testN, 2)
+
+	fmt.Println("training in float32 (the paper's GPU role)...")
+	loss, err := nn.Train(model, params, trainX, trainY, nn.TrainConfig{
+		LearningRate: 0.4, Epochs: 1500, BatchSize: 64,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	floatPred, err := nn.Forward(model, params, testX)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("final training loss %.4f, float32 test accuracy %.1f%%\n",
+		loss, accuracy(floatPred, testY)*100)
+
+	fmt.Println("\nquantizing and compiling for the TPU...")
+	qm, err := nn.QuantizeModel(model, params, trainX)
+	if err != nil {
+		log.Fatal(err)
+	}
+	art, err := compiler.Compile(qm, compiler.Options{Allocator: compiler.Reuse})
+	if err != nil {
+		log.Fatal(err)
+	}
+	host, err := compiler.PackInput(art, qm.QuantizeInput(testX))
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := tpu.DefaultConfig()
+	cfg.Functional = true
+	dev, err := tpu.New(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	counters, err := dev.Run(art.Program, host)
+	if err != nil {
+		log.Fatal(err)
+	}
+	qout, err := compiler.UnpackOutput(art, host)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tpuPred := qm.DequantizeOutput(qout)
+
+	fmt.Printf("TPU int8 test accuracy %.1f%% (%d cycles, %.1f us for %d examples)\n",
+		accuracy(tpuPred, testY)*100, counters.Cycles,
+		counters.Seconds(700)*1e6, testN)
+	agree := 0
+	for i := range floatPred.Data {
+		a := floatPred.Data[i] > 0.5
+		b := tpuPred.Data[i] > 0.5
+		if a == b {
+			agree++
+		}
+	}
+	fmt.Printf("float and int8 decisions agree on %d/%d test points\n", agree, testN)
+	fmt.Println("\n\"A step called quantization transforms floating-point numbers into")
+	fmt.Println("narrow integers — often just 8 bits — which are usually good enough")
+	fmt.Println("for inference.\" (Section 1)")
+}

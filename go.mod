@@ -1,0 +1,3 @@
+module tpusim
+
+go 1.24

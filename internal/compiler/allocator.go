@@ -1,0 +1,159 @@
+// Package compiler lowers nn models into TPU programs: 256x256 weight
+// tiling, accumulator double-buffering, Unified Buffer allocation, and the
+// CISC instruction schedule that keeps the matrix unit busy. It plays the
+// role of the paper's User Space driver, which "sets up and controls TPU
+// execution, reformats data into TPU order, translates API calls into TPU
+// instructions, and turns them into an application binary".
+package compiler
+
+import (
+	"fmt"
+	"sort"
+
+	"tpusim/internal/isa"
+)
+
+// Allocator manages Unified Buffer address space for activation edges.
+// Section 7 / Table 8: the TPU shipped with a simple allocator that used the
+// full 24 MiB; an improved allocator later reduced the largest app to
+// 14 MiB. Both are implemented: Naive never reuses space, Reuse frees dead
+// buffers and first-fits new ones.
+type Allocator interface {
+	// Alloc reserves n bytes, 256-byte aligned, returning the UB address.
+	Alloc(n int) (uint32, error)
+	// Free releases a previously allocated buffer (no-op for Naive).
+	Free(addr uint32) error
+	// Peak returns the high-water mark in bytes.
+	Peak() int
+}
+
+// Kind selects an allocator implementation.
+type Kind int
+
+const (
+	// Naive is the ship-date allocator: every buffer gets fresh space.
+	Naive Kind = iota
+	// Reuse is the improved allocator: liveness-based reuse with
+	// first-fit and coalescing.
+	Reuse
+)
+
+// String names the allocator kind.
+func (k Kind) String() string {
+	switch k {
+	case Naive:
+		return "naive"
+	case Reuse:
+		return "reuse"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// NewAllocator constructs an allocator over the full Unified Buffer.
+func NewAllocator(k Kind) (Allocator, error) {
+	switch k {
+	case Naive:
+		return &naiveAlloc{}, nil
+	case Reuse:
+		return newReuseAlloc(isa.UnifiedBufferBytes), nil
+	default:
+		return nil, fmt.Errorf("compiler: unknown allocator kind %d", int(k))
+	}
+}
+
+func alignUp(n int) int {
+	return (n + isa.UBRowBytes - 1) &^ (isa.UBRowBytes - 1)
+}
+
+type naiveAlloc struct {
+	next int
+}
+
+func (a *naiveAlloc) Alloc(n int) (uint32, error) {
+	if n <= 0 {
+		return 0, fmt.Errorf("compiler: alloc of %d bytes", n)
+	}
+	n = alignUp(n)
+	if a.next+n > isa.UnifiedBufferBytes {
+		return 0, fmt.Errorf("compiler: Unified Buffer exhausted: %d + %d > %d (naive allocator)",
+			a.next, n, isa.UnifiedBufferBytes)
+	}
+	addr := uint32(a.next)
+	a.next += n
+	return addr, nil
+}
+
+func (a *naiveAlloc) Free(uint32) error { return nil }
+
+func (a *naiveAlloc) Peak() int { return a.next }
+
+// reuseAlloc is a first-fit free-list allocator with coalescing.
+type reuseAlloc struct {
+	size  int
+	free  []span // sorted by addr, coalesced
+	live  map[uint32]int
+	peak  int
+	inUse int
+}
+
+type span struct{ addr, size int }
+
+func newReuseAlloc(size int) *reuseAlloc {
+	return &reuseAlloc{
+		size: size,
+		free: []span{{0, size}},
+		live: map[uint32]int{},
+	}
+}
+
+func (a *reuseAlloc) Alloc(n int) (uint32, error) {
+	if n <= 0 {
+		return 0, fmt.Errorf("compiler: alloc of %d bytes", n)
+	}
+	n = alignUp(n)
+	for i, s := range a.free {
+		if s.size < n {
+			continue
+		}
+		addr := uint32(s.addr)
+		if s.size == n {
+			a.free = append(a.free[:i], a.free[i+1:]...)
+		} else {
+			a.free[i] = span{s.addr + n, s.size - n}
+		}
+		a.live[addr] = n
+		a.inUse += n
+		if end := int(addr) + n; end > a.peak {
+			a.peak = end
+		}
+		return addr, nil
+	}
+	return 0, fmt.Errorf("compiler: Unified Buffer exhausted: no free span of %d bytes (reuse allocator, %d in use)",
+		n, a.inUse)
+}
+
+func (a *reuseAlloc) Free(addr uint32) error {
+	n, ok := a.live[addr]
+	if !ok {
+		return fmt.Errorf("compiler: free of unallocated address %#x", addr)
+	}
+	delete(a.live, addr)
+	a.inUse -= n
+	a.free = append(a.free, span{int(addr), n})
+	sort.Slice(a.free, func(i, j int) bool { return a.free[i].addr < a.free[j].addr })
+	// Coalesce adjacent spans.
+	out := a.free[:1]
+	for _, s := range a.free[1:] {
+		last := &out[len(out)-1]
+		if last.addr+last.size == s.addr {
+			last.size += s.size
+		} else {
+			out = append(out, s)
+		}
+	}
+	a.free = out
+	return nil
+}
+
+func (a *reuseAlloc) Peak() int { return a.peak }

@@ -1,0 +1,21 @@
+package compiler
+
+import (
+	"testing"
+
+	"tpusim/internal/models"
+)
+
+// BenchmarkCompileShape measures shape-only compilation of each production
+// model (the driver's first-evaluation slow path, minus quantization).
+func BenchmarkCompileShape(b *testing.B) {
+	for _, bm := range models.All() {
+		b.Run(bm.Model.Name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := CompileShape(bm.Model, Options{Allocator: Reuse}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

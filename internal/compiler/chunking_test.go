@@ -1,0 +1,211 @@
+package compiler
+
+import (
+	"math/rand"
+	"testing"
+
+	"tpusim/internal/isa"
+	"tpusim/internal/models"
+	"tpusim/internal/nn"
+	"tpusim/internal/tensor"
+)
+
+// TestLargeBatchChunking: MLP0 at batch 2048 (the Unified Buffer's original
+// sizing target) must split into accumulator chunks, alternating halves.
+func TestLargeBatchChunking(t *testing.T) {
+	b, err := models.ByName("MLP0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	art, err := CompileShape(b.Model, Options{Allocator: Reuse, BatchOverride: 2048})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2048 rows x 8 column tiles needs 16384 accumulators; with 2048
+	// double-buffered, each layer runs 8 chunks of 256 rows.
+	var lens []uint32
+	halves := map[int]bool{}
+	for _, in := range art.Program.Instructions {
+		if in.Op == isa.OpMatrixMultiply {
+			lens = append(lens, in.Len)
+			halves[int(in.AccAddr)/(isa.AccumulatorCount/2)] = true
+		}
+	}
+	for _, l := range lens {
+		if l > 256 {
+			t.Fatalf("chunk of %d rows exceeds 2048/8 accumulator budget", l)
+		}
+	}
+	if !halves[0] || !halves[1] {
+		t.Error("chunks do not alternate accumulator halves")
+	}
+}
+
+// TestNaiveAllocatorAtBatch2048 reproduces the paper's Unified Buffer
+// sizing account: "The 24 MiB size was picked ... initially sized to allow
+// MLPs to run at batch sizes up to 2048". With the ship-date allocator and
+// batch 2048, MLP0's activations fill most of the buffer.
+func TestNaiveAllocatorAtBatch2048(t *testing.T) {
+	b, _ := models.ByName("MLP0")
+	art, err := CompileShape(b.Model, Options{Allocator: Naive, BatchOverride: 2048})
+	if err != nil {
+		t.Fatalf("MLP0 at batch 2048 must still fit: %v", err)
+	}
+	mib := float64(art.UBPeakBytes) / (1 << 20)
+	if mib < 20 || mib > 24 {
+		t.Errorf("MLP0 naive allocation at batch 2048 = %.1f MiB; the paper sized 24 MiB for this", mib)
+	}
+}
+
+// TestAccumulatorBudgetNeverExceeded: for every model and batch size, no
+// matmul writes beyond the 4096-register file.
+func TestAccumulatorBudgetNeverExceeded(t *testing.T) {
+	for _, name := range models.Names() {
+		b, _ := models.ByName(name)
+		big := 2048
+		if b.Model.Class == nn.CNN {
+			// CNN activations at batch 2048 legitimately exceed the
+			// 24 MiB Unified Buffer; 64 already exercises conv chunking.
+			big = 64
+		}
+		for _, batch := range []int{1, 7, b.Model.Batch, big} {
+			art, err := CompileShape(b.Model, Options{Allocator: Reuse, BatchOverride: batch})
+			if err != nil {
+				t.Fatalf("%s @%d: %v", name, batch, err)
+			}
+			for i, in := range art.Program.Instructions {
+				if in.Op != isa.OpMatrixMultiply {
+					continue
+				}
+				rows := int(in.Len)
+				if in.Flags&isa.FlagConvolve != 0 {
+					p, _ := isa.UnpackConvDims(in.Len)
+					rows = int(p)
+				}
+				if int(in.AccAddr)+rows > isa.AccumulatorCount {
+					t.Fatalf("%s @%d: instruction %d writes acc %d..%d",
+						name, batch, i, in.AccAddr, int(in.AccAddr)+rows)
+				}
+			}
+		}
+	}
+}
+
+// TestWeightAddressesSequentialPerLayer: within a layer, Read_Weights
+// addresses stream forward so DRAM access stays sequential.
+func TestWeightAddressesSequentialPerLayer(t *testing.T) {
+	b, _ := models.ByName("MLP1")
+	art, err := CompileShape(b.Model, Options{Allocator: Reuse})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var last uint64
+	for _, in := range art.Program.Instructions {
+		if in.Op == isa.OpSync {
+			last = 0 // layer boundary resets the expectation
+		}
+		if in.Op != isa.OpReadWeights {
+			continue
+		}
+		if in.WeightAddr < last {
+			t.Fatalf("weight fetch went backwards: %#x after %#x", in.WeightAddr, last)
+		}
+		last = in.WeightAddr
+	}
+}
+
+// TestAllocatorRandomizedInvariants is a property test on the reuse
+// allocator: random alloc/free sequences never produce overlapping live
+// buffers and the peak never exceeds the buffer.
+func TestAllocatorRandomizedInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 50; trial++ {
+		a, _ := NewAllocator(Reuse)
+		type buf struct {
+			addr uint32
+			size int
+		}
+		var live []buf
+		for op := 0; op < 200; op++ {
+			if len(live) > 0 && rng.Intn(2) == 0 {
+				i := rng.Intn(len(live))
+				if err := a.Free(live[i].addr); err != nil {
+					t.Fatal(err)
+				}
+				live = append(live[:i], live[i+1:]...)
+				continue
+			}
+			size := (rng.Intn(64) + 1) * 256
+			addr, err := a.Alloc(size)
+			if err != nil {
+				continue // exhausted is fine
+			}
+			for _, l := range live {
+				if addr < l.addr+uint32(l.size) && l.addr < addr+uint32(size) {
+					t.Fatalf("overlap: [%d,%d) and [%d,%d)", addr, int(addr)+size, l.addr, int(l.addr)+l.size)
+				}
+			}
+			live = append(live, buf{addr, alignUp(size)})
+		}
+		if a.Peak() > isa.UnifiedBufferBytes {
+			t.Fatalf("peak %d exceeds buffer", a.Peak())
+		}
+	}
+}
+
+// TestVectorOperandsResident: vector-layer operands are DMAed exactly once
+// at program start and stay resident.
+func TestVectorOperandsResident(t *testing.T) {
+	b, _ := models.ByName("LSTM0")
+	art, err := CompileShape(b.Model, Options{Allocator: Reuse})
+	if err != nil {
+		t.Fatal(err)
+	}
+	altReads := art.Program.Count(isa.OpReadHostMemoryAlt)
+	// LSTM0 has 34 vector layers, all with operands.
+	if altReads != 34 {
+		t.Errorf("operand DMAs = %d, want 34", altReads)
+	}
+}
+
+// TestSixteenBitFlagsPropagate: precision options mark every matmul.
+func TestSixteenBitFlagsPropagate(t *testing.T) {
+	b, _ := models.ByName("MLP1")
+	art, err := CompileShape(b.Model, Options{Allocator: Reuse, Weights16: true, Acts16: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, in := range art.Program.Instructions {
+		if in.Op != isa.OpMatrixMultiply {
+			continue
+		}
+		if in.Flags&isa.FlagWeights16 == 0 || in.Flags&isa.FlagActs16 == 0 {
+			t.Fatalf("instruction %d missing precision flags: %#x", i, in.Flags)
+		}
+	}
+}
+
+func TestFunctionalCompileRejects16Bit(t *testing.T) {
+	m, _ := models.Tiny("MLP0")
+	p := nn.InitRandom(m, 1, 0.2)
+	in := tensorInput(m)
+	qm, err := nn.QuantizeModel(m, p, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Compile(qm, Options{Allocator: Reuse, Weights16: true}); err == nil {
+		t.Error("16-bit functional compile accepted")
+	}
+}
+
+func tensorInput(m *nn.Model) *tensor.F32 {
+	var in *tensor.F32
+	if m.Class == nn.CNN {
+		c := m.Layers[0].Conv
+		in = tensor.NewF32(m.Batch, c.H, c.W, c.Cin)
+	} else {
+		in = tensor.NewF32(m.Batch, m.InputElems())
+	}
+	in.FillRandom(3, 1)
+	return in
+}

@@ -1,0 +1,233 @@
+package compiler
+
+import (
+	"fmt"
+
+	"tpusim/internal/fixed"
+	"tpusim/internal/isa"
+	"tpusim/internal/nn"
+)
+
+// Options configures compilation.
+type Options struct {
+	// Allocator selects the Unified Buffer allocation strategy (Table 8).
+	Allocator Kind
+	// BatchOverride replaces the model's production batch size when > 0
+	// (used by the latency experiments that sweep batch size).
+	BatchOverride int
+	// Weights16 and Acts16 mark 16-bit weights/activations: the matrix
+	// unit runs at half speed with either, quarter speed with both
+	// (Section 2). Timing-only — the functional datapath is 8-bit, and
+	// the doubled weight-byte traffic of 16-bit weights is not modeled
+	// (only the MAC-rate effect is).
+	Weights16, Acts16 bool
+	// WeightBase places the model's weight image at a tile-aligned offset
+	// in the 8 GiB Weight Memory, letting several models stay resident
+	// simultaneously ("8 GiB supports many simultaneously active models").
+	WeightBase uint64
+}
+
+// precisionFlags returns the instruction flag bits for the options.
+func (o Options) precisionFlags() uint16 {
+	var f uint16
+	if o.Weights16 {
+		f |= isa.FlagWeights16
+	}
+	if o.Acts16 {
+		f |= isa.FlagActs16
+	}
+	return f
+}
+
+// Layout tells the host driver where data lives in the shared host buffer
+// and how examples are laid out ("reformats data into TPU order").
+type Layout struct {
+	// HostBytes is the size of the host DMA buffer.
+	HostBytes int
+	// InputAddr/InputBytes locate the input image; each example occupies
+	// InputStride bytes (activations are padded to 256-byte rows except in
+	// raw convolution layouts).
+	InputAddr, InputBytes, InputStride int
+	// InElems is the count of valid input elements per example.
+	InElems int
+	// OutputAddr/OutputBytes/OutputStride/OutElems mirror the above for
+	// the model output.
+	OutputAddr, OutputBytes, OutputStride int
+	OutElems                              int
+	// Batch is the compiled batch size.
+	Batch int
+}
+
+// Artifact is a compiled model: the program image plus driver metadata.
+type Artifact struct {
+	Program *isa.Program
+	Layout  Layout
+	// HostImage is the initial host buffer contents (vector-layer operand
+	// data baked in); nil for timing-only compilations.
+	HostImage []int8
+	// UBPeakBytes is the allocator's high-water mark (Table 8).
+	UBPeakBytes int
+	// WeightTiles is the number of distinct 64 KiB tiles in the image.
+	WeightTiles int
+}
+
+// Compile lowers a quantized model into a fully functional TPU program.
+func Compile(qm *nn.QuantizedModel, opts Options) (*Artifact, error) {
+	if opts.Weights16 || opts.Acts16 {
+		return nil, fmt.Errorf("compiler: 16-bit modes are timing-only; use CompileShape")
+	}
+	return compile(qm.Model, qm, opts)
+}
+
+// CompileShape lowers a model's shapes only: the emitted program has
+// identical instruction structure and timing but no weight or host data,
+// letting full-size production models (100M weights) compile and simulate
+// in milliseconds.
+func CompileShape(m *nn.Model, opts Options) (*Artifact, error) {
+	return compile(m, nil, opts)
+}
+
+// edge describes one activation buffer in the Unified Buffer.
+type edge struct {
+	addr   uint32
+	stride int // bytes per example (padded) or per position (conv raw)
+	elems  int // valid elements per example
+	bytes  int
+	raw    bool // conv layout: [B,H,W,C] flat, stride is per-example elems
+}
+
+type lowering struct {
+	m     *nn.Model
+	qm    *nn.QuantizedModel
+	opts  Options
+	batch int
+
+	ins    []isa.Instruction
+	regs   [isa.RegCount]uint32
+	regSet [isa.RegCount]bool
+
+	alloc       Allocator
+	weightImage []int8
+	weightNext  int64
+	tileMeta    []isa.TileMeta
+	actTable    []isa.ActMeta
+	layerTiles  []int64 // weight image base address per layer
+
+	operandAddr []uint32 // UB address of each layer's vector operand
+
+	hostImage []int8
+	hostNext  int
+
+	chunkParity int
+}
+
+func compile(m *nn.Model, qm *nn.QuantizedModel, opts Options) (*Artifact, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	if len(m.Layers) > 255 {
+		return nil, fmt.Errorf("compiler: %d layers exceed the 8-bit Activate func selector", len(m.Layers))
+	}
+	alloc, err := NewAllocator(opts.Allocator)
+	if err != nil {
+		return nil, err
+	}
+	batch := m.Batch
+	if opts.BatchOverride > 0 {
+		batch = opts.BatchOverride
+	}
+	if opts.WeightBase%isa.WeightTileBytes != 0 {
+		return nil, fmt.Errorf("compiler: weight base %#x not tile-aligned", opts.WeightBase)
+	}
+	lo := &lowering{m: m, qm: qm, opts: opts, batch: batch, alloc: alloc,
+		weightNext: int64(opts.WeightBase)}
+
+	if err := lo.buildWeights(); err != nil {
+		return nil, err
+	}
+	lo.buildActTable()
+
+	layout, err := lo.emitProgram()
+	if err != nil {
+		return nil, err
+	}
+
+	prog := &isa.Program{
+		Name:         m.Name,
+		Instructions: lo.ins,
+		TileMeta:     lo.tileMeta,
+		ActTable:     lo.actTable,
+	}
+	if lo.qm != nil {
+		prog.WeightImage = lo.weightImage
+		if prog.WeightImage == nil {
+			// A model with no matrix layers has no tiles; functional runs
+			// still need a (empty) image to distinguish them from
+			// timing-only programs.
+			prog.WeightImage = []int8{}
+		}
+	} else {
+		prog.WeightBytes = lo.weightNext - int64(opts.WeightBase)
+	}
+	prog.WeightBase = opts.WeightBase
+	if err := prog.Validate(); err != nil {
+		return nil, fmt.Errorf("compiler: generated invalid program: %w", err)
+	}
+	return &Artifact{
+		Program:     prog,
+		Layout:      layout,
+		HostImage:   lo.hostImage,
+		UBPeakBytes: alloc.Peak(),
+		WeightTiles: len(lo.tileMeta),
+	}, nil
+}
+
+func (lo *lowering) emit(in isa.Instruction) {
+	lo.ins = append(lo.ins, in)
+}
+
+// setReg emits a SetConfig only when the register value changes.
+func (lo *lowering) setReg(reg uint16, val uint32) {
+	if lo.regSet[reg] && lo.regs[reg] == val {
+		return
+	}
+	lo.regs[reg] = val
+	lo.regSet[reg] = true
+	lo.emit(isa.Instruction{Op: isa.OpSetConfig, Tag: reg, Len: val})
+}
+
+func (lo *lowering) sync() {
+	lo.emit(isa.Instruction{Op: isa.OpSync})
+}
+
+// hostAlloc reserves space in the host DMA buffer.
+func (lo *lowering) hostAlloc(n int) int {
+	addr := lo.hostNext
+	lo.hostNext += alignUp(n)
+	return addr
+}
+
+// buildActTable creates the per-layer requantization pipelines the Activate
+// instruction's Func field selects.
+func (lo *lowering) buildActTable() {
+	n := len(lo.m.Layers)
+	lo.actTable = make([]isa.ActMeta, n)
+	for i, l := range lo.m.Layers {
+		if lo.qm == nil {
+			// Timing-only: a well-formed placeholder.
+			p := fixed.Params{Scale: 1}
+			lo.actTable[i] = isa.ActMeta{SrcScale: 1, Pre: p, Lut: fixed.NewLUT(fixed.Identity, p, p)}
+			continue
+		}
+		meta := isa.ActMeta{Pre: lo.qm.Pre[i], Lut: lo.qm.LUT[i]}
+		switch {
+		case l.Kind == nn.FC || l.Kind == nn.Conv:
+			meta.SrcScale = lo.qm.Edge[i].Scale * lo.qm.WScale[i]
+		case l.Kind == nn.Vector && l.VOp == nn.VecScale:
+			meta.SrcScale = lo.qm.Edge[i].Scale * lo.qm.WScale[i]
+		default:
+			meta.SrcScale = lo.qm.Edge[i].Scale
+		}
+		lo.actTable[i] = meta
+	}
+}

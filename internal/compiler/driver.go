@@ -1,0 +1,46 @@
+package compiler
+
+import (
+	"fmt"
+
+	"tpusim/internal/tensor"
+)
+
+// PackInput builds the host DMA buffer for one inference: the artifact's
+// baked operand image plus the quantized input batch laid out in TPU order
+// (256-byte-padded example rows, or raw flat layout for convolution
+// inputs). This is the driver-side data reformatting of Section 2.
+func PackInput(a *Artifact, in *tensor.I8) ([]int8, error) {
+	if a.HostImage == nil {
+		return nil, fmt.Errorf("compiler: artifact was compiled shape-only; no host image")
+	}
+	if len(in.Shape) == 0 || in.Shape[0] != a.Layout.Batch {
+		return nil, fmt.Errorf("compiler: input batch %v, artifact compiled for %d", in.Shape, a.Layout.Batch)
+	}
+	per := len(in.Data) / a.Layout.Batch
+	if per != a.Layout.InElems {
+		return nil, fmt.Errorf("compiler: input has %d elems per example, layout wants %d", per, a.Layout.InElems)
+	}
+	host := make([]int8, a.Layout.HostBytes)
+	copy(host, a.HostImage)
+	for b := 0; b < a.Layout.Batch; b++ {
+		dst := a.Layout.InputAddr + b*a.Layout.InputStride
+		copy(host[dst:dst+per], in.Data[b*per:(b+1)*per])
+	}
+	return host, nil
+}
+
+// UnpackOutput extracts the model output from the host buffer after a run,
+// dropping padding bytes.
+func UnpackOutput(a *Artifact, host []int8) (*tensor.I8, error) {
+	if len(host) < a.Layout.OutputAddr+a.Layout.OutputBytes {
+		return nil, fmt.Errorf("compiler: host buffer too small: %d < %d",
+			len(host), a.Layout.OutputAddr+a.Layout.OutputBytes)
+	}
+	out := tensor.NewI8(a.Layout.Batch, a.Layout.OutElems)
+	for b := 0; b < a.Layout.Batch; b++ {
+		src := a.Layout.OutputAddr + b*a.Layout.OutputStride
+		copy(out.Data[b*a.Layout.OutElems:(b+1)*a.Layout.OutElems], host[src:src+a.Layout.OutElems])
+	}
+	return out, nil
+}

@@ -1,0 +1,90 @@
+package compiler
+
+import (
+	"strings"
+	"testing"
+
+	"tpusim/internal/isa"
+	"tpusim/internal/models"
+	"tpusim/internal/nn"
+
+	"tpusim/internal/fixed"
+)
+
+// TestGoldenLoweringPrologue pins the compiled prologue of a small model:
+// input DMA, sync, layer marker, layer sync, weight fetch, configuration,
+// first matmul. A change here is a deliberate compiler change, not noise.
+func TestGoldenLoweringPrologue(t *testing.T) {
+	m := &nn.Model{
+		Name: "golden", Class: nn.MLP, Batch: 4, TimeSteps: 1,
+		Layers: []nn.Layer{{Name: "fc", Kind: nn.FC, In: 300, Out: 300, Act: fixed.ReLU}},
+	}
+	art, err := CompileShape(m, Options{Allocator: Reuse})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{
+		"read_host_memory host=0x0 ub=0x0 len=2048", // 4 x alignUp(300)=512
+		"sync tag=0",
+		"debug_tag tag=0",
+		"sync tag=0",
+		"read_weights wmem=0x0 tiles=1",
+		"set_config tag=1", // RegMatRows = 256
+		"set_config tag=0", // RegMatStride = 512
+		"set_config tag=2", // RegMatSrcOff = 0
+		"matrix_multiply.matmul ub=0x0 acc=0 len=4 flags=0x2",
+		"read_weights wmem=0x10000 tiles=1",
+		"set_config tag=1",                                      // RegMatRows = 44 (edge tile)
+		"matrix_multiply.matmul ub=0x100 acc=0 len=4 flags=0x6", // accumulate
+	}
+	lines := strings.Split(strings.TrimSpace(art.Program.Disassemble()), "\n")
+	if len(lines) < len(want) {
+		t.Fatalf("program too short: %d instructions", len(lines))
+	}
+	for i, w := range want {
+		if !strings.Contains(lines[i], w) {
+			t.Errorf("instruction %d:\n got %q\nwant it to contain %q", i, lines[i], w)
+		}
+	}
+	// Epilogue: activate, sync+write+interrupt+halt.
+	tail := art.Program.Disassemble()
+	for _, w := range []string{"activate", "write_host_memory", "interrupt_host", "halt"} {
+		if !strings.Contains(tail, w) {
+			t.Errorf("program missing %q", w)
+		}
+	}
+}
+
+// TestGoldenInstructionBudget pins each production model's instruction
+// count within a band, so accidental schedule blowups are caught.
+func TestGoldenInstructionBudget(t *testing.T) {
+	want := map[string][2]int{
+		"MLP0":  {600, 1400},
+		"MLP1":  {200, 600},
+		"LSTM0": {1500, 3500},
+		"LSTM1": {1200, 3000},
+		"CNN0":  {300, 900},
+		"CNN1":  {9000, 30000},
+	}
+	for _, b := range models.All() {
+		art, err := CompileShape(b.Model, Options{Allocator: Reuse})
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := len(art.Program.Instructions)
+		band := want[b.Model.Name]
+		if n < band[0] || n > band[1] {
+			t.Errorf("%s: %d instructions, outside [%d, %d]", b.Model.Name, n, band[0], band[1])
+		}
+		// Instruction-buffer realism: the encoded stream must stay small
+		// enough to ship over PCIe quickly.
+		wire, err := art.Program.Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(wire) > 1<<20 {
+			t.Errorf("%s: %d-byte instruction stream exceeds 1 MiB", b.Model.Name, len(wire))
+		}
+	}
+	_ = isa.OpNop
+}

@@ -1,0 +1,122 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"tpusim/internal/models"
+)
+
+func modelNames() []string { return models.Names() }
+
+// CSVRooflines emits Figure 8's points as CSV for plotting.
+func CSVRooflines() (string, error) {
+	rls, err := Figure8()
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	b.WriteString("platform,app,ops_per_byte,tops,ceiling_tops,peak_tops,ridge\n")
+	for _, r := range rls {
+		for _, p := range r.Points {
+			fmt.Fprintf(&b, "%s,%s,%.2f,%.4f,%.4f,%.2f,%.1f\n",
+				r.Platform, p.App, p.OI, p.TOPS, p.Ceiling, r.PeakTOPS, r.RidgeOI)
+		}
+	}
+	return b.String(), nil
+}
+
+// CSVFigure10 emits the power-vs-load curves as CSV.
+func CSVFigure10() (string, error) {
+	rows, err := Figure10()
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	b.WriteString("utilization,cpu_total_w,gpu_total_w,gpu_incremental_w,tpu_total_w,tpu_incremental_w\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%.2f,%.2f,%.2f,%.2f,%.2f,%.2f\n",
+			r.Utilization, r.CPUTotal, r.GPUTotal, r.GPUIncrement, r.TPUTotal, r.TPUIncrement)
+	}
+	return b.String(), nil
+}
+
+// CSVFigure11 emits the design-sensitivity sweep as CSV.
+func CSVFigure11() (string, error) {
+	rows, err := Figure11()
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	b.WriteString("knob,scale,weighted_mean,mlp0,mlp1,lstm0,lstm1,cnn0,cnn1\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%s,%.2f,%.4f", r.Knob, r.Scale, r.WM)
+		for _, v := range r.PerApp {
+			fmt.Fprintf(&b, ",%.4f", v)
+		}
+		b.WriteString("\n")
+	}
+	return b.String(), nil
+}
+
+// CSVTable3 emits the counter breakdown as CSV.
+func CSVTable3() (string, error) {
+	rows, err := Table3()
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	b.WriteString("app,array_active,useful_macs,unused_macs,weight_stall,weight_shift,non_matrix,raw_stall,input_stall,tops,paper_tops\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%s,%.4f,%.4f,%.4f,%.4f,%.4f,%.4f,%.4f,%.4f,%.2f,%.2f\n",
+			r.Name, r.ArrayActive, r.UsefulMACs, r.UnusedMACs, r.WeightStall,
+			r.WeightShift, r.NonMatrix, r.RAWStall, r.InputStall, r.TOPS, r.PaperTOPS)
+	}
+	return b.String(), nil
+}
+
+// CSVTable6 emits the relative-performance table as CSV.
+func CSVTable6() (string, error) {
+	t6, err := Table6()
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	b.WriteString("app,gpu_vs_cpu,tpu_vs_cpu,paper_gpu,paper_tpu\n")
+	for _, r := range t6.Rows {
+		fmt.Fprintf(&b, "%s,%.3f,%.3f,%.1f,%.1f\n", r.Name, r.GPU, r.TPU, r.PaperGPU, r.PaperTPU)
+	}
+	fmt.Fprintf(&b, "GM,%.3f,%.3f,1.1,14.5\nWM,%.3f,%.3f,1.9,29.2\n",
+		t6.GPUGM, t6.TPUGM, t6.GPUWM, t6.TPUWM)
+	return b.String(), nil
+}
+
+// CSVSLA emits the all-apps SLA study as CSV.
+func CSVSLA() (string, error) {
+	rows, err := SLAStudy()
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	b.WriteString("app,platform,batch,ips,p99_ms\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%s,%s,%d,%.1f,%.3f\n", r.App, r.Platform, r.Batch, r.IPS, r.P99Ms)
+	}
+	return b.String(), nil
+}
+
+// CSVBatchSweep emits batch-sensitivity curves for all apps as CSV.
+func CSVBatchSweep() (string, error) {
+	var b strings.Builder
+	b.WriteString("app,batch,latency_ms,ips,tops\n")
+	for _, name := range modelNames() {
+		rows, err := BatchSweep(name, nil)
+		if err != nil {
+			return "", err
+		}
+		for _, r := range rows {
+			fmt.Fprintf(&b, "%s,%d,%.3f,%.1f,%.2f\n", r.App, r.Batch, r.LatencyMs, r.IPS, r.TOPS)
+		}
+	}
+	return b.String(), nil
+}

@@ -1,0 +1,40 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCSVEmitters(t *testing.T) {
+	cases := []struct {
+		name   string
+		fn     func() (string, error)
+		header string
+		rows   int // data rows expected
+	}{
+		{"rooflines", CSVRooflines, "platform,app", 18},
+		{"figure10", CSVFigure10, "utilization", 11},
+		{"figure11", CSVFigure11, "knob,scale", 25},
+		{"table3", CSVTable3, "app,array_active", 6},
+		{"table6", CSVTable6, "app,gpu_vs_cpu", 8},
+	}
+	for _, c := range cases {
+		out, err := c.fn()
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		lines := strings.Split(strings.TrimSpace(out), "\n")
+		if !strings.HasPrefix(lines[0], c.header) {
+			t.Errorf("%s: header %q does not start with %q", c.name, lines[0], c.header)
+		}
+		if len(lines)-1 != c.rows {
+			t.Errorf("%s: %d data rows, want %d", c.name, len(lines)-1, c.rows)
+		}
+		cols := strings.Count(lines[0], ",")
+		for i, l := range lines[1:] {
+			if strings.Count(l, ",") != cols {
+				t.Errorf("%s row %d: ragged CSV: %q", c.name, i, l)
+			}
+		}
+	}
+}

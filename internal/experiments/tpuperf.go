@@ -1,0 +1,133 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation from the simulator and models in this repository. Each
+// experiment returns structured rows (for tests and downstream tooling)
+// and renders an aligned text report (for the command-line tools and
+// benchmark harness).
+package experiments
+
+import (
+	"fmt"
+	"sync"
+
+	"tpusim/internal/compiler"
+	"tpusim/internal/models"
+	"tpusim/internal/perfmodel"
+	"tpusim/internal/tpu"
+)
+
+// TPUPerf is the simulated TPU performance of one app at its production
+// batch size.
+type TPUPerf struct {
+	App models.Benchmark
+	// Counters is the device counter file from the cycle simulator.
+	Counters tpu.Counters
+	// DeviceSeconds is device time per batch; TotalSeconds adds the host
+	// interaction overhead of Table 5.
+	DeviceSeconds, TotalSeconds float64
+	// RawIPS is device-only inferences/s; IPS includes host overhead.
+	RawIPS, IPS float64
+	// TOPS is delivered TeraOps/s (2 ops per MAC), device time base.
+	TOPS float64
+	// UBPeakBytes is the compiler's Unified Buffer high-water mark.
+	UBPeakBytes int
+}
+
+var (
+	perfMu    sync.Mutex
+	perfCache = map[string]TPUPerf{}
+)
+
+// SimulateTPU compiles (shape-only) and runs one benchmark on the cycle
+// simulator at the production configuration, caching the result.
+func SimulateTPU(name string) (TPUPerf, error) {
+	perfMu.Lock()
+	if p, ok := perfCache[name]; ok {
+		perfMu.Unlock()
+		return p, nil
+	}
+	perfMu.Unlock()
+
+	b, err := models.ByName(name)
+	if err != nil {
+		return TPUPerf{}, err
+	}
+	art, err := compiler.CompileShape(b.Model, compiler.Options{Allocator: compiler.Reuse})
+	if err != nil {
+		return TPUPerf{}, err
+	}
+	dev, err := tpu.New(tpu.DefaultConfig())
+	if err != nil {
+		return TPUPerf{}, err
+	}
+	c, err := dev.Run(art.Program, nil)
+	if err != nil {
+		return TPUPerf{}, err
+	}
+	cfg := tpu.DefaultConfig()
+	devSec := c.Seconds(cfg.ClockMHz)
+	totSec := devSec * (1 + b.HostOverheadFrac)
+	p := TPUPerf{
+		App:           b,
+		Counters:      c,
+		DeviceSeconds: devSec,
+		TotalSeconds:  totSec,
+		RawIPS:        float64(b.Model.Batch) / devSec,
+		IPS:           float64(b.Model.Batch) / totSec,
+		TOPS:          c.TeraOps(cfg.ClockMHz),
+		UBPeakBytes:   art.UBPeakBytes,
+	}
+	perfMu.Lock()
+	perfCache[name] = p
+	perfMu.Unlock()
+	return p, nil
+}
+
+// SimulateAll runs every benchmark, in Table 1 order.
+func SimulateAll() ([]TPUPerf, error) {
+	out := make([]TPUPerf, 0, 6)
+	for _, name := range models.Names() {
+		p, err := SimulateTPU(name)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %s: %w", name, err)
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// TPUBatchSeconds is the Table 4 service model for the TPU: analytic batch
+// time at an arbitrary batch size plus the MLP0 host overhead.
+func TPUBatchSeconds(name string, batch int) (float64, error) {
+	b, err := models.ByName(name)
+	if err != nil {
+		return 0, err
+	}
+	r, err := perfmodel.Estimate(b.Model, batch, perfmodel.Production())
+	if err != nil {
+		return 0, err
+	}
+	return r.Seconds(perfmodel.Production()) * (1 + b.HostOverheadFrac), nil
+}
+
+// TPUPrimeSpeedup returns the host-adjusted TPU' speedup for one app:
+// device time improves by the perfmodel ratio while host interaction time
+// stays constant ("Adding that same extra time drops TPU' means from 2.6
+// to 1.9 and 3.9 to 3.2").
+func TPUPrimeSpeedup(name string) (float64, error) {
+	b, err := models.ByName(name)
+	if err != nil {
+		return 0, err
+	}
+	base, err := perfmodel.Estimate(b.Model, b.Model.Batch, perfmodel.Production())
+	if err != nil {
+		return 0, err
+	}
+	prime, err := perfmodel.Estimate(b.Model, b.Model.Batch, perfmodel.TPUPrime())
+	if err != nil {
+		return 0, err
+	}
+	t := base.Seconds(perfmodel.Production())
+	tp := prime.Seconds(perfmodel.TPUPrime())
+	host := b.HostOverheadFrac * t
+	return (t + host) / (tp + host), nil
+}

@@ -1,0 +1,36 @@
+package fixed
+
+import "testing"
+
+func BenchmarkQuantize(b *testing.B) {
+	p := ChooseParams(4)
+	var s int8
+	for i := 0; i < b.N; i++ {
+		s += p.Quantize(float32(i%256) / 32)
+	}
+	_ = s
+}
+
+func BenchmarkRequantize(b *testing.B) {
+	dst := Params{Scale: 0.05}
+	var s int8
+	for i := 0; i < b.N; i++ {
+		s += Requantize(int32(i%100000), 0.001, dst)
+	}
+	_ = s
+}
+
+func BenchmarkLUTLookupSlice(b *testing.B) {
+	in := ChooseParams(8)
+	lut := NewLUT(Sigmoid, in, OutputParams(Sigmoid, in))
+	src := make([]int8, 4096)
+	dst := make([]int8, 4096)
+	for i := range src {
+		src[i] = int8(i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lut.LookupSlice(dst, src)
+	}
+	b.SetBytes(4096)
+}

@@ -1,0 +1,136 @@
+// Package fixed implements the quantized arithmetic used by the TPU
+// datapath: 8-bit signed/unsigned integer representations of real values
+// (scale + zero-point affine quantization), saturating integer helpers,
+// and the fixed-point rounding used when accumulator values are requantized
+// on their way through the activation unit.
+//
+// The TPU performs 8-bit multiplies accumulated into 32-bit registers
+// (Section 2 of the paper); quantization "transforms floating-point numbers
+// into narrow integers — often just 8 bits — which are usually good enough
+// for inference" (Section 1).
+package fixed
+
+import (
+	"fmt"
+	"math"
+)
+
+// Params describes an affine quantization: real = Scale * (q - ZeroPoint).
+// For int8 weights the TPU convention in this repo is symmetric quantization
+// (ZeroPoint 0); activations may use an asymmetric zero point.
+type Params struct {
+	Scale     float32
+	ZeroPoint int32
+}
+
+// Validate reports whether the parameters are usable.
+func (p Params) Validate() error {
+	if !(p.Scale > 0) || math.IsInf(float64(p.Scale), 0) || math.IsNaN(float64(p.Scale)) {
+		return fmt.Errorf("fixed: scale must be positive and finite, got %v", p.Scale)
+	}
+	return nil
+}
+
+// Quantize maps a real value to int8 under p, with round-to-nearest-even and
+// saturation to [-128, 127].
+func (p Params) Quantize(x float32) int8 {
+	q := float64(x)/float64(p.Scale) + float64(p.ZeroPoint)
+	return SatInt8(int32(math.RoundToEven(q)))
+}
+
+// Dequantize maps an int8 back to the real line under p.
+func (p Params) Dequantize(q int8) float32 {
+	return p.Scale * float32(int32(q)-p.ZeroPoint)
+}
+
+// DequantizeI32 maps a 32-bit accumulator value back to the real line under
+// the product scale of its two operands.
+func DequantizeI32(acc int32, productScale float32) float32 {
+	return float32(acc) * productScale
+}
+
+// ChooseParams picks symmetric quantization parameters covering [-absMax,
+// absMax]. A zero absMax yields a unit scale so that quantization stays
+// well-defined.
+func ChooseParams(absMax float32) Params {
+	if absMax <= 0 {
+		return Params{Scale: 1.0 / 127.0}
+	}
+	return Params{Scale: absMax / 127.0}
+}
+
+// ChooseParamsFor scans data and returns symmetric parameters that cover it.
+func ChooseParamsFor(data []float32) Params {
+	var m float32
+	for _, v := range data {
+		a := float32(math.Abs(float64(v)))
+		if a > m {
+			m = a
+		}
+	}
+	return ChooseParams(m)
+}
+
+// SatInt8 clamps a 32-bit value into int8 range.
+func SatInt8(v int32) int8 {
+	switch {
+	case v > math.MaxInt8:
+		return math.MaxInt8
+	case v < math.MinInt8:
+		return math.MinInt8
+	default:
+		return int8(v)
+	}
+}
+
+// SatUint8 clamps a 32-bit value into uint8 range.
+func SatUint8(v int32) uint8 {
+	switch {
+	case v > math.MaxUint8:
+		return math.MaxUint8
+	case v < 0:
+		return 0
+	default:
+		return uint8(v)
+	}
+}
+
+// SatAdd32 adds two int32 values, saturating instead of wrapping. The TPU's
+// 32-bit accumulators saturate on overflow rather than wrapping, which keeps
+// an overflowing pre-activation pinned at the rail where the nonlinearity
+// still maps it sensibly.
+func SatAdd32(a, b int32) int32 {
+	s := int64(a) + int64(b)
+	switch {
+	case s > math.MaxInt32:
+		return math.MaxInt32
+	case s < math.MinInt32:
+		return math.MinInt32
+	default:
+		return int32(s)
+	}
+}
+
+// MulI8 multiplies two signed 8-bit values into the 16-bit product the MAC
+// cells produce ("The 16-bit products are collected in the 4 MiB of 32-bit
+// Accumulators").
+func MulI8(a, b int8) int16 {
+	return int16(a) * int16(b)
+}
+
+// Requantize converts a 32-bit accumulator value holding a product at scale
+// srcScale into an int8 at dstScale with zero point dstZero. This is the
+// fixed-point step performed as activations leave the accumulators for the
+// Unified Buffer.
+func Requantize(acc int32, srcScale float32, dst Params) int8 {
+	real := float64(acc) * float64(srcScale)
+	q := real/float64(dst.Scale) + float64(dst.ZeroPoint)
+	return SatInt8(int32(math.RoundToEven(q)))
+}
+
+// Multiplier returns the combined rescale factor applied during
+// requantization (srcScale / dstScale), useful for precomputing per-layer
+// output pipelines.
+func Multiplier(srcScale float32, dst Params) float64 {
+	return float64(srcScale) / float64(dst.Scale)
+}

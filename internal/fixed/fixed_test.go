@@ -1,0 +1,173 @@
+package fixed
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestParamsValidate(t *testing.T) {
+	cases := []struct {
+		p  Params
+		ok bool
+	}{
+		{Params{Scale: 0.1}, true},
+		{Params{Scale: 0}, false},
+		{Params{Scale: -1}, false},
+		{Params{Scale: float32(math.Inf(1))}, false},
+		{Params{Scale: float32(math.NaN())}, false},
+	}
+	for _, c := range cases {
+		err := c.p.Validate()
+		if (err == nil) != c.ok {
+			t.Errorf("Validate(%+v) err=%v, want ok=%v", c.p, err, c.ok)
+		}
+	}
+}
+
+func TestQuantizeDequantizeRoundTrip(t *testing.T) {
+	p := ChooseParams(10)
+	for _, x := range []float32{-10, -5.5, -0.01, 0, 0.01, 3.3, 9.99, 10} {
+		q := p.Quantize(x)
+		back := p.Dequantize(q)
+		if math.Abs(float64(back-x)) > float64(p.Scale)/2+1e-6 {
+			t.Errorf("round trip %v -> %d -> %v exceeds half-step error", x, q, back)
+		}
+	}
+}
+
+func TestQuantizeSaturates(t *testing.T) {
+	p := ChooseParams(1)
+	if got := p.Quantize(100); got != 127 {
+		t.Errorf("Quantize(100) = %d, want saturation at 127", got)
+	}
+	if got := p.Quantize(-100); got != -128 {
+		t.Errorf("Quantize(-100) = %d, want saturation at -128", got)
+	}
+}
+
+func TestChooseParamsZeroRange(t *testing.T) {
+	p := ChooseParams(0)
+	if err := p.Validate(); err != nil {
+		t.Fatalf("zero-range params invalid: %v", err)
+	}
+	if got := p.Quantize(0); got != 0 {
+		t.Errorf("Quantize(0) = %d, want 0", got)
+	}
+}
+
+func TestChooseParamsFor(t *testing.T) {
+	p := ChooseParamsFor([]float32{-3, 1, 2.5})
+	if p.Quantize(3) != 127 {
+		t.Errorf("absMax=3 should map 3 to 127, got %d", p.Quantize(3))
+	}
+	if p.Quantize(-3) != -127 {
+		t.Errorf("symmetric quantization should map -3 to -127, got %d", p.Quantize(-3))
+	}
+}
+
+func TestSatInt8(t *testing.T) {
+	cases := []struct {
+		in   int32
+		want int8
+	}{
+		{0, 0}, {127, 127}, {128, 127}, {1 << 20, 127},
+		{-128, -128}, {-129, -128}, {-(1 << 20), -128}, {42, 42},
+	}
+	for _, c := range cases {
+		if got := SatInt8(c.in); got != c.want {
+			t.Errorf("SatInt8(%d) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+func TestSatUint8(t *testing.T) {
+	cases := []struct {
+		in   int32
+		want uint8
+	}{
+		{0, 0}, {255, 255}, {256, 255}, {-1, 0}, {200, 200},
+	}
+	for _, c := range cases {
+		if got := SatUint8(c.in); got != c.want {
+			t.Errorf("SatUint8(%d) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+func TestSatAdd32(t *testing.T) {
+	if got := SatAdd32(math.MaxInt32, 1); got != math.MaxInt32 {
+		t.Errorf("positive overflow should saturate, got %d", got)
+	}
+	if got := SatAdd32(math.MinInt32, -1); got != math.MinInt32 {
+		t.Errorf("negative overflow should saturate, got %d", got)
+	}
+	if got := SatAdd32(40, 2); got != 42 {
+		t.Errorf("SatAdd32(40,2) = %d, want 42", got)
+	}
+}
+
+func TestSatAdd32Property(t *testing.T) {
+	// Saturating addition must agree with wide addition whenever the wide
+	// result fits, and must pin at a rail otherwise.
+	f := func(a, b int32) bool {
+		wide := int64(a) + int64(b)
+		got := int64(SatAdd32(a, b))
+		if wide >= math.MinInt32 && wide <= math.MaxInt32 {
+			return got == wide
+		}
+		return got == math.MaxInt32 || got == math.MinInt32
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMulI8NeverOverflows(t *testing.T) {
+	// Exhaustive: every int8 pair fits in int16 (max magnitude 128*128=16384).
+	for a := -128; a <= 127; a++ {
+		for b := -128; b <= 127; b++ {
+			got := MulI8(int8(a), int8(b))
+			if int(got) != a*b {
+				t.Fatalf("MulI8(%d,%d) = %d, want %d", a, b, got, a*b)
+			}
+		}
+	}
+}
+
+func TestRequantize(t *testing.T) {
+	// acc=100 at product scale 0.02 represents real 2.0; requantized into a
+	// domain with scale 0.1 it should become q=20.
+	got := Requantize(100, 0.02, Params{Scale: 0.1})
+	if got != 20 {
+		t.Errorf("Requantize = %d, want 20", got)
+	}
+}
+
+func TestRequantizeSaturates(t *testing.T) {
+	got := Requantize(math.MaxInt32, 1.0, Params{Scale: 1.0})
+	if got != 127 {
+		t.Errorf("Requantize should saturate to 127, got %d", got)
+	}
+}
+
+func TestQuantizeRoundTripProperty(t *testing.T) {
+	// For any finite value inside the representable range, dequantize∘quantize
+	// is within half a quantization step.
+	f := func(raw int16) bool {
+		p := ChooseParams(50)
+		x := float32(raw) / math.MaxInt16 * 50
+		back := p.Dequantize(p.Quantize(x))
+		return math.Abs(float64(back-x)) <= float64(p.Scale)/2+1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMultiplier(t *testing.T) {
+	m := Multiplier(0.02, Params{Scale: 0.1})
+	if math.Abs(m-0.2) > 1e-7 {
+		t.Errorf("Multiplier = %v, want 0.2", m)
+	}
+}

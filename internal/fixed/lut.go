@@ -1,0 +1,103 @@
+package fixed
+
+import "math"
+
+// Nonlinearity identifies one of the activation functions implemented by the
+// TPU's Activation Unit ("with options for ReLU, Sigmoid, and so on").
+type Nonlinearity uint8
+
+const (
+	// Identity passes accumulator values through requantization unchanged.
+	Identity Nonlinearity = iota
+	// ReLU implements max(0, x), the MLP/CNN nonlinearity of Table 1.
+	ReLU
+	// Sigmoid implements 1/(1+e^-x), used by the LSTM gates.
+	Sigmoid
+	// Tanh implements tanh(x), used by LSTM cell updates.
+	Tanh
+)
+
+// String returns the conventional name of the nonlinearity.
+func (n Nonlinearity) String() string {
+	switch n {
+	case Identity:
+		return "identity"
+	case ReLU:
+		return "relu"
+	case Sigmoid:
+		return "sigmoid"
+	case Tanh:
+		return "tanh"
+	default:
+		return "unknown"
+	}
+}
+
+// Apply evaluates the nonlinearity on a real value. This is the reference
+// definition the lookup tables are built from.
+func (n Nonlinearity) Apply(x float64) float64 {
+	switch n {
+	case ReLU:
+		if x < 0 {
+			return 0
+		}
+		return x
+	case Sigmoid:
+		return 1 / (1 + math.Exp(-x))
+	case Tanh:
+		return math.Tanh(x)
+	default:
+		return x
+	}
+}
+
+// LUT is a 256-entry activation lookup table mapping a requantized int8
+// pre-activation directly to an int8 post-activation. Hardware activation
+// units are table-driven for exactly this reason: one table lookup per value
+// at 256 values per cycle, regardless of the transcendental being computed.
+type LUT struct {
+	Table [256]int8
+	// In and Out record the quantization domains the table was built for.
+	In, Out Params
+	// Fn is the nonlinearity the table approximates.
+	Fn Nonlinearity
+}
+
+// NewLUT builds the lookup table for fn from an input quantization domain to
+// an output quantization domain.
+func NewLUT(fn Nonlinearity, in, out Params) *LUT {
+	l := &LUT{In: in, Out: out, Fn: fn}
+	for i := 0; i < 256; i++ {
+		q := int8(i - 128)
+		x := float64(in.Dequantize(q))
+		y := fn.Apply(x)
+		l.Table[i] = out.Quantize(float32(y))
+	}
+	return l
+}
+
+// Lookup applies the table to a single int8 value.
+func (l *LUT) Lookup(q int8) int8 {
+	return l.Table[int(q)+128]
+}
+
+// LookupSlice applies the table elementwise, dst and src may alias.
+func (l *LUT) LookupSlice(dst, src []int8) {
+	for i, v := range src {
+		dst[i] = l.Table[int(v)+128]
+	}
+}
+
+// OutputParams returns natural symmetric output quantization domains for
+// each nonlinearity: sigmoid outputs lie in (0,1), tanh in (-1,1); ReLU and
+// identity preserve the input domain scaled by the requantization.
+func OutputParams(fn Nonlinearity, in Params) Params {
+	switch fn {
+	case Sigmoid:
+		return Params{Scale: 1.0 / 256.0, ZeroPoint: -128}
+	case Tanh:
+		return Params{Scale: 1.0 / 127.0}
+	default:
+		return in
+	}
+}

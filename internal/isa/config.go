@@ -1,0 +1,82 @@
+package isa
+
+import "tpusim/internal/fixed"
+
+// Configuration registers written by OpSetConfig (Tag = register id,
+// Len = 32-bit value). The real TPU's set-configuration instruction plays
+// the same role: parameterizing the fixed-function datapaths without
+// widening the hot-path instruction encodings.
+const (
+	// RegMatStride is the Unified Buffer row stride in bytes between
+	// consecutive input rows of a MatrixMultiply (the activation matrix's
+	// leading dimension).
+	RegMatStride uint16 = iota
+	// RegMatRows is the number of valid contraction rows (<= 256) in the
+	// active weight tile; rows beyond it are zero padding from an edge
+	// tile.
+	RegMatRows
+	// RegMatSrcOff is the byte offset within each 256-byte input row where
+	// this tile's contraction slice begins (non-zero for the 128-row tiles
+	// of 16-bit-weight mode).
+	RegMatSrcOff
+	// RegActCols is the number of valid output columns (<= 256) an
+	// Activate drains from each accumulator row.
+	RegActCols
+	// RegActStride is the UB output row stride in bytes for Activate.
+	RegActStride
+	// RegActColOff is the byte offset within each output row where the
+	// drained columns land (tile column offset).
+	RegActColOff
+	// RegVecSrc is the UB byte address of the source operand for
+	// vector-mode Activate (standalone elementwise layers).
+	RegVecSrc
+	// RegVecOperand is the UB byte address of the second elementwise
+	// operand (learned scale/bias vector).
+	RegVecOperand
+	// RegConvH, RegConvW, RegConvCin, RegConvK, RegConvS describe the
+	// convolution input geometry for Convolve gathers.
+	RegConvH
+	RegConvW
+	RegConvCin
+	RegConvK
+	RegConvS
+	// RegConvRowTile selects which 256-row slice of the im2col patch
+	// vector the current Convolve processes.
+	RegConvRowTile
+	// RegConvChunkStart is the flat output-position index (b*OH*OW +
+	// oy*OW + ox) of the first row in the current chunk.
+	RegConvChunkStart
+	// RegCount is the size of the register file.
+	RegCount
+)
+
+// Activate-instruction flag bits (continuing the shared flag space).
+const (
+	// FlagVecSrcUB routes the Activate source from the Unified Buffer
+	// (RegVecSrc) instead of the accumulators: the path standalone Vector
+	// layers take through the activation hardware.
+	FlagVecSrcUB uint16 = 1 << (6 + iota)
+	// FlagVecScale multiplies elementwise by the RegVecOperand vector
+	// before requantization.
+	FlagVecScale
+	// FlagVecBias adds the RegVecOperand vector (already requantized into
+	// the source domain) before requantization.
+	FlagVecBias
+)
+
+// TileMeta records how much of a 64 KiB weight tile holds real weights;
+// edge tiles of a matrix that is not a multiple of 256 are zero-padded.
+// The device uses it to attribute Table 3's "useful MACs in 64K matrix"
+// counter. Indexed by tile number (WeightAddr / WeightTileBytes).
+type TileMeta struct {
+	Rows, Cols uint16
+}
+
+// ActMeta is the requantization pipeline for one Activate Func selector:
+// accumulator values at SrcScale are requantized into Pre and passed
+// through Lut. The driver registers these when it compiles the model.
+type ActMeta struct {
+	SrcScale float32
+	Pre      fixed.Params
+	Lut      *fixed.LUT
+}

@@ -1,0 +1,166 @@
+package isa
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// EncodedLen returns the wire size of an instruction with the given opcode.
+// MatrixMultiply is the paper's 12 bytes; DMA instructions carry a 64-bit
+// host address and take 18; control instructions are short.
+func EncodedLen(op Opcode) (int, error) {
+	switch op {
+	case OpMatrixMultiply:
+		return 12, nil
+	case OpReadHostMemory, OpReadHostMemoryAlt, OpWriteHostMemory, OpWriteHostMemoryAlt:
+		return 18, nil
+	case OpReadWeights:
+		return 12, nil
+	case OpActivate:
+		return 14, nil
+	case OpSetConfig:
+		return 8, nil
+	case OpSync, OpSyncHost, OpDebugTag:
+		return 4, nil
+	case OpNop, OpInterruptHost, OpHalt:
+		return 2, nil
+	default:
+		return 0, fmt.Errorf("isa: unknown opcode %d", op)
+	}
+}
+
+// Encode appends the wire form of the instruction to dst and returns the
+// extended slice. Layouts are little-endian.
+func Encode(dst []byte, in Instruction) ([]byte, error) {
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	n, err := EncodedLen(in.Op)
+	if err != nil {
+		return nil, err
+	}
+	buf := make([]byte, n)
+	buf[0] = byte(in.Op)
+	switch in.Op {
+	case OpMatrixMultiply:
+		// [0]=op, [1]=flags lo, [2]=flags hi | repeat packed:
+		// flags use the low 6 bits of byte 1; repeat occupies byte 2.
+		buf[1] = byte(in.Flags)
+		buf[2] = byte(in.Repeat)
+		put24(buf[3:6], in.UBAddr/UBRowBytes)
+		binary.LittleEndian.PutUint16(buf[6:8], in.AccAddr)
+		binary.LittleEndian.PutUint32(buf[8:12], in.Len)
+	case OpReadHostMemory, OpReadHostMemoryAlt, OpWriteHostMemory, OpWriteHostMemoryAlt:
+		buf[1] = byte(in.Flags)
+		put24(buf[2:5], in.UBAddr/UBRowBytes)
+		binary.LittleEndian.PutUint64(buf[5:13], in.HostAddr)
+		binary.LittleEndian.PutUint32(buf[13:17], in.Len)
+		buf[17] = byte(in.Repeat)
+	case OpReadWeights:
+		buf[1] = byte(in.Flags)
+		put40(buf[2:7], in.WeightAddr)
+		binary.LittleEndian.PutUint16(buf[7:9], in.TileCount)
+		buf[9] = byte(in.Repeat)
+		// bytes 10-11 reserved
+	case OpActivate:
+		buf[1] = byte(in.Flags)
+		binary.LittleEndian.PutUint16(buf[2:4], in.AccAddr)
+		put24(buf[4:7], in.UBAddr/UBRowBytes)
+		binary.LittleEndian.PutUint32(buf[7:11], in.Len)
+		buf[11] = in.Func
+		buf[12] = in.Pool
+		buf[13] = byte(in.Repeat)
+	case OpSetConfig:
+		buf[1] = byte(in.Flags)
+		binary.LittleEndian.PutUint16(buf[2:4], in.Tag)
+		binary.LittleEndian.PutUint32(buf[4:8], in.Len)
+	case OpSync, OpSyncHost, OpDebugTag:
+		buf[1] = byte(in.Flags)
+		binary.LittleEndian.PutUint16(buf[2:4], in.Tag)
+	case OpNop, OpInterruptHost, OpHalt:
+		buf[1] = byte(in.Flags)
+	}
+	return append(dst, buf...), nil
+}
+
+// Decode reads one instruction from the front of src, returning it and the
+// number of bytes consumed.
+func Decode(src []byte) (Instruction, int, error) {
+	if len(src) == 0 {
+		return Instruction{}, 0, fmt.Errorf("isa: decode of empty buffer")
+	}
+	op := Opcode(src[0])
+	n, err := EncodedLen(op)
+	if err != nil {
+		return Instruction{}, 0, err
+	}
+	if len(src) < n {
+		return Instruction{}, 0, fmt.Errorf("isa: truncated %s: have %d bytes, need %d", op, len(src), n)
+	}
+	in := Instruction{Op: op}
+	buf := src[:n]
+	switch op {
+	case OpMatrixMultiply:
+		in.Flags = uint16(buf[1])
+		in.Repeat = uint16(buf[2])
+		in.UBAddr = get24(buf[3:6]) * UBRowBytes
+		in.AccAddr = binary.LittleEndian.Uint16(buf[6:8])
+		in.Len = binary.LittleEndian.Uint32(buf[8:12])
+	case OpReadHostMemory, OpReadHostMemoryAlt, OpWriteHostMemory, OpWriteHostMemoryAlt:
+		in.Flags = uint16(buf[1])
+		in.UBAddr = get24(buf[2:5]) * UBRowBytes
+		in.HostAddr = binary.LittleEndian.Uint64(buf[5:13])
+		in.Len = binary.LittleEndian.Uint32(buf[13:17])
+		in.Repeat = uint16(buf[17])
+	case OpReadWeights:
+		in.Flags = uint16(buf[1])
+		in.WeightAddr = get40(buf[2:7])
+		in.TileCount = binary.LittleEndian.Uint16(buf[7:9])
+		in.Repeat = uint16(buf[9])
+	case OpActivate:
+		in.Flags = uint16(buf[1])
+		in.AccAddr = binary.LittleEndian.Uint16(buf[2:4])
+		in.UBAddr = get24(buf[4:7]) * UBRowBytes
+		in.Len = binary.LittleEndian.Uint32(buf[7:11])
+		in.Func = buf[11]
+		in.Pool = buf[12]
+		in.Repeat = uint16(buf[13])
+	case OpSetConfig:
+		in.Flags = uint16(buf[1])
+		in.Tag = binary.LittleEndian.Uint16(buf[2:4])
+		in.Len = binary.LittleEndian.Uint32(buf[4:8])
+	case OpSync, OpSyncHost, OpDebugTag:
+		in.Flags = uint16(buf[1])
+		in.Tag = binary.LittleEndian.Uint16(buf[2:4])
+	case OpNop, OpInterruptHost, OpHalt:
+		in.Flags = uint16(buf[1])
+	}
+	if err := in.Validate(); err != nil {
+		return Instruction{}, 0, err
+	}
+	return in, n, nil
+}
+
+func put24(b []byte, v uint32) {
+	b[0] = byte(v)
+	b[1] = byte(v >> 8)
+	b[2] = byte(v >> 16)
+}
+
+func get24(b []byte) uint32 {
+	return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16
+}
+
+func put40(b []byte, v uint64) {
+	for i := 0; i < 5; i++ {
+		b[i] = byte(v >> (8 * i))
+	}
+}
+
+func get40(b []byte) uint64 {
+	var v uint64
+	for i := 0; i < 5; i++ {
+		v |= uint64(b[i]) << (8 * i)
+	}
+	return v
+}

@@ -1,0 +1,134 @@
+package isa
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestDecodeNeverPanics: arbitrary byte streams either decode to valid
+// instructions or return an error — never panic, never accept an invalid
+// instruction. The instruction buffer receives bytes straight off PCIe, so
+// the decoder is a trust boundary.
+func TestDecodeNeverPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20000; trial++ {
+		n := rng.Intn(24)
+		buf := make([]byte, n)
+		rng.Read(buf)
+		in, consumed, err := Decode(buf)
+		if err != nil {
+			continue
+		}
+		if consumed <= 0 || consumed > len(buf) {
+			t.Fatalf("consumed %d of %d", consumed, len(buf))
+		}
+		if verr := in.Validate(); verr != nil {
+			t.Fatalf("decoder returned invalid instruction %+v: %v", in, verr)
+		}
+	}
+}
+
+// TestDecodeProgramNeverPanics: whole-stream decoding is equally robust.
+func TestDecodeProgramNeverPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 2000; trial++ {
+		buf := make([]byte, rng.Intn(200))
+		rng.Read(buf)
+		p, err := DecodeProgram("fuzz", buf)
+		if err != nil {
+			continue
+		}
+		for _, in := range p.Instructions {
+			if verr := in.Validate(); verr != nil {
+				t.Fatalf("invalid instruction in decoded program: %v", verr)
+			}
+		}
+	}
+}
+
+// TestEncodeDecodeIdempotent: decode(encode(x)) == x and
+// encode(decode(encode(x))) == encode(x) for every valid opcode, with
+// randomized fields.
+func TestEncodeDecodeIdempotent(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		ops := []Opcode{
+			OpNop, OpReadHostMemory, OpReadHostMemoryAlt, OpReadWeights,
+			OpMatrixMultiply, OpActivate, OpWriteHostMemory, OpWriteHostMemoryAlt,
+			OpSetConfig, OpSync, OpSyncHost, OpInterruptHost, OpDebugTag, OpHalt,
+		}
+		op := ops[rng.Intn(len(ops))]
+		in := Instruction{
+			Op:         op,
+			Flags:      uint16(rng.Intn(64)) &^ FlagConvolve,
+			Repeat:     uint16(rng.Intn(200)),
+			UBAddr:     uint32(rng.Intn(1<<12)) * UBRowBytes,
+			AccAddr:    uint16(rng.Intn(AccumulatorCount)),
+			Len:        uint32(rng.Intn(1<<16) + 1),
+			HostAddr:   uint64(rng.Intn(1 << 30)),
+			WeightAddr: uint64(rng.Intn(1<<10)) * WeightTileBytes,
+			TileCount:  uint16(rng.Intn(16) + 1),
+			Func:       uint8(rng.Intn(16)),
+			Pool:       uint8(rng.Intn(4)),
+			Tag:        uint16(rng.Intn(1 << 16)),
+		}
+		// Zero out fields the encoding does not carry for this opcode, so
+		// equality after round-trip is well-defined.
+		switch op {
+		case OpMatrixMultiply:
+			in.HostAddr, in.WeightAddr, in.TileCount, in.Func, in.Pool, in.Tag = 0, 0, 0, 0, 0, 0
+		case OpReadHostMemory, OpReadHostMemoryAlt, OpWriteHostMemory, OpWriteHostMemoryAlt:
+			in.AccAddr, in.WeightAddr, in.TileCount, in.Func, in.Pool, in.Tag = 0, 0, 0, 0, 0, 0
+			if in.Repeat > 255 {
+				in.Repeat = 255
+			}
+			if uint64(in.UBAddr)+uint64(in.Len) > UnifiedBufferBytes {
+				in.UBAddr = 0
+			}
+		case OpReadWeights:
+			in.UBAddr, in.AccAddr, in.Len, in.HostAddr, in.Func, in.Pool, in.Tag = 0, 0, 0, 0, 0, 0, 0
+			if in.Repeat > 255 {
+				in.Repeat = 255
+			}
+		case OpActivate:
+			in.HostAddr, in.WeightAddr, in.TileCount, in.Tag = 0, 0, 0, 0
+			if in.Repeat > 255 {
+				in.Repeat = 255
+			}
+		case OpSetConfig:
+			in.UBAddr, in.AccAddr, in.HostAddr, in.WeightAddr, in.TileCount, in.Func, in.Pool, in.Repeat = 0, 0, 0, 0, 0, 0, 0, 0
+		case OpSync, OpSyncHost, OpDebugTag:
+			in.UBAddr, in.AccAddr, in.Len, in.HostAddr, in.WeightAddr, in.TileCount, in.Func, in.Pool, in.Repeat = 0, 0, 0, 0, 0, 0, 0, 0, 0
+		default: // Nop, InterruptHost, Halt
+			in = Instruction{Op: op, Flags: in.Flags}
+		}
+		if in.Op == OpMatrixMultiply && in.Repeat > 255 {
+			in.Repeat = 255
+		}
+		wire, err := Encode(nil, in)
+		if err != nil {
+			return true // randomized fields may be invalid; that's fine
+		}
+		got, _, err := Decode(wire)
+		if err != nil || got != in {
+			return false
+		}
+		wire2, err := Encode(nil, got)
+		if err != nil {
+			return false
+		}
+		if len(wire) != len(wire2) {
+			return false
+		}
+		for i := range wire {
+			if wire[i] != wire2[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,165 @@
+package isa
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Program is an ordered instruction stream plus the weight image the host
+// driver writes into Weight Memory before first execution (Section 2: the
+// User Space driver "compiles a model the first time it is evaluated,
+// caching the program image and writing the weight image into the TPU's
+// weight memory").
+type Program struct {
+	Name         string
+	Instructions []Instruction
+	// WeightImage is the Weight Memory contents, tile-aligned. It may be
+	// nil for timing-only programs, in which case WeightBytes declares the
+	// image extent.
+	WeightImage []int8
+	// WeightBytes is the weight image size when WeightImage is nil
+	// (timing-only compilation of full-size models).
+	WeightBytes int64
+	// WeightBase is the tile-aligned Weight Memory offset the image is
+	// loaded at; several models can stay resident at distinct bases.
+	WeightBase uint64
+	// TileMeta records real (unpadded) rows/cols per weight tile, indexed
+	// by WeightAddr/WeightTileBytes, for useful-MAC accounting.
+	TileMeta []TileMeta
+	// ActTable maps Activate Func selectors to requantization pipelines.
+	ActTable []ActMeta
+}
+
+// WeightExtent returns the addressable weight image size in bytes.
+func (p *Program) WeightExtent() int64 {
+	if p.WeightImage != nil {
+		return int64(len(p.WeightImage))
+	}
+	return p.WeightBytes
+}
+
+// Validate checks every instruction and the weight image size.
+func (p *Program) Validate() error {
+	if len(p.Instructions) == 0 {
+		return fmt.Errorf("isa: program %q is empty", p.Name)
+	}
+	for i, in := range p.Instructions {
+		if err := in.Validate(); err != nil {
+			return fmt.Errorf("isa: program %q instruction %d: %w", p.Name, i, err)
+		}
+	}
+	if len(p.WeightImage) > WeightMemoryBytes {
+		return fmt.Errorf("isa: program %q weight image %d bytes exceeds 8 GiB", p.Name, len(p.WeightImage))
+	}
+	if p.WeightBase%WeightTileBytes != 0 {
+		return fmt.Errorf("isa: program %q weight base %#x not tile-aligned", p.Name, p.WeightBase)
+	}
+	extent := p.WeightExtent()
+	for i, in := range p.Instructions {
+		if in.Op != OpReadWeights {
+			continue
+		}
+		if in.WeightAddr < p.WeightBase {
+			return fmt.Errorf("isa: program %q instruction %d reads weights below its base (%#x < %#x)",
+				p.Name, i, in.WeightAddr, p.WeightBase)
+		}
+		end := in.WeightAddr + uint64(in.TileCount)*WeightTileBytes
+		if end > p.WeightBase+uint64(extent) {
+			return fmt.Errorf("isa: program %q instruction %d reads weights beyond image (%d > %d)",
+				p.Name, i, end, p.WeightBase+uint64(extent))
+		}
+	}
+	return nil
+}
+
+// Encode serializes the instruction stream to its wire form, the bytes sent
+// over PCIe into the instruction buffer.
+func (p *Program) Encode() ([]byte, error) {
+	var out []byte
+	for i, in := range p.Instructions {
+		var err error
+		out, err = Encode(out, in)
+		if err != nil {
+			return nil, fmt.Errorf("isa: encoding instruction %d: %w", i, err)
+		}
+	}
+	return out, nil
+}
+
+// DecodeProgram parses a wire-form instruction stream.
+func DecodeProgram(name string, data []byte) (*Program, error) {
+	p := &Program{Name: name}
+	for len(data) > 0 {
+		in, n, err := Decode(data)
+		if err != nil {
+			return nil, fmt.Errorf("isa: at offset %d: %w", len(data), err)
+		}
+		p.Instructions = append(p.Instructions, in)
+		data = data[n:]
+	}
+	return p, nil
+}
+
+// Disassemble renders the program as text, one instruction per line.
+func (p *Program) Disassemble() string {
+	var b strings.Builder
+	for i, in := range p.Instructions {
+		fmt.Fprintf(&b, "%5d  %s\n", i, in)
+	}
+	return b.String()
+}
+
+// Count returns how many instructions have the given opcode, counting
+// repeats.
+func (p *Program) Count(op Opcode) int {
+	n := 0
+	for _, in := range p.Instructions {
+		if in.Op == op {
+			n += in.Times()
+		}
+	}
+	return n
+}
+
+// Builder incrementally assembles a program with validation at each step.
+type Builder struct {
+	prog *Program
+	err  error
+}
+
+// NewBuilder starts a program.
+func NewBuilder(name string) *Builder {
+	return &Builder{prog: &Program{Name: name}}
+}
+
+// Emit appends an instruction.
+func (b *Builder) Emit(in Instruction) *Builder {
+	if b.err != nil {
+		return b
+	}
+	if err := in.Validate(); err != nil {
+		b.err = fmt.Errorf("isa: emit %d: %w", len(b.prog.Instructions), err)
+		return b
+	}
+	b.prog.Instructions = append(b.prog.Instructions, in)
+	return b
+}
+
+// SetWeightImage installs the weight memory contents.
+func (b *Builder) SetWeightImage(img []int8) *Builder {
+	if b.err == nil {
+		b.prog.WeightImage = img
+	}
+	return b
+}
+
+// Build returns the validated program.
+func (b *Builder) Build() (*Program, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	if err := b.prog.Validate(); err != nil {
+		return nil, err
+	}
+	return b.prog, nil
+}

@@ -1,0 +1,179 @@
+// Package latency is the 99th-percentile response-time simulator behind
+// Table 4: an open-loop arrival stream feeds a batching server, and the
+// distribution of request latencies (queueing plus batch service) yields
+// the p99 the paper's 7 ms application limit is checked against.
+//
+// "Larger batch sizes increase throughput, but their longer response times
+// exceed the limit, so CPUs and GPUs must use less-efficient, smaller batch
+// sizes (16 vs. 200)."
+package latency
+
+import (
+	"fmt"
+
+	"tpusim/internal/stats"
+	"tpusim/internal/workload"
+)
+
+// ServiceModel gives the time one batch of a given size takes to execute,
+// including host overheads.
+type ServiceModel interface {
+	BatchSeconds(batch int) (float64, error)
+}
+
+// ServiceFunc adapts a function to ServiceModel.
+type ServiceFunc func(batch int) (float64, error)
+
+// BatchSeconds implements ServiceModel.
+func (f ServiceFunc) BatchSeconds(batch int) (float64, error) { return f(batch) }
+
+// Config drives one simulation.
+type Config struct {
+	// Batch is the maximum batch size the server assembles.
+	Batch int
+	// RatePerSecond is the offered load.
+	RatePerSecond float64
+	// Requests is the number of simulated requests.
+	Requests int
+	// Seed makes the arrival process deterministic.
+	Seed int64
+}
+
+// Result summarizes one simulation.
+type Result struct {
+	// P50, P99, Mean are request latencies in seconds (queue wait plus
+	// service of the whole batch the request rode in).
+	P50, P99, Mean float64
+	// Throughput is achieved requests per second.
+	Throughput float64
+	// MeanBatch is the average assembled batch size; under light load
+	// batches go out partially filled.
+	MeanBatch float64
+}
+
+// Simulate runs the batching queue: requests arrive open-loop; whenever the
+// server is free it takes up to Batch waiting requests (at least one) and
+// serves them together; a request's latency spans its arrival to its
+// batch's completion.
+func Simulate(sm ServiceModel, cfg Config) (Result, error) {
+	if cfg.Batch <= 0 {
+		return Result{}, fmt.Errorf("latency: non-positive batch %d", cfg.Batch)
+	}
+	if cfg.Requests <= 0 {
+		return Result{}, fmt.Errorf("latency: non-positive request count %d", cfg.Requests)
+	}
+	arr, err := workload.NewPoisson(cfg.RatePerSecond, cfg.Seed)
+	if err != nil {
+		return Result{}, err
+	}
+	arrivals := workload.Collect(arr, cfg.Requests)
+
+	latencies := make([]float64, 0, cfg.Requests)
+	var serverFree float64
+	batches := 0
+	i := 0
+	for i < len(arrivals) {
+		// The server picks up work at the later of its availability and
+		// the first waiting request's arrival.
+		start := serverFree
+		if arrivals[i] > start {
+			start = arrivals[i]
+		}
+		// Take every request that has arrived by start, up to Batch.
+		j := i
+		for j < len(arrivals) && j-i < cfg.Batch && arrivals[j] <= start {
+			j++
+		}
+		if j == i {
+			j = i + 1 // at least the first request
+		}
+		n := j - i
+		svc, err := sm.BatchSeconds(n)
+		if err != nil {
+			return Result{}, err
+		}
+		if svc <= 0 {
+			return Result{}, fmt.Errorf("latency: non-positive service time %v for batch %d", svc, n)
+		}
+		done := start + svc
+		for k := i; k < j; k++ {
+			latencies = append(latencies, done-arrivals[k])
+		}
+		serverFree = done
+		batches++
+		i = j
+	}
+
+	p50, err := stats.Percentile(latencies, 50)
+	if err != nil {
+		return Result{}, err
+	}
+	p99, err := stats.Percentile(latencies, 99)
+	if err != nil {
+		return Result{}, err
+	}
+	mean, err := stats.Mean(latencies)
+	if err != nil {
+		return Result{}, err
+	}
+	span := serverFree - arrivals[0]
+	return Result{
+		P50: p50, P99: p99, Mean: mean,
+		Throughput: float64(cfg.Requests) / span,
+		MeanBatch:  float64(cfg.Requests) / float64(batches),
+	}, nil
+}
+
+// Capacity returns the server's saturation throughput at a batch size.
+func Capacity(sm ServiceModel, batch int) (float64, error) {
+	svc, err := sm.BatchSeconds(batch)
+	if err != nil {
+		return 0, err
+	}
+	if svc <= 0 {
+		return 0, fmt.Errorf("latency: non-positive service time %v", svc)
+	}
+	return float64(batch) / svc, nil
+}
+
+// MaxRateUnderSLA bisects the offered load to find the highest throughput
+// whose p99 stays within the SLA at the given batch size. It returns the
+// simulation at that operating point.
+func MaxRateUnderSLA(sm ServiceModel, batch int, slaSeconds float64, requests int, seed int64) (Result, error) {
+	cap_, err := Capacity(sm, batch)
+	if err != nil {
+		return Result{}, err
+	}
+	svc, _ := sm.BatchSeconds(batch)
+	if svc > slaSeconds {
+		// Even an empty queue misses the SLA at this batch size; probe a
+		// single-request batch to see if any operating point exists.
+		svc1, err := sm.BatchSeconds(1)
+		if err != nil {
+			return Result{}, err
+		}
+		if svc1 > slaSeconds {
+			return Result{}, fmt.Errorf("latency: service time %v exceeds SLA %v even for batch 1", svc1, slaSeconds)
+		}
+	}
+	lo, hi := cap_*0.01, cap_*0.999
+	var best Result
+	found := false
+	for iter := 0; iter < 22; iter++ {
+		mid := (lo + hi) / 2
+		r, err := Simulate(sm, Config{Batch: batch, RatePerSecond: mid, Requests: requests, Seed: seed})
+		if err != nil {
+			return Result{}, err
+		}
+		if r.P99 <= slaSeconds {
+			best, found = r, true
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	if !found {
+		return Result{}, fmt.Errorf("latency: no operating point meets %.1f ms p99 at batch %d", slaSeconds*1e3, batch)
+	}
+	return best, nil
+}

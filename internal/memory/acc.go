@@ -1,0 +1,61 @@
+package memory
+
+import (
+	"fmt"
+
+	"tpusim/internal/fixed"
+	"tpusim/internal/isa"
+)
+
+// Accumulators is the 4 MiB accumulator file: 4096 registers of 256 32-bit
+// sums ("The 4 MiB represents 4096, 256-element, 32-bit accumulators").
+// The size was picked so the compiler can double-buffer while the matrix
+// unit runs at peak (Section 2).
+type Accumulators struct {
+	regs [][isa.MatrixDim]int32
+}
+
+// NewAccumulators allocates the full 4096-register file.
+func NewAccumulators() *Accumulators {
+	return &Accumulators{regs: make([][isa.MatrixDim]int32, isa.AccumulatorCount)}
+}
+
+// Count returns the register count (4096).
+func (a *Accumulators) Count() int { return len(a.regs) }
+
+// Store writes one 256-wide partial sum into register idx. With accumulate
+// set, values add saturating into the existing contents (summing partial
+// products across weight-tile rows); otherwise they overwrite.
+func (a *Accumulators) Store(idx int, row *[isa.MatrixDim]int32, accumulate bool) error {
+	if idx < 0 || idx >= len(a.regs) {
+		return fmt.Errorf("memory: accumulator index %d outside [0,%d)", idx, len(a.regs))
+	}
+	if !accumulate {
+		a.regs[idx] = *row
+		return nil
+	}
+	dst := &a.regs[idx]
+	for i := range dst {
+		dst[i] = fixed.SatAdd32(dst[i], row[i])
+	}
+	return nil
+}
+
+// Load reads register idx.
+func (a *Accumulators) Load(idx int) (*[isa.MatrixDim]int32, error) {
+	if idx < 0 || idx >= len(a.regs) {
+		return nil, fmt.Errorf("memory: accumulator index %d outside [0,%d)", idx, len(a.regs))
+	}
+	return &a.regs[idx], nil
+}
+
+// Clear zeroes a contiguous register range.
+func (a *Accumulators) Clear(idx, n int) error {
+	if idx < 0 || n < 0 || idx+n > len(a.regs) {
+		return fmt.Errorf("memory: accumulator clear [%d,%d) outside [0,%d)", idx, idx+n, len(a.regs))
+	}
+	for i := idx; i < idx+n; i++ {
+		a.regs[i] = [isa.MatrixDim]int32{}
+	}
+	return nil
+}

@@ -1,0 +1,277 @@
+package memory
+
+import (
+	"math"
+	"testing"
+
+	"tpusim/internal/isa"
+)
+
+func TestUnifiedBufferSize(t *testing.T) {
+	ub := NewUnifiedBuffer()
+	if ub.Size() != 24<<20 {
+		t.Errorf("UB size = %d, want 24 MiB", ub.Size())
+	}
+}
+
+func TestUnifiedBufferReadWrite(t *testing.T) {
+	ub := NewUnifiedBuffer()
+	src := []int8{1, -2, 3}
+	if err := ub.Write(1000, src); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ub.Read(1000, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range src {
+		if got[i] != src[i] {
+			t.Errorf("got[%d] = %d, want %d", i, got[i], src[i])
+		}
+	}
+}
+
+func TestUnifiedBufferBounds(t *testing.T) {
+	ub := NewUnifiedBuffer()
+	if err := ub.Write(uint32(ub.Size()-1), []int8{1, 2}); err == nil {
+		t.Error("overrun write accepted")
+	}
+	if _, err := ub.Read(uint32(ub.Size()-1), 2); err == nil {
+		t.Error("overrun read accepted")
+	}
+	if _, err := ub.Read(0, -1); err == nil {
+		t.Error("negative read accepted")
+	}
+	if _, err := ub.View(uint32(ub.Size()), 1); err == nil {
+		t.Error("overrun view accepted")
+	}
+}
+
+func TestUnifiedBufferViewAliases(t *testing.T) {
+	ub := NewUnifiedBuffer()
+	if err := ub.Write(0, []int8{7}); err != nil {
+		t.Fatal(err)
+	}
+	v, err := ub.View(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v[0] != 7 {
+		t.Errorf("view = %d", v[0])
+	}
+	// Read must copy: mutating it must not affect the buffer.
+	r, _ := ub.Read(0, 1)
+	r[0] = 9
+	v2, _ := ub.View(0, 1)
+	if v2[0] != 7 {
+		t.Error("Read returned an aliasing slice")
+	}
+}
+
+func TestAccumulatorsStoreLoad(t *testing.T) {
+	a := NewAccumulators()
+	if a.Count() != 4096 {
+		t.Errorf("Count = %d, want 4096", a.Count())
+	}
+	var row [isa.MatrixDim]int32
+	row[0], row[255] = 42, -7
+	if err := a.Store(100, &row, false); err != nil {
+		t.Fatal(err)
+	}
+	got, err := a.Load(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 42 || got[255] != -7 {
+		t.Errorf("Load = %d, %d", got[0], got[255])
+	}
+}
+
+func TestAccumulatorsAccumulate(t *testing.T) {
+	a := NewAccumulators()
+	var row [isa.MatrixDim]int32
+	row[3] = 10
+	if err := a.Store(0, &row, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Store(0, &row, true); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := a.Load(0)
+	if got[3] != 20 {
+		t.Errorf("accumulated = %d, want 20", got[3])
+	}
+}
+
+func TestAccumulatorsSaturate(t *testing.T) {
+	a := NewAccumulators()
+	var row [isa.MatrixDim]int32
+	row[0] = math.MaxInt32
+	a.Store(0, &row, false)
+	row[0] = 1
+	a.Store(0, &row, true)
+	got, _ := a.Load(0)
+	if got[0] != math.MaxInt32 {
+		t.Errorf("accumulator wrapped: %d", got[0])
+	}
+}
+
+func TestAccumulatorsBounds(t *testing.T) {
+	a := NewAccumulators()
+	var row [isa.MatrixDim]int32
+	if err := a.Store(4096, &row, false); err == nil {
+		t.Error("out-of-range store accepted")
+	}
+	if _, err := a.Load(-1); err == nil {
+		t.Error("negative load accepted")
+	}
+	if err := a.Clear(4000, 200); err == nil {
+		t.Error("overrun clear accepted")
+	}
+}
+
+func TestAccumulatorsClear(t *testing.T) {
+	a := NewAccumulators()
+	var row [isa.MatrixDim]int32
+	row[0] = 5
+	a.Store(10, &row, false)
+	if err := a.Clear(10, 1); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := a.Load(10)
+	if got[0] != 0 {
+		t.Error("Clear left data behind")
+	}
+}
+
+func TestWeightMemoryFetch(t *testing.T) {
+	img := make([]int8, 2*isa.WeightTileBytes)
+	img[isa.WeightTileBytes] = 99 // first byte of tile 1
+	wm, err := NewWeightMemory(img, 34)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tile, err := wm.FetchTile(isa.WeightTileBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tile) != isa.WeightTileBytes || tile[0] != 99 {
+		t.Errorf("tile[0] = %d, len %d", tile[0], len(tile))
+	}
+}
+
+func TestWeightMemoryZeroFill(t *testing.T) {
+	wm, _ := NewWeightMemory(make([]int8, isa.WeightTileBytes), 34)
+	tile, err := wm.FetchTile(isa.WeightTileBytes * 5) // beyond image
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range tile {
+		if v != 0 {
+			t.Fatal("unwritten DRAM should read zero")
+		}
+	}
+}
+
+func TestWeightMemoryErrors(t *testing.T) {
+	if _, err := NewWeightMemory(nil, 0); err == nil {
+		t.Error("zero bandwidth accepted")
+	}
+	wm, _ := NewWeightMemory(nil, 34)
+	if _, err := wm.FetchTile(100); err == nil {
+		t.Error("unaligned fetch accepted")
+	}
+	if _, err := wm.FetchTile(isa.WeightMemoryBytes); err == nil {
+		t.Error("out-of-range fetch accepted")
+	}
+}
+
+// TestTileFetchCyclesIsRidgePoint: at the production 700 MHz / 34 GB/s
+// configuration, one tile fetch costs ~1350 cycles — the paper's roofline
+// ridge point, because each cycle of fetch delay buys one 256-wide MAC row.
+func TestTileFetchCyclesIsRidgePoint(t *testing.T) {
+	wm, _ := NewWeightMemory(nil, 34)
+	c := wm.TileFetchCycles(700)
+	if math.Abs(c-1350) > 10 {
+		t.Errorf("tile fetch = %.0f cycles, want ~1350", c)
+	}
+}
+
+func TestWeightFIFO(t *testing.T) {
+	f := NewWeightFIFO()
+	if f.Depth() != 4 {
+		t.Errorf("Depth = %d, want 4 (paper: four tiles deep)", f.Depth())
+	}
+	mk := func(v int8) []int8 {
+		tile := make([]int8, isa.WeightTileBytes)
+		tile[0] = v
+		return tile
+	}
+	for i := int8(0); i < 4; i++ {
+		if err := f.Push(mk(i)); err != nil {
+			t.Fatalf("push %d: %v", i, err)
+		}
+	}
+	if f.Free() {
+		t.Error("FIFO should be full")
+	}
+	if err := f.Push(mk(9)); err == nil {
+		t.Error("push into full FIFO accepted")
+	}
+	for i := int8(0); i < 4; i++ {
+		tile, err := f.Pop()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tile[0] != i {
+			t.Errorf("FIFO order broken: got %d, want %d", tile[0], i)
+		}
+	}
+	if _, err := f.Pop(); err == nil {
+		t.Error("pop from empty FIFO accepted")
+	}
+}
+
+func TestWeightFIFOWrongSize(t *testing.T) {
+	f := NewWeightFIFO()
+	if err := f.Push(make([]int8, 100)); err == nil {
+		t.Error("wrong-size tile accepted")
+	}
+}
+
+func TestWeightMemoryAtBase(t *testing.T) {
+	img := make([]int8, isa.WeightTileBytes)
+	img[0] = 42
+	base := uint64(isa.WeightTileBytes) * 100
+	wm, err := NewWeightMemoryAt(img, 34, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The image is visible at its base address...
+	tile, err := wm.FetchTile(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tile[0] != 42 {
+		t.Errorf("tile[0] = %d at base", tile[0])
+	}
+	// ...and addresses below the base read as zero (another model's region
+	// or unwritten DRAM).
+	below, err := wm.FetchTile(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if below[0] != 0 {
+		t.Error("address below base should read zero")
+	}
+}
+
+func TestWeightMemoryAtErrors(t *testing.T) {
+	if _, err := NewWeightMemoryAt(nil, 34, 100); err == nil {
+		t.Error("unaligned base accepted")
+	}
+	if _, err := NewWeightMemoryAt(make([]int8, isa.WeightTileBytes), 34,
+		isa.WeightMemoryBytes-isa.WeightTileBytes/2); err == nil {
+		t.Error("image overflowing 8 GiB accepted")
+	}
+}

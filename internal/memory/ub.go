@@ -1,0 +1,55 @@
+// Package memory implements the TPU's storage hierarchy (Figure 1): the
+// 24 MiB Unified Buffer that holds intermediate activations, the 4 MiB
+// accumulator file below the matrix unit, the off-chip 8 GiB Weight Memory
+// with its DDR3 bandwidth, and the four-tile-deep on-chip Weight FIFO that
+// stages tiles for the matrix unit.
+package memory
+
+import (
+	"fmt"
+
+	"tpusim/internal/isa"
+)
+
+// UnifiedBuffer is the 24 MiB software-managed on-chip activation store.
+// "The intermediate results are held in the 24 MiB on-chip Unified Buffer,
+// which can serve as inputs to the Matrix Unit."
+type UnifiedBuffer struct {
+	data []int8
+}
+
+// NewUnifiedBuffer allocates a zeroed 24 MiB buffer.
+func NewUnifiedBuffer() *UnifiedBuffer {
+	return &UnifiedBuffer{data: make([]int8, isa.UnifiedBufferBytes)}
+}
+
+// Size returns the buffer capacity in bytes.
+func (u *UnifiedBuffer) Size() int { return len(u.data) }
+
+// Write copies src into the buffer at addr.
+func (u *UnifiedBuffer) Write(addr uint32, src []int8) error {
+	if int(addr)+len(src) > len(u.data) {
+		return fmt.Errorf("memory: UB write %#x+%d overruns %d-byte buffer", addr, len(src), len(u.data))
+	}
+	copy(u.data[addr:], src)
+	return nil
+}
+
+// Read copies n bytes at addr into a fresh slice.
+func (u *UnifiedBuffer) Read(addr uint32, n int) ([]int8, error) {
+	if n < 0 || int(addr)+n > len(u.data) {
+		return nil, fmt.Errorf("memory: UB read %#x+%d overruns %d-byte buffer", addr, n, len(u.data))
+	}
+	out := make([]int8, n)
+	copy(out, u.data[addr:])
+	return out, nil
+}
+
+// View returns a read-only window without copying; callers must not hold it
+// across writes.
+func (u *UnifiedBuffer) View(addr uint32, n int) ([]int8, error) {
+	if n < 0 || int(addr)+n > len(u.data) {
+		return nil, fmt.Errorf("memory: UB view %#x+%d overruns %d-byte buffer", addr, n, len(u.data))
+	}
+	return u.data[addr : int(addr)+n : int(addr)+n], nil
+}

@@ -1,0 +1,106 @@
+package memory
+
+import (
+	"fmt"
+
+	"tpusim/internal/isa"
+)
+
+// WeightMemory models the off-chip 8 GiB DDR3 DRAM holding read-only
+// inference weights. Its 34 GB/s bandwidth is the TPU's principal
+// bottleneck: "four of the six NN apps are memory-bandwidth limited".
+type WeightMemory struct {
+	image []int8
+	base  uint64
+	// BandwidthGBs is the sustained fetch bandwidth (34 for DDR3; ~184 for
+	// the TPU' GDDR5 of Section 7).
+	BandwidthGBs float64
+}
+
+// NewWeightMemory wraps a weight image (tile-aligned, based at address 0)
+// with a bandwidth.
+func NewWeightMemory(image []int8, bandwidthGBs float64) (*WeightMemory, error) {
+	return NewWeightMemoryAt(image, bandwidthGBs, 0)
+}
+
+// NewWeightMemoryAt places the image at a tile-aligned base address,
+// supporting multiple resident models in the 8 GiB DRAM.
+func NewWeightMemoryAt(image []int8, bandwidthGBs float64, base uint64) (*WeightMemory, error) {
+	if base%isa.WeightTileBytes != 0 {
+		return nil, fmt.Errorf("memory: weight base %#x not tile-aligned", base)
+	}
+	if base+uint64(len(image)) > isa.WeightMemoryBytes {
+		return nil, fmt.Errorf("memory: weight image %d bytes at %#x exceeds 8 GiB", len(image), base)
+	}
+	if bandwidthGBs <= 0 {
+		return nil, fmt.Errorf("memory: non-positive weight bandwidth %v", bandwidthGBs)
+	}
+	return &WeightMemory{image: image, base: base, BandwidthGBs: bandwidthGBs}, nil
+}
+
+// FetchTile returns the 64 KiB tile at a tile-aligned address. Addresses
+// beyond the image return zero weights (unwritten DRAM).
+func (w *WeightMemory) FetchTile(addr uint64) ([]int8, error) {
+	if addr%isa.WeightTileBytes != 0 {
+		return nil, fmt.Errorf("memory: tile address %#x not aligned", addr)
+	}
+	if addr+isa.WeightTileBytes > isa.WeightMemoryBytes {
+		return nil, fmt.Errorf("memory: tile address %#x outside 8 GiB", addr)
+	}
+	tile := make([]int8, isa.WeightTileBytes)
+	if addr >= w.base && addr-w.base < uint64(len(w.image)) {
+		copy(tile, w.image[addr-w.base:])
+	}
+	return tile, nil
+}
+
+// TileFetchCycles returns how many device clock cycles fetching one 64 KiB
+// tile occupies the DRAM channel. At 700 MHz and 34 GB/s this is ~1349
+// cycles — exactly the paper's ~1350 ops/byte ridge point, since the matrix
+// unit retires one 256-wide row of MACs per cycle.
+func (w *WeightMemory) TileFetchCycles(clockMHz float64) float64 {
+	bytesPerCycle := w.BandwidthGBs * 1e9 / (clockMHz * 1e6)
+	return float64(isa.WeightTileBytes) / bytesPerCycle
+}
+
+// WeightFIFO is the four-tile on-chip FIFO between Weight Memory and the
+// matrix unit ("The weight FIFO is four tiles deep"). Read_Weights pushes
+// tiles; MatrixMultiply with FlagLoadTile pops them into the matrix unit's
+// double buffer.
+type WeightFIFO struct {
+	tiles [][]int8
+}
+
+// NewWeightFIFO returns an empty FIFO.
+func NewWeightFIFO() *WeightFIFO { return &WeightFIFO{} }
+
+// Depth returns the capacity in tiles (4).
+func (f *WeightFIFO) Depth() int { return isa.WeightFIFODepth }
+
+// Len returns the number of queued tiles.
+func (f *WeightFIFO) Len() int { return len(f.tiles) }
+
+// Free reports whether another tile fits.
+func (f *WeightFIFO) Free() bool { return len(f.tiles) < isa.WeightFIFODepth }
+
+// Push enqueues a fetched tile.
+func (f *WeightFIFO) Push(tile []int8) error {
+	if !f.Free() {
+		return fmt.Errorf("memory: weight FIFO full (%d tiles)", isa.WeightFIFODepth)
+	}
+	if len(tile) != isa.WeightTileBytes {
+		return fmt.Errorf("memory: tile is %d bytes, want %d", len(tile), isa.WeightTileBytes)
+	}
+	f.tiles = append(f.tiles, tile)
+	return nil
+}
+
+// Pop dequeues the oldest tile.
+func (f *WeightFIFO) Pop() ([]int8, error) {
+	if len(f.tiles) == 0 {
+		return nil, fmt.Errorf("memory: weight FIFO empty")
+	}
+	t := f.tiles[0]
+	f.tiles = f.tiles[1:]
+	return t, nil
+}

@@ -1,0 +1,141 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"tpusim/internal/fixed"
+	"tpusim/internal/tensor"
+)
+
+// randomMLP builds a random small MLP from a seed: 1-4 layers, widths
+// 4-48, random nonlinearities.
+func randomMLP(seed int64) *Model {
+	rng := rand.New(rand.NewSource(seed))
+	layers := rng.Intn(4) + 1
+	m := &Model{Name: "prop", Class: MLP, Batch: rng.Intn(6) + 1, TimeSteps: 1}
+	in := rng.Intn(45) + 4
+	acts := []fixed.Nonlinearity{fixed.Identity, fixed.ReLU, fixed.Sigmoid, fixed.Tanh}
+	for i := 0; i < layers; i++ {
+		out := rng.Intn(45) + 4
+		m.Layers = append(m.Layers, Layer{
+			Kind: FC, In: in, Out: out, Act: acts[rng.Intn(len(acts))],
+		})
+		in = out
+	}
+	return m
+}
+
+// TestQuantizationErrorBoundedProperty: for randomly shaped MLPs with
+// bounded weights, the quantized pipeline stays within a small absolute
+// error of the float reference — the "8 bits are usually enough" claim as
+// a property.
+func TestQuantizationErrorBoundedProperty(t *testing.T) {
+	for seed := int64(0); seed < 30; seed++ {
+		m := randomMLP(seed)
+		p := InitRandom(m, seed*3+1, 0.15)
+		in := tensor.NewF32(m.Batch, m.InputElems())
+		in.FillRandom(seed*3+2, 1)
+
+		want, err := Forward(m, p, in)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		qm, err := QuantizeModel(m, p, in)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		got, err := qm.Forward(qm.QuantizeInput(in))
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		outF := qm.DequantizeOutput(got)
+
+		var rangeMax float64
+		for _, v := range want.Data {
+			if a := math.Abs(float64(v)); a > rangeMax {
+				rangeMax = a
+			}
+		}
+		tol := math.Max(0.12*rangeMax, 0.03)
+		for i := range want.Data {
+			if d := math.Abs(float64(outF.Data[i] - want.Data[i])); d > tol {
+				t.Fatalf("seed %d: output[%d] error %v exceeds %v (range %v, model %d layers)",
+					seed, i, d, tol, rangeMax, len(m.Layers))
+			}
+		}
+	}
+}
+
+// TestQuantizedDeterminism: the quantized pipeline is bit-deterministic
+// across repeated runs — the property behind the TPU's "simple and
+// repeatable execution model".
+func TestQuantizedDeterminism(t *testing.T) {
+	m := randomMLP(7)
+	p := InitRandom(m, 8, 0.2)
+	in := tensor.NewF32(m.Batch, m.InputElems())
+	in.FillRandom(9, 1)
+	qm, err := QuantizeModel(m, p, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := qm.QuantizeInput(in)
+	a, err := qm.Forward(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := qm.Forward(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Data {
+		if a.Data[i] != b.Data[i] {
+			t.Fatal("quantized inference not deterministic")
+		}
+	}
+}
+
+// TestCalibrationCoversDynamicRange: after calibration, quantizing the
+// calibration inputs never saturates more than the two rail values.
+func TestCalibrationCoversDynamicRange(t *testing.T) {
+	m := randomMLP(11)
+	p := InitRandom(m, 12, 0.2)
+	in := tensor.NewF32(m.Batch, m.InputElems())
+	in.FillRandom(13, 1)
+	qm, err := QuantizeModel(m, p, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := qm.QuantizeInput(in)
+	saturated := 0
+	for _, v := range q.Data {
+		if v == 127 || v == -128 {
+			saturated++
+		}
+	}
+	// The absolute max calibrates to 127, so at most a handful of values
+	// sit on the rails.
+	if saturated > len(q.Data)/10 {
+		t.Errorf("%d of %d inputs saturated after calibration", saturated, len(q.Data))
+	}
+}
+
+// TestForwardZeroInput: all-zero input flows through every nonlinearity
+// without error, and ReLU networks yield nonnegative outputs.
+func TestForwardZeroInput(t *testing.T) {
+	m := &Model{Name: "z", Class: MLP, Batch: 2, TimeSteps: 1, Layers: []Layer{
+		{Kind: FC, In: 8, Out: 8, Act: fixed.ReLU},
+		{Kind: FC, In: 8, Out: 8, Act: fixed.ReLU},
+	}}
+	p := InitRandom(m, 5, 0.3)
+	out, err := Forward(m, p, tensor.NewF32(2, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out.Data {
+		if v < 0 {
+			t.Fatalf("ReLU output[%d] = %v < 0", i, v)
+		}
+	}
+}

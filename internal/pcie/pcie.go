@@ -1,0 +1,50 @@
+// Package pcie models the host link: the TPU "was designed to be a
+// coprocessor on the PCIe I/O bus, allowing it to plug into existing
+// servers just as a GPU does", with instructions and data arriving over a
+// PCIe Gen3 x16 link the paper calls "relatively slow".
+package pcie
+
+import "fmt"
+
+// Link is one direction-shared PCIe connection.
+type Link struct {
+	// GBs is sustained effective bandwidth. PCIe Gen3 x16 is 15.75 GB/s
+	// raw; ~14 GB/s is a realistic sustained figure after protocol
+	// overhead.
+	GBs float64
+	// LatencyCycles is the fixed per-transfer setup cost in device cycles
+	// (DMA descriptor fetch, bus arbitration).
+	LatencyCycles float64
+}
+
+// Gen3x16 returns the TPU's production link.
+func Gen3x16() Link { return Link{GBs: 14, LatencyCycles: 0} }
+
+// Validate reports configuration errors.
+func (l Link) Validate() error {
+	if l.GBs <= 0 {
+		return fmt.Errorf("pcie: non-positive bandwidth %v", l.GBs)
+	}
+	if l.LatencyCycles < 0 {
+		return fmt.Errorf("pcie: negative latency %v", l.LatencyCycles)
+	}
+	return nil
+}
+
+// BytesPerCycle converts the link bandwidth to device-clock bytes/cycle.
+func (l Link) BytesPerCycle(clockMHz float64) float64 {
+	return l.GBs * 1e9 / (clockMHz * 1e6)
+}
+
+// TransferCycles returns device cycles to move n bytes.
+func (l Link) TransferCycles(n int64, clockMHz float64) float64 {
+	if n <= 0 {
+		return l.LatencyCycles
+	}
+	return l.LatencyCycles + float64(n)/l.BytesPerCycle(clockMHz)
+}
+
+// TransferSeconds returns wall time to move n bytes.
+func (l Link) TransferSeconds(n int64, clockMHz float64) float64 {
+	return l.TransferCycles(n, clockMHz) / (clockMHz * 1e6)
+}

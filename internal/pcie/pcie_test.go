@@ -1,0 +1,62 @@
+package pcie
+
+import (
+	"math"
+	"testing"
+)
+
+func TestGen3x16(t *testing.T) {
+	l := Gen3x16()
+	if err := l.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if l.GBs != 14 {
+		t.Errorf("bandwidth = %v, want 14 GB/s sustained", l.GBs)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := (Link{GBs: 0}).Validate(); err == nil {
+		t.Error("zero bandwidth accepted")
+	}
+	if err := (Link{GBs: 14, LatencyCycles: -1}).Validate(); err == nil {
+		t.Error("negative latency accepted")
+	}
+}
+
+func TestBytesPerCycle(t *testing.T) {
+	l := Gen3x16()
+	// 14 GB/s at 700 MHz = 20 bytes/cycle.
+	if got := l.BytesPerCycle(700); math.Abs(got-20) > 1e-9 {
+		t.Errorf("BytesPerCycle = %v, want 20", got)
+	}
+}
+
+func TestTransferCycles(t *testing.T) {
+	l := Gen3x16()
+	// 1 MiB at 20 B/cycle.
+	want := float64(1<<20) / 20
+	if got := l.TransferCycles(1<<20, 700); math.Abs(got-want) > 1e-6 {
+		t.Errorf("TransferCycles = %v, want %v", got, want)
+	}
+	if got := l.TransferCycles(0, 700); got != 0 {
+		t.Errorf("zero transfer = %v", got)
+	}
+	withLat := Link{GBs: 14, LatencyCycles: 500}
+	if got := withLat.TransferCycles(0, 700); got != 500 {
+		t.Errorf("latency-only transfer = %v", got)
+	}
+}
+
+func TestTransferSeconds(t *testing.T) {
+	l := Gen3x16()
+	// 14 GB over a 14 GB/s link takes one second regardless of clock.
+	got := l.TransferSeconds(14e9, 700)
+	if math.Abs(got-1) > 1e-9 {
+		t.Errorf("TransferSeconds = %v, want 1", got)
+	}
+	got2 := l.TransferSeconds(14e9, 1400)
+	if math.Abs(got2-1) > 1e-9 {
+		t.Errorf("clock should not change wall time: %v", got2)
+	}
+}

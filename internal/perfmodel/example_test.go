@@ -1,0 +1,46 @@
+package perfmodel_test
+
+import (
+	"fmt"
+
+	"tpusim/internal/models"
+	"tpusim/internal/perfmodel"
+)
+
+// ExampleEstimate evaluates MLP0 on the production TPU: memory bound, so
+// delivered TOPS sits near 2 * OI * bandwidth.
+func ExampleEstimate() {
+	b, _ := models.ByName("MLP0")
+	r, _ := perfmodel.Estimate(b.Model, b.Model.Batch, perfmodel.Production())
+	fmt.Printf("MLP0: %.1f TOPS, %.0f us per batch of %d\n",
+		r.TeraOps(perfmodel.Production()),
+		r.Seconds(perfmodel.Production())*1e6,
+		b.Model.Batch)
+	// Output:
+	// MLP0: 11.7 TOPS, 684 us per batch of 200
+}
+
+// ExampleParams_Scale sweeps Figure 11's memory knob.
+func ExampleParams_Scale() {
+	b, _ := models.ByName("LSTM0")
+	for _, s := range []float64{1, 2, 4} {
+		v, _ := perfmodel.Sensitivity(b.Model, perfmodel.Memory, s)
+		fmt.Printf("memory %gx -> %.2fx performance\n", s, v)
+	}
+	// Output:
+	// memory 1x -> 1.00x performance
+	// memory 2x -> 1.93x performance
+	// memory 4x -> 3.60x performance
+}
+
+// ExampleTPUPrime shows Section 7's conclusion: GDDR5 weight memory alone
+// roughly triples the memory-bound apps.
+func ExampleTPUPrime() {
+	b, _ := models.ByName("MLP0")
+	base, _ := perfmodel.Estimate(b.Model, 0, perfmodel.Production())
+	prime, _ := perfmodel.Estimate(b.Model, 0, perfmodel.TPUPrime())
+	speedup := base.Seconds(perfmodel.Production()) / prime.Seconds(perfmodel.TPUPrime())
+	fmt.Printf("TPU' speeds MLP0 up %.1fx\n", speedup)
+	// Output:
+	// TPU' speeds MLP0 up 3.8x
+}

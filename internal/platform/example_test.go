@@ -1,0 +1,34 @@
+package platform_test
+
+import (
+	"fmt"
+
+	"tpusim/internal/platform"
+)
+
+// ExampleDie_RooflineTOPS evaluates Figure 5's roofline: MLP0's operational
+// intensity of 200 MAC-ops per weight byte lands on the slanted
+// bandwidth-bound segment.
+func ExampleDie_RooflineTOPS() {
+	die := platform.MustSpecs(platform.TPU).Die
+	fmt.Printf("ridge at %.0f ops/byte\n", die.RidgeOI())
+	fmt.Printf("at OI 200:  %.1f TOPS (bandwidth bound)\n", die.RooflineTOPS(200))
+	fmt.Printf("at OI 2888: %.1f TOPS (compute bound)\n", die.RooflineTOPS(2888))
+	// Output:
+	// ridge at 1353 ops/byte
+	// at OI 200:  13.6 TOPS (bandwidth bound)
+	// at OI 2888: 92.0 TOPS (compute bound)
+}
+
+// ExampleSpecs shows the Table 2 data for the three platforms.
+func ExampleSpecs() {
+	for _, k := range []platform.Kind{platform.CPU, platform.GPU, platform.TPU} {
+		p := platform.MustSpecs(k)
+		fmt.Printf("%-7s %5.1f peak TOPS, %3.0f GB/s, %2d dies/server\n",
+			p.Kind, p.Die.PeakTOPS(), p.Die.MemGBs, p.Server.Dies)
+	}
+	// Output:
+	// Haswell   1.3 peak TOPS,  51 GB/s,  2 dies/server
+	// K80       2.8 peak TOPS, 160 GB/s,  8 dies/server
+	// TPU      92.0 peak TOPS,  34 GB/s,  4 dies/server
+}

@@ -1,0 +1,138 @@
+package platform
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSpecsKnownKinds(t *testing.T) {
+	for _, k := range []Kind{CPU, GPU, TPU, TPUPrime} {
+		p, err := Specs(k)
+		if err != nil {
+			t.Fatalf("Specs(%v): %v", k, err)
+		}
+		if p.Kind != k {
+			t.Errorf("Specs(%v).Kind = %v", k, p.Kind)
+		}
+		if p.Die.PeakTOPS() <= 0 || p.Die.MemGBs <= 0 {
+			t.Errorf("%v: non-positive peak or bandwidth", k)
+		}
+	}
+}
+
+func TestSpecsUnknown(t *testing.T) {
+	if _, err := Specs(Kind(42)); err == nil {
+		t.Error("unknown kind accepted")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	cases := map[Kind]string{CPU: "Haswell", GPU: "K80", TPU: "TPU", TPUPrime: "TPU'"}
+	for k, want := range cases {
+		if got := k.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", k, got, want)
+		}
+	}
+	if Kind(9).String() == "" {
+		t.Error("unknown kind should still render")
+	}
+}
+
+// TestRidgePoints checks the paper's three ridge points: TPU 1350 (Fig 5),
+// CPU 13 (Fig 6), GPU 9 (Fig 7).
+func TestRidgePoints(t *testing.T) {
+	cases := []struct {
+		k      Kind
+		want   float64
+		within float64
+	}{
+		{TPU, 1350, 25},
+		{CPU, 13, 0.5},
+		{GPU, 9, 0.3},
+		{TPUPrime, 250, 5}, // Section 7: "shifting its roofline ridge point from 1350 to 250"
+	}
+	for _, c := range cases {
+		got := MustSpecs(c.k).Die.RidgeOI()
+		if math.Abs(got-c.want) > c.within {
+			t.Errorf("%v ridge = %v, paper says %v", c.k, got, c.want)
+		}
+	}
+}
+
+func TestRooflineShape(t *testing.T) {
+	d := MustSpecs(TPU).Die
+	// Far left of ridge: bandwidth-bound, linear in OI.
+	lo := d.RooflineTOPS(100)
+	if math.Abs(lo-2*100*34e9/1e12) > 1e-9 {
+		t.Errorf("bandwidth-bound roofline = %v", lo)
+	}
+	// Far right of ridge: compute-bound at peak.
+	hi := d.RooflineTOPS(10000)
+	if hi != 92 {
+		t.Errorf("compute-bound roofline = %v, want 92", hi)
+	}
+	// Monotone nondecreasing.
+	prev := 0.0
+	for oi := 1.0; oi < 1e5; oi *= 2 {
+		v := d.RooflineTOPS(oi)
+		if v < prev {
+			t.Fatalf("roofline decreasing at oi=%v", oi)
+		}
+		prev = v
+	}
+}
+
+func TestTable2Anchors(t *testing.T) {
+	cpu := MustSpecs(CPU)
+	if cpu.Server.Dies != 2 || cpu.Server.BusyWatts != 455 {
+		t.Errorf("CPU server = %+v", cpu.Server)
+	}
+	gpu := MustSpecs(GPU)
+	if gpu.Server.Dies != 8 || gpu.Die.MemGBs != 160 {
+		t.Errorf("GPU = %+v", gpu)
+	}
+	tpu := MustSpecs(TPU)
+	if tpu.Die.PeakTOPS8 != 92 || tpu.Die.OnChipMiB != 28 || tpu.Server.Dies != 4 {
+		t.Errorf("TPU = %+v", tpu)
+	}
+	if tpu.Server.BusyWatts != 384 || tpu.Server.IdleWatts != 290 {
+		t.Errorf("TPU server power = %+v", tpu.Server)
+	}
+}
+
+func TestTPUPrimeBandwidth(t *testing.T) {
+	tpu := MustSpecs(TPU)
+	prime := MustSpecs(TPUPrime)
+	// "improve Weight Memory bandwidth by more than a factor of five"
+	if prime.Die.MemGBs < 5*tpu.Die.MemGBs {
+		t.Errorf("TPU' bandwidth %v not >= 5x TPU %v", prime.Die.MemGBs, tpu.Die.MemGBs)
+	}
+	// "increase the TPU system power budget from 861 Watts to about 900"
+	if math.Abs(prime.Server.TDPWatts-900) > 1 {
+		t.Errorf("TPU' server TDP = %v, want ~900", prime.Server.TDPWatts)
+	}
+}
+
+func TestPeakTOPSFallback(t *testing.T) {
+	d := Die{PeakTOPSFP: 1.3}
+	if d.PeakTOPS() != 1.3 {
+		t.Error("FP fallback broken")
+	}
+	d.PeakTOPS8 = 2.6
+	if d.PeakTOPS() != 2.6 {
+		t.Error("8-bit peak should win when present")
+	}
+}
+
+func TestAll(t *testing.T) {
+	all := All()
+	if len(all) != 3 {
+		t.Fatalf("All() returned %d platforms", len(all))
+	}
+	want := []Kind{CPU, GPU, TPU}
+	for i, p := range all {
+		if p.Kind != want[i] {
+			t.Errorf("All()[%d] = %v, want %v", i, p.Kind, want[i])
+		}
+	}
+}

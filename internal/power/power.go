@@ -1,0 +1,173 @@
+// Package power models server and die power for the three platforms:
+// busy/idle anchors from Table 2, the energy-proportionality curves of
+// Figure 10 ("at 10% load, the TPU uses 88% of the power it uses at 100%"),
+// the host-share accounting of Section 6, and the TDP-based
+// performance/Watt arithmetic of Figure 9.
+package power
+
+import (
+	"fmt"
+
+	"tpusim/internal/platform"
+)
+
+// Curve is an energy-proportionality shape: the fraction of the
+// idle-to-busy dynamic power range consumed at utilization u. Perfect
+// proportionality is g(u) = u; real hardware sits above it.
+type Curve struct {
+	// At10 is g(0.1), derived from the paper's published
+	// power-at-10%-load percentages.
+	At10 float64
+}
+
+// Dynamic evaluates the curve with piecewise-linear interpolation through
+// (0, 0), (0.1, At10), (1, 1); u clamps to [0, 1].
+func (c Curve) Dynamic(u float64) float64 {
+	switch {
+	case u <= 0:
+		return 0
+	case u >= 1:
+		return 1
+	case u <= 0.1:
+		return c.At10 * u / 0.1
+	default:
+		return c.At10 + (1-c.At10)*(u-0.1)/0.9
+	}
+}
+
+// Anchors holds the Figure 10 proportionality anchors for one workload:
+// each platform's power at 10% load as a fraction of its 100% power.
+type Anchors struct {
+	CPUAt10, GPUAt10, TPUAt10 float64
+}
+
+// AnchorsCNN0 is Figure 10's workload: "Haswell ... uses 56% of the power
+// at 10% load as it does at 100%. The K80 ... using 66% ... the TPU uses
+// 88%."
+func AnchorsCNN0() Anchors { return Anchors{CPUAt10: 0.56, GPUAt10: 0.66, TPUAt10: 0.88} }
+
+// AnchorsLSTM1 is the paper's second data point: "at 10% load the CPU uses
+// 47% of full power, the GPU uses 78%, and the TPU uses 94%."
+func AnchorsLSTM1() Anchors { return Anchors{CPUAt10: 0.47, GPUAt10: 0.78, TPUAt10: 0.94} }
+
+// Model computes the Figure 10 power lines.
+type Model struct {
+	anchors Anchors
+	cpu     platform.Platform
+	gpu     platform.Platform
+	tpu     platform.Platform
+	// hostShareGPU/TPU are the fractions of full CPU-server power the
+	// host consumes when its accelerators run at 100% load (Section 6:
+	// 52% for the GPU, 69% for the TPU — "the CPU does more work for the
+	// TPU because it is running so much faster").
+	hostShareGPU, hostShareTPU float64
+}
+
+// NewModel builds a power model with the given proportionality anchors.
+func NewModel(a Anchors) *Model {
+	return &Model{
+		anchors:      a,
+		cpu:          platform.MustSpecs(platform.CPU),
+		gpu:          platform.MustSpecs(platform.GPU),
+		tpu:          platform.MustSpecs(platform.TPU),
+		hostShareGPU: 0.52,
+		hostShareTPU: 0.69,
+	}
+}
+
+// curveFor derives the dynamic-range curve that makes the platform's
+// published "% of busy power at 10% load" come out exactly.
+func curveFor(at10Frac, idle, busy float64) Curve {
+	target := at10Frac * busy
+	g := (target - idle) / (busy - idle)
+	if g < 0 {
+		g = 0
+	}
+	if g > 1 {
+		g = 1
+	}
+	return Curve{At10: g}
+}
+
+// CPUServer returns Haswell server power at utilization u.
+func (m *Model) CPUServer(u float64) float64 {
+	c := curveFor(m.anchors.CPUAt10, m.cpu.Server.IdleWatts, m.cpu.Server.BusyWatts)
+	return m.cpu.Server.IdleWatts + (m.cpu.Server.BusyWatts-m.cpu.Server.IdleWatts)*c.Dynamic(u)
+}
+
+// IncrementalPerDie returns accelerator die power (excluding host) at
+// utilization u.
+func (m *Model) IncrementalPerDie(k platform.Kind, u float64) (float64, error) {
+	switch k {
+	case platform.GPU:
+		c := curveFor(m.anchors.GPUAt10, m.gpu.Die.IdleWatts, m.gpu.Die.BusyWatts)
+		return m.gpu.Die.IdleWatts + (m.gpu.Die.BusyWatts-m.gpu.Die.IdleWatts)*c.Dynamic(u), nil
+	case platform.TPU:
+		c := curveFor(m.anchors.TPUAt10, m.tpu.Die.IdleWatts, m.tpu.Die.BusyWatts)
+		return m.tpu.Die.IdleWatts + (m.tpu.Die.BusyWatts-m.tpu.Die.IdleWatts)*c.Dynamic(u), nil
+	default:
+		return 0, fmt.Errorf("power: no incremental curve for %v", k)
+	}
+}
+
+// hostFor returns the host CPU server's power while its accelerators run
+// at utilization u.
+func (m *Model) hostFor(k platform.Kind, u float64) (float64, error) {
+	var share float64
+	switch k {
+	case platform.GPU:
+		share = m.hostShareGPU
+	case platform.TPU:
+		share = m.hostShareTPU
+	default:
+		return 0, fmt.Errorf("power: no host model for %v", k)
+	}
+	idle := m.cpu.Server.IdleWatts
+	busy := share * m.cpu.Server.BusyWatts
+	c := curveFor(m.anchors.CPUAt10, idle, m.cpu.Server.BusyWatts)
+	return idle + (busy-idle)*c.Dynamic(u), nil
+}
+
+// TotalPerDie returns Figure 10's "total" lines: accelerator plus its share
+// of the host server, divided per die (8 GPUs or 4 TPUs per server; the
+// Haswell line itself is the server divided by its 2 CPUs).
+func (m *Model) TotalPerDie(k platform.Kind, u float64) (float64, error) {
+	switch k {
+	case platform.CPU:
+		return m.CPUServer(u) / float64(m.cpu.Server.Dies), nil
+	case platform.GPU, platform.TPU:
+		inc, err := m.IncrementalPerDie(k, u)
+		if err != nil {
+			return 0, err
+		}
+		host, err := m.hostFor(k, u)
+		if err != nil {
+			return 0, err
+		}
+		dies := float64(platform.MustSpecs(k).Server.Dies)
+		return inc + host/dies, nil
+	default:
+		return 0, fmt.Errorf("power: unknown platform %v", k)
+	}
+}
+
+// PerfPerWattTDP computes Figure 9's relative performance/Watt against the
+// CPU server. relDiePerf is the target's per-die performance relative to a
+// CPU die (Table 6); the function scales to servers (dies per server) and
+// divides by the TDP ratio. incremental subtracts the host server's TDP
+// from the accelerator server's TDP first.
+func PerfPerWattTDP(target platform.Platform, relDiePerf float64, incremental bool) (float64, error) {
+	cpu := platform.MustSpecs(platform.CPU)
+	if target.Kind == platform.CPU {
+		return 1, nil
+	}
+	relServer := relDiePerf * float64(target.Server.Dies) / float64(cpu.Server.Dies)
+	watts := target.Server.TDPWatts
+	if incremental {
+		watts -= cpu.Server.TDPWatts
+		if watts <= 0 {
+			return 0, fmt.Errorf("power: non-positive incremental TDP for %v", target.Kind)
+		}
+	}
+	return relServer / (watts / cpu.Server.TDPWatts), nil
+}

@@ -1,0 +1,172 @@
+package power
+
+import (
+	"math"
+	"testing"
+
+	"tpusim/internal/platform"
+)
+
+func TestCurveEndpoints(t *testing.T) {
+	c := Curve{At10: 0.5}
+	if c.Dynamic(0) != 0 || c.Dynamic(1) != 1 {
+		t.Error("curve endpoints wrong")
+	}
+	if c.Dynamic(-1) != 0 || c.Dynamic(2) != 1 {
+		t.Error("curve should clamp")
+	}
+	if c.Dynamic(0.1) != 0.5 {
+		t.Errorf("anchor = %v, want 0.5", c.Dynamic(0.1))
+	}
+	if c.Dynamic(0.05) != 0.25 {
+		t.Errorf("below-anchor interpolation = %v", c.Dynamic(0.05))
+	}
+	if math.Abs(c.Dynamic(0.55)-0.75) > 1e-12 {
+		t.Errorf("above-anchor interpolation = %v", c.Dynamic(0.55))
+	}
+}
+
+func TestCurveMonotone(t *testing.T) {
+	c := Curve{At10: 0.88}
+	prev := -1.0
+	for u := 0.0; u <= 1.0; u += 0.01 {
+		v := c.Dynamic(u)
+		if v < prev {
+			t.Fatalf("curve decreasing at u=%v", u)
+		}
+		prev = v
+	}
+}
+
+// TestFigure10Anchors: each platform's power at 10% load must be the
+// published fraction of its 100% power.
+func TestFigure10Anchors(t *testing.T) {
+	m := NewModel(AnchorsCNN0())
+
+	cpu10 := m.CPUServer(0.1)
+	cpu100 := m.CPUServer(1.0)
+	if f := cpu10 / cpu100; math.Abs(f-0.56) > 0.01 {
+		t.Errorf("CPU at 10%% = %.0f%% of busy, paper says 56%%", f*100)
+	}
+
+	gpu10, err := m.IncrementalPerDie(platform.GPU, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gpu100, _ := m.IncrementalPerDie(platform.GPU, 1.0)
+	if f := gpu10 / gpu100; math.Abs(f-0.66) > 0.01 {
+		t.Errorf("K80 at 10%% = %.0f%% of busy, paper says 66%%", f*100)
+	}
+
+	tpu10, _ := m.IncrementalPerDie(platform.TPU, 0.1)
+	tpu100, _ := m.IncrementalPerDie(platform.TPU, 1.0)
+	if f := tpu10 / tpu100; math.Abs(f-0.88) > 0.01 {
+		t.Errorf("TPU at 10%% = %.0f%% of busy, paper says 88%%", f*100)
+	}
+}
+
+// TestFigure10TPUPerDie: "the TPU has the lowest power — 118W per die total
+// and 40W per die incremental".
+func TestFigure10TPUPerDie(t *testing.T) {
+	m := NewModel(AnchorsCNN0())
+	inc, err := m.IncrementalPerDie(platform.TPU, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inc != 40 {
+		t.Errorf("TPU incremental busy = %v W/die, paper says 40", inc)
+	}
+	total, err := m.TotalPerDie(platform.TPU, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(total-118) > 3 {
+		t.Errorf("TPU total busy = %.0f W/die, paper says 118", total)
+	}
+}
+
+// TestFigure10Ordering: under load the TPU has the lowest total power per
+// die. (At idle the lines cross: the host's power is amortized over 8 GPU
+// dies but only 4 TPU dies, as in the left edge of Figure 10.)
+func TestFigure10Ordering(t *testing.T) {
+	m := NewModel(AnchorsCNN0())
+	for _, u := range []float64{0.3, 0.5, 0.8, 1.0} {
+		tpu, err := m.TotalPerDie(platform.TPU, u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gpu, err := m.TotalPerDie(platform.GPU, u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tpu >= gpu {
+			t.Errorf("u=%v: TPU total %v >= GPU total %v W/die", u, tpu, gpu)
+		}
+	}
+}
+
+func TestLSTM1Anchors(t *testing.T) {
+	a := AnchorsLSTM1()
+	if a.CPUAt10 != 0.47 || a.GPUAt10 != 0.78 || a.TPUAt10 != 0.94 {
+		t.Errorf("LSTM1 anchors = %+v", a)
+	}
+}
+
+func TestModelErrors(t *testing.T) {
+	m := NewModel(AnchorsCNN0())
+	if _, err := m.IncrementalPerDie(platform.CPU, 0.5); err == nil {
+		t.Error("CPU has no incremental curve")
+	}
+	if _, err := m.TotalPerDie(platform.Kind(9), 0.5); err == nil {
+		t.Error("unknown platform accepted")
+	}
+}
+
+// TestFigure9Decoding verifies the TDP-based perf/Watt arithmetic against
+// the paper's published bands using Table 6's published means directly.
+func TestFigure9Decoding(t *testing.T) {
+	gpu := platform.MustSpecs(platform.GPU)
+	tpu := platform.MustSpecs(platform.TPU)
+
+	// K80 GM 1.1 -> total ~1.2; WM 1.9 -> total ~2.1.
+	v, err := PerfPerWattTDP(gpu, 1.1, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(v-1.2) > 0.15 {
+		t.Errorf("K80 total perf/W (GM) = %.2f, paper says 1.2", v)
+	}
+	v, _ = PerfPerWattTDP(gpu, 1.9, false)
+	if math.Abs(v-2.1) > 0.15 {
+		t.Errorf("K80 total perf/W (WM) = %.2f, paper says 2.1", v)
+	}
+	// K80 incremental 1.7 - 2.9.
+	v, _ = PerfPerWattTDP(gpu, 1.1, true)
+	if math.Abs(v-1.7) > 0.2 {
+		t.Errorf("K80 incremental perf/W (GM) = %.2f, paper says 1.7", v)
+	}
+	// TPU total 17 - 34, incremental 41 - 83.
+	v, _ = PerfPerWattTDP(tpu, 14.5, false)
+	if math.Abs(v-17) > 1 {
+		t.Errorf("TPU total perf/W (GM) = %.1f, paper says 17", v)
+	}
+	v, _ = PerfPerWattTDP(tpu, 29.2, false)
+	if math.Abs(v-34) > 1.5 {
+		t.Errorf("TPU total perf/W (WM) = %.1f, paper says 34", v)
+	}
+	v, _ = PerfPerWattTDP(tpu, 14.5, true)
+	if math.Abs(v-41) > 2 {
+		t.Errorf("TPU incremental perf/W (GM) = %.1f, paper says 41", v)
+	}
+	v, _ = PerfPerWattTDP(tpu, 29.2, true)
+	if math.Abs(v-83) > 4 {
+		t.Errorf("TPU incremental perf/W (WM) = %.1f, paper says 83", v)
+	}
+}
+
+func TestPerfPerWattCPUIdentity(t *testing.T) {
+	v, err := PerfPerWattTDP(platform.MustSpecs(platform.CPU), 1.0, false)
+	if err != nil || v != 1 {
+		t.Errorf("CPU vs CPU = %v, %v", v, err)
+	}
+}

@@ -1,0 +1,165 @@
+// Package runtime is the host-side software stack of Section 2: the User
+// Space Driver that "sets up and controls TPU execution, reformats data
+// into TPU order, translates API calls into TPU instructions ... compiles
+// a model the first time it is evaluated, caching the program image and
+// writing the weight image into the TPU's weight memory; the second and
+// following evaluations run at full speed", plus the multi-device server
+// abstraction (a server carries four TPUs).
+package runtime
+
+import (
+	"fmt"
+	"sync"
+
+	"tpusim/internal/compiler"
+	"tpusim/internal/nn"
+	"tpusim/internal/tensor"
+	"tpusim/internal/tpu"
+)
+
+// Driver is the User Space Driver: it owns a device and a compilation
+// cache keyed by model name.
+type Driver struct {
+	cfg tpu.Config
+
+	mu    sync.Mutex
+	cache map[string]*entry
+	// weightNext is the next free tile-aligned Weight Memory offset; each
+	// compiled model gets its own region so many stay resident at once
+	// ("8 GiB supports many simultaneously active models").
+	weightNext uint64
+	// Compilations counts slow-path compiles (for observing the caching
+	// behaviour the paper describes).
+	Compilations int
+}
+
+type entry struct {
+	art *compiler.Artifact
+	qm  *nn.QuantizedModel
+	dev *tpu.Device
+}
+
+// NewDriver creates a driver for devices with the given configuration;
+// functional execution is forced on because the driver's purpose is to run
+// real data.
+func NewDriver(cfg tpu.Config) (*Driver, error) {
+	cfg.Functional = true
+	if _, err := tpu.New(cfg); err != nil {
+		return nil, err
+	}
+	return &Driver{cfg: cfg, cache: map[string]*entry{}}, nil
+}
+
+// InferenceResult is one batch's outcome.
+type InferenceResult struct {
+	// Output is the dequantized model output.
+	Output *tensor.F32
+	// Counters is the device's performance-counter file for the run.
+	Counters tpu.Counters
+	// DeviceSeconds is simulated device time; it is the latency a real
+	// deployment would observe from the accelerator.
+	DeviceSeconds float64
+	// Cached reports whether the compiled program image was reused.
+	Cached bool
+}
+
+// Run evaluates one batch of a model. The first evaluation quantizes and
+// compiles (the slow path); later evaluations reuse the cached program
+// image and weight image.
+func (d *Driver) Run(m *nn.Model, params *nn.Params, in *tensor.F32) (*InferenceResult, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	d.mu.Lock()
+	e, ok := d.cache[m.Name]
+	d.mu.Unlock()
+	cached := ok
+	if !ok {
+		qm, err := nn.QuantizeModel(m, params, in)
+		if err != nil {
+			return nil, fmt.Errorf("runtime: quantizing %s: %w", m.Name, err)
+		}
+		d.mu.Lock()
+		base := d.weightNext
+		d.mu.Unlock()
+		art, err := compiler.Compile(qm, compiler.Options{Allocator: compiler.Reuse, WeightBase: base})
+		if err != nil {
+			return nil, fmt.Errorf("runtime: compiling %s: %w", m.Name, err)
+		}
+		d.mu.Lock()
+		d.weightNext = base + uint64(len(art.Program.WeightImage))
+		d.mu.Unlock()
+		dev, err := tpu.New(d.cfg)
+		if err != nil {
+			return nil, err
+		}
+		e = &entry{art: art, qm: qm, dev: dev}
+		d.mu.Lock()
+		d.cache[m.Name] = e
+		d.Compilations++
+		d.mu.Unlock()
+	}
+
+	qin := e.qm.QuantizeInput(in)
+	host, err := compiler.PackInput(e.art, qin)
+	if err != nil {
+		return nil, err
+	}
+	c, err := e.dev.Run(e.art.Program, host)
+	if err != nil {
+		return nil, fmt.Errorf("runtime: running %s: %w", m.Name, err)
+	}
+	qout, err := compiler.UnpackOutput(e.art, host)
+	if err != nil {
+		return nil, err
+	}
+	return &InferenceResult{
+		Output:        e.qm.DequantizeOutput(qout),
+		Counters:      c,
+		DeviceSeconds: c.Seconds(d.cfg.ClockMHz),
+		Cached:        cached,
+	}, nil
+}
+
+// Invalidate drops a cached program (e.g. after retraining).
+func (d *Driver) Invalidate(modelName string) {
+	d.mu.Lock()
+	delete(d.cache, modelName)
+	d.mu.Unlock()
+}
+
+// Server is one datacenter server: a host plus several TPUs behind it (4
+// in the benchmarked configuration), dispatching batches round robin.
+type Server struct {
+	drivers []*Driver
+	next    int
+	mu      sync.Mutex
+}
+
+// NewServer builds a server with n TPUs.
+func NewServer(n int, cfg tpu.Config) (*Server, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("runtime: server needs at least one TPU, got %d", n)
+	}
+	s := &Server{}
+	for i := 0; i < n; i++ {
+		dr, err := NewDriver(cfg)
+		if err != nil {
+			return nil, err
+		}
+		s.drivers = append(s.drivers, dr)
+	}
+	return s, nil
+}
+
+// Devices returns the TPU count.
+func (s *Server) Devices() int { return len(s.drivers) }
+
+// Run dispatches a batch to the next device round robin.
+func (s *Server) Run(m *nn.Model, params *nn.Params, in *tensor.F32) (*InferenceResult, error) {
+	s.mu.Lock()
+	d := s.drivers[s.next]
+	s.next = (s.next + 1) % len(s.drivers)
+	s.mu.Unlock()
+	return d.Run(m, params, in)
+}

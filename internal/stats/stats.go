@@ -1,0 +1,135 @@
+// Package stats provides the summary statistics the paper's evaluation
+// uses: geometric and weighted means (Table 6, Figure 9), percentiles
+// (Table 4's 99th-percentile response times), and simple histograms for the
+// load-bucket analysis of Figure 10.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// GeometricMean returns the geometric mean of strictly positive values.
+// Architects use it "when they don't know the actual mix of programs that
+// will be run" (Section 4).
+func GeometricMean(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, fmt.Errorf("stats: geometric mean of empty slice")
+	}
+	sum := 0.0
+	for _, x := range xs {
+		if x <= 0 {
+			return 0, fmt.Errorf("stats: geometric mean needs positive values, got %v", x)
+		}
+		sum += math.Log(x)
+	}
+	return math.Exp(sum / float64(len(xs))), nil
+}
+
+// WeightedMean returns the arithmetic mean of xs weighted by ws. The paper's
+// weighted mean (Table 6 "WM") uses the actual deployment mix of Table 1.
+func WeightedMean(xs, ws []float64) (float64, error) {
+	if len(xs) == 0 || len(xs) != len(ws) {
+		return 0, fmt.Errorf("stats: weighted mean needs equal non-empty slices, got %d and %d", len(xs), len(ws))
+	}
+	var num, den float64
+	for i := range xs {
+		if ws[i] < 0 {
+			return 0, fmt.Errorf("stats: negative weight %v", ws[i])
+		}
+		num += xs[i] * ws[i]
+		den += ws[i]
+	}
+	if den == 0 {
+		return 0, fmt.Errorf("stats: weights sum to zero")
+	}
+	return num / den, nil
+}
+
+// Percentile returns the p-th percentile (0 <= p <= 100) of xs using linear
+// interpolation between closest ranks. xs need not be sorted.
+func Percentile(xs []float64, p float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, fmt.Errorf("stats: percentile of empty slice")
+	}
+	if p < 0 || p > 100 {
+		return 0, fmt.Errorf("stats: percentile %v out of [0, 100]", p)
+	}
+	s := make([]float64, len(xs))
+	copy(s, xs)
+	sort.Float64s(s)
+	if len(s) == 1 {
+		return s[0], nil
+	}
+	rank := p / 100 * float64(len(s)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return s[lo], nil
+	}
+	frac := rank - float64(lo)
+	return s[lo]*(1-frac) + s[hi]*frac, nil
+}
+
+// Mean returns the arithmetic mean.
+func Mean(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, fmt.Errorf("stats: mean of empty slice")
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs)), nil
+}
+
+// Histogram buckets values into n equal-width bins over [lo, hi]. Values
+// outside the range clamp into the end bins, matching how utilization
+// measurements are "collected in buckets of 10% delta of workload".
+type Histogram struct {
+	Lo, Hi float64
+	Counts []int
+}
+
+// NewHistogram creates an n-bin histogram over [lo, hi].
+func NewHistogram(lo, hi float64, n int) (*Histogram, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("stats: histogram needs positive bin count, got %d", n)
+	}
+	if !(hi > lo) {
+		return nil, fmt.Errorf("stats: histogram range [%v, %v] is empty", lo, hi)
+	}
+	return &Histogram{Lo: lo, Hi: hi, Counts: make([]int, n)}, nil
+}
+
+// Add records one observation.
+func (h *Histogram) Add(x float64) {
+	n := len(h.Counts)
+	i := int(float64(n) * (x - h.Lo) / (h.Hi - h.Lo))
+	if i < 0 {
+		i = 0
+	}
+	if i >= n {
+		i = n - 1
+	}
+	h.Counts[i]++
+}
+
+// Total returns the number of recorded observations.
+func (h *Histogram) Total() int {
+	t := 0
+	for _, c := range h.Counts {
+		t += c
+	}
+	return t
+}
+
+// Fraction returns the fraction of observations in bin i.
+func (h *Histogram) Fraction(i int) float64 {
+	t := h.Total()
+	if t == 0 {
+		return 0
+	}
+	return float64(h.Counts[i]) / float64(t)
+}

@@ -1,0 +1,52 @@
+package systolic
+
+import (
+	"testing"
+
+	"tpusim/internal/isa"
+)
+
+func benchArray(b *testing.B) *Array {
+	b.Helper()
+	a := New()
+	tile := &Tile{}
+	for r := 0; r < isa.MatrixDim; r++ {
+		for c := 0; c < isa.MatrixDim; c++ {
+			tile.W[r][c] = int8(r ^ c)
+		}
+	}
+	a.LoadShadow(tile)
+	a.Commit()
+	return a
+}
+
+// BenchmarkMulRow measures one 256-wide systolic row (65,536 MACs).
+func BenchmarkMulRow(b *testing.B) {
+	a := benchArray(b)
+	var in [isa.MatrixDim]int8
+	for i := range in {
+		in[i] = int8(i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := a.MulRow(&in); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(isa.MatrixDim)
+}
+
+// BenchmarkMultiplyBatch measures a 64-row matmul through the array.
+func BenchmarkMultiplyBatch(b *testing.B) {
+	a := benchArray(b)
+	in := make([]int8, 64*isa.MatrixDim)
+	for i := range in {
+		in[i] = int8(i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := a.Multiply(in); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,187 @@
+// Package systolic implements the TPU's 256x256 matrix multiply unit as a
+// weight-stationary systolic array (Figure 4). Weights are preloaded from
+// the top into a tile; activations flow in from the left; a 256-element
+// multiply-accumulate moves through the array as a diagonal wavefront and
+// emerges as one 256-wide 32-bit partial sum per clock cycle.
+//
+// "From a correctness perspective, software is unaware of the systolic
+// nature of the matrix unit, but for performance, it does worry about the
+// latency of the unit." Correspondingly the package exposes a functional
+// result identical to a plain matmul plus the cycle costs the timing
+// simulator charges: B pipelined cycles per B-row operation, a 256-cycle
+// tile shift, and the wavefront fill latency.
+package systolic
+
+import (
+	"fmt"
+
+	"tpusim/internal/isa"
+)
+
+// Tile is one 256x256 weight tile, stored as [row][col]: row indexes the
+// input (contraction) dimension, col the output dimension.
+type Tile struct {
+	W [isa.MatrixDim][isa.MatrixDim]int8
+}
+
+// TileFromBytes builds a tile from the 64 KiB row-major layout Weight
+// Memory delivers.
+func TileFromBytes(b []int8) (*Tile, error) {
+	if len(b) != isa.WeightTileBytes {
+		return nil, fmt.Errorf("systolic: tile is %d bytes, want %d", len(b), isa.WeightTileBytes)
+	}
+	t := &Tile{}
+	for r := 0; r < isa.MatrixDim; r++ {
+		copy(t.W[r][:], b[r*isa.MatrixDim:(r+1)*isa.MatrixDim])
+	}
+	return t, nil
+}
+
+// Bytes serializes the tile back to the Weight Memory layout.
+func (t *Tile) Bytes() []int8 {
+	out := make([]int8, isa.WeightTileBytes)
+	for r := 0; r < isa.MatrixDim; r++ {
+		copy(out[r*isa.MatrixDim:], t.W[r][:])
+	}
+	return out
+}
+
+// Array is the matrix unit: an active tile computing and a shadow tile
+// being shifted in behind it ("The matrix unit holds one 64 KiB tile of
+// weights plus one for double-buffering, to hide the 256 cycles it takes to
+// shift a tile in").
+type Array struct {
+	active *Tile
+	shadow *Tile
+}
+
+// New returns an array with no weights loaded.
+func New() *Array { return &Array{} }
+
+// LoadShadow begins shifting a tile into the double buffer.
+func (a *Array) LoadShadow(t *Tile) error {
+	if t == nil {
+		return fmt.Errorf("systolic: nil tile")
+	}
+	if a.shadow != nil {
+		return fmt.Errorf("systolic: shadow buffer already occupied")
+	}
+	a.shadow = t
+	return nil
+}
+
+// Commit completes the shift: the shadow tile becomes active. The timing
+// simulator charges ShiftCycles for this unless it overlapped with prior
+// computation.
+func (a *Array) Commit() error {
+	if a.shadow == nil {
+		return fmt.Errorf("systolic: no shadow tile to commit")
+	}
+	a.active = a.shadow
+	a.shadow = nil
+	return nil
+}
+
+// HasActive reports whether a weight tile is resident.
+func (a *Array) HasActive() bool { return a.active != nil }
+
+// MulRow pushes one 256-wide activation row through the array, producing
+// the 256-wide partial-sum row the accumulators receive. The systolic
+// wavefront is functionally equivalent to this dot-product-per-column.
+func (a *Array) MulRow(in *[isa.MatrixDim]int8) (*[isa.MatrixDim]int32, error) {
+	if a.active == nil {
+		return nil, fmt.Errorf("systolic: no active weight tile")
+	}
+	var out [isa.MatrixDim]int32
+	for r := 0; r < isa.MatrixDim; r++ {
+		v := int32(in[r])
+		if v == 0 {
+			continue
+		}
+		w := &a.active.W[r]
+		for c := 0; c < isa.MatrixDim; c++ {
+			out[c] += v * int32(w[c])
+		}
+	}
+	return &out, nil
+}
+
+// Multiply pushes B rows (flat, B*256 int8) through the array, returning
+// B 256-wide partial sums. It is the functional body of one MatrixMultiply
+// instruction against the active tile.
+func (a *Array) Multiply(in []int8) ([][isa.MatrixDim]int32, error) {
+	if len(in)%isa.MatrixDim != 0 {
+		return nil, fmt.Errorf("systolic: input length %d not a multiple of %d", len(in), isa.MatrixDim)
+	}
+	b := len(in) / isa.MatrixDim
+	out := make([][isa.MatrixDim]int32, b)
+	var row [isa.MatrixDim]int8
+	for i := 0; i < b; i++ {
+		copy(row[:], in[i*isa.MatrixDim:(i+1)*isa.MatrixDim])
+		sum, err := a.MulRow(&row)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = *sum
+	}
+	return out, nil
+}
+
+// SpeedMode is the precision-dependent throughput of the MACs.
+type SpeedMode int
+
+const (
+	// Full is 8-bit weights and activations: one row per cycle.
+	Full SpeedMode = 1
+	// Half is a mix of 8- and 16-bit operands: "the Matrix Unit computes
+	// at half-speed".
+	Half SpeedMode = 2
+	// Quarter is 16-bit weights and activations.
+	Quarter SpeedMode = 4
+)
+
+// ModeFor maps instruction precision flags to a speed mode.
+func ModeFor(flags uint16) SpeedMode {
+	w16 := flags&isa.FlagWeights16 != 0
+	a16 := flags&isa.FlagActs16 != 0
+	switch {
+	case w16 && a16:
+		return Quarter
+	case w16 || a16:
+		return Half
+	default:
+		return Full
+	}
+}
+
+// ComputeCycles returns the pipelined cycle cost of pushing b rows through
+// the array: "A matrix operation takes a variable-sized B*256 input ...
+// taking B pipelined cycles to complete."
+func ComputeCycles(b int, mode SpeedMode) int64 {
+	return int64(b) * int64(mode)
+}
+
+// ShiftCycles is the cost of shifting one weight tile into the array.
+func ShiftCycles() int64 { return isa.MatrixDim }
+
+// FillLatency is the wavefront fill/drain latency: a result is not visible
+// until the diagonal wave crosses the array (2*256-1 stages). It matters
+// for RAW hazards between a MatrixMultiply and a dependent Activate.
+func FillLatency() int64 { return 2*isa.MatrixDim - 1 }
+
+// Utilization reports the fraction of the 64K MACs doing useful work for an
+// operand using rows of the contraction dimension and cols of the output
+// dimension — Table 3's "useful MACs" analysis. Shallow feature depths in
+// CNN1 leave about half the array idle.
+func Utilization(rows, cols int) float64 {
+	if rows <= 0 || cols <= 0 {
+		return 0
+	}
+	if rows > isa.MatrixDim {
+		rows = isa.MatrixDim
+	}
+	if cols > isa.MatrixDim {
+		cols = isa.MatrixDim
+	}
+	return float64(rows*cols) / float64(isa.MatrixDim*isa.MatrixDim)
+}

@@ -1,0 +1,204 @@
+package tensor
+
+import "fmt"
+
+// MatMulF32 computes out = a (BxK) * w (KxN) in float32. It is the reference
+// kernel the quantized systolic datapath is validated against.
+func MatMulF32(a, w *F32) (*F32, error) {
+	if len(a.Shape) != 2 || len(w.Shape) != 2 {
+		return nil, fmt.Errorf("tensor: MatMulF32 needs rank-2 operands, got %v x %v", a.Shape, w.Shape)
+	}
+	b, k := a.Shape[0], a.Shape[1]
+	k2, n := w.Shape[0], w.Shape[1]
+	if k != k2 {
+		return nil, fmt.Errorf("tensor: inner dimensions disagree: %d vs %d", k, k2)
+	}
+	out := NewF32(b, n)
+	for i := 0; i < b; i++ {
+		arow := a.Data[i*k : (i+1)*k]
+		orow := out.Data[i*n : (i+1)*n]
+		for kk := 0; kk < k; kk++ {
+			av := arow[kk]
+			if av == 0 {
+				continue
+			}
+			wrow := w.Data[kk*n : (kk+1)*n]
+			for j := 0; j < n; j++ {
+				orow[j] += av * wrow[j]
+			}
+		}
+	}
+	return out, nil
+}
+
+// MatMulI8 computes the int32 accumulator result of an int8 matmul, the
+// arithmetic the matrix unit performs: 8-bit multiplies summed into 32-bit
+// accumulators.
+func MatMulI8(a, w *I8) (*I32, error) {
+	if len(a.Shape) != 2 || len(w.Shape) != 2 {
+		return nil, fmt.Errorf("tensor: MatMulI8 needs rank-2 operands, got %v x %v", a.Shape, w.Shape)
+	}
+	b, k := a.Shape[0], a.Shape[1]
+	k2, n := w.Shape[0], w.Shape[1]
+	if k != k2 {
+		return nil, fmt.Errorf("tensor: inner dimensions disagree: %d vs %d", k, k2)
+	}
+	out := NewI32(b, n)
+	for i := 0; i < b; i++ {
+		arow := a.Data[i*k : (i+1)*k]
+		orow := out.Data[i*n : (i+1)*n]
+		for kk := 0; kk < k; kk++ {
+			av := int32(arow[kk])
+			if av == 0 {
+				continue
+			}
+			wrow := w.Data[kk*n : (kk+1)*n]
+			for j := 0; j < n; j++ {
+				orow[j] += av * int32(wrow[j])
+			}
+		}
+	}
+	return out, nil
+}
+
+// Conv2DShape describes a 2-D convolution: input HxW with Cin channels,
+// square kernel KxK, stride S, "same" zero padding, Cout output channels.
+type Conv2DShape struct {
+	H, W, Cin, K, S, Cout int
+}
+
+// OutH returns the output height under same-padding.
+func (c Conv2DShape) OutH() int { return (c.H + c.S - 1) / c.S }
+
+// OutW returns the output width under same-padding.
+func (c Conv2DShape) OutW() int { return (c.W + c.S - 1) / c.S }
+
+// Weights returns the weight count K*K*Cin*Cout.
+func (c Conv2DShape) Weights() int { return c.K * c.K * c.Cin * c.Cout }
+
+// MACsPerExample returns multiply-accumulates for one input example.
+func (c Conv2DShape) MACsPerExample() int {
+	return c.OutH() * c.OutW() * c.K * c.K * c.Cin * c.Cout
+}
+
+// Conv2DF32 computes a same-padded 2-D convolution in float32. Input is
+// [N, H, W, Cin], weights are [K, K, Cin, Cout], output is [N, OH, OW, Cout].
+func Conv2DF32(in, w *F32, cs Conv2DShape) (*F32, error) {
+	wantIn := Shape{in.Shape[0], cs.H, cs.W, cs.Cin}
+	if len(in.Shape) != 4 || !in.Shape.Equal(wantIn) {
+		return nil, fmt.Errorf("tensor: conv input shape %v, want %v", in.Shape, wantIn)
+	}
+	wantW := Shape{cs.K, cs.K, cs.Cin, cs.Cout}
+	if !w.Shape.Equal(wantW) {
+		return nil, fmt.Errorf("tensor: conv weight shape %v, want %v", w.Shape, wantW)
+	}
+	n := in.Shape[0]
+	oh, ow := cs.OutH(), cs.OutW()
+	out := NewF32(n, oh, ow, cs.Cout)
+	pad := (cs.K - 1) / 2
+	for img := 0; img < n; img++ {
+		for oy := 0; oy < oh; oy++ {
+			for ox := 0; ox < ow; ox++ {
+				for ky := 0; ky < cs.K; ky++ {
+					iy := oy*cs.S + ky - pad
+					if iy < 0 || iy >= cs.H {
+						continue
+					}
+					for kx := 0; kx < cs.K; kx++ {
+						ix := ox*cs.S + kx - pad
+						if ix < 0 || ix >= cs.W {
+							continue
+						}
+						inBase := ((img*cs.H+iy)*cs.W + ix) * cs.Cin
+						outBase := ((img*oh+oy)*ow + ox) * cs.Cout
+						for ci := 0; ci < cs.Cin; ci++ {
+							v := in.Data[inBase+ci]
+							if v == 0 {
+								continue
+							}
+							wBase := ((ky*cs.K+kx)*cs.Cin + ci) * cs.Cout
+							for co := 0; co < cs.Cout; co++ {
+								out.Data[outBase+co] += v * w.Data[wBase+co]
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// MaxPool2DF32 computes max pooling with window P and stride P over a
+// [N, H, W, C] tensor. The TPU performs pooling in the hardware adjacent to
+// the activation unit.
+func MaxPool2DF32(in *F32, p int) (*F32, error) {
+	if len(in.Shape) != 4 {
+		return nil, fmt.Errorf("tensor: pool input must be rank 4, got %v", in.Shape)
+	}
+	n, h, w, c := in.Shape[0], in.Shape[1], in.Shape[2], in.Shape[3]
+	if p <= 0 || h%p != 0 || w%p != 0 {
+		return nil, fmt.Errorf("tensor: pool window %d does not tile %dx%d", p, h, w)
+	}
+	oh, ow := h/p, w/p
+	out := NewF32(n, oh, ow, c)
+	for img := 0; img < n; img++ {
+		for oy := 0; oy < oh; oy++ {
+			for ox := 0; ox < ow; ox++ {
+				for ch := 0; ch < c; ch++ {
+					best := in.Data[((img*h+oy*p)*w+ox*p)*c+ch]
+					for dy := 0; dy < p; dy++ {
+						for dx := 0; dx < p; dx++ {
+							v := in.Data[((img*h+oy*p+dy)*w+ox*p+dx)*c+ch]
+							if v > best {
+								best = v
+							}
+						}
+					}
+					out.Data[((img*oh+oy)*ow+ox)*c+ch] = best
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// Im2Col lowers a same-padded convolution input [N,H,W,Cin] into the matrix
+// [N*OH*OW, K*K*Cin] whose matmul with reshaped weights equals the
+// convolution. This is exactly how the TPU's matrix unit "can perform either
+// a matrix multiply or a convolution": convolution is a matmul over patches.
+func Im2Col(in *F32, cs Conv2DShape) (*F32, error) {
+	wantIn := Shape{in.Shape[0], cs.H, cs.W, cs.Cin}
+	if len(in.Shape) != 4 || !in.Shape.Equal(wantIn) {
+		return nil, fmt.Errorf("tensor: im2col input shape %v, want %v", in.Shape, wantIn)
+	}
+	n := in.Shape[0]
+	oh, ow := cs.OutH(), cs.OutW()
+	patch := cs.K * cs.K * cs.Cin
+	out := NewF32(n*oh*ow, patch)
+	pad := (cs.K - 1) / 2
+	row := 0
+	for img := 0; img < n; img++ {
+		for oy := 0; oy < oh; oy++ {
+			for ox := 0; ox < ow; ox++ {
+				dst := out.Data[row*patch : (row+1)*patch]
+				idx := 0
+				for ky := 0; ky < cs.K; ky++ {
+					iy := oy*cs.S + ky - pad
+					for kx := 0; kx < cs.K; kx++ {
+						ix := ox*cs.S + kx - pad
+						if iy < 0 || iy >= cs.H || ix < 0 || ix >= cs.W {
+							idx += cs.Cin
+							continue
+						}
+						src := in.Data[((img*cs.H+iy)*cs.W+ix)*cs.Cin : ((img*cs.H+iy)*cs.W+ix+1)*cs.Cin]
+						copy(dst[idx:idx+cs.Cin], src)
+						idx += cs.Cin
+					}
+				}
+				row++
+			}
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,166 @@
+package tensor
+
+import (
+	"math"
+	"testing"
+)
+
+func TestConv2DShapeDerived(t *testing.T) {
+	cs := Conv2DShape{H: 19, W: 19, Cin: 256, K: 3, S: 1, Cout: 256}
+	if cs.OutH() != 19 || cs.OutW() != 19 {
+		t.Errorf("same-padding stride-1 output = %dx%d, want 19x19", cs.OutH(), cs.OutW())
+	}
+	if got, want := cs.Weights(), 3*3*256*256; got != want {
+		t.Errorf("Weights = %d, want %d", got, want)
+	}
+	if got, want := cs.MACsPerExample(), 19*19*3*3*256*256; got != want {
+		t.Errorf("MACsPerExample = %d, want %d", got, want)
+	}
+	cs2 := Conv2DShape{H: 10, W: 10, Cin: 1, K: 3, S: 2, Cout: 1}
+	if cs2.OutH() != 5 || cs2.OutW() != 5 {
+		t.Errorf("stride-2 output = %dx%d, want 5x5", cs2.OutH(), cs2.OutW())
+	}
+}
+
+func TestConv2DF32Identity(t *testing.T) {
+	// 1x1 kernel with weight 1.0 must reproduce the input.
+	cs := Conv2DShape{H: 4, W: 4, Cin: 1, K: 1, S: 1, Cout: 1}
+	in := NewF32(1, 4, 4, 1)
+	in.FillRandom(1, 1)
+	w := NewF32(1, 1, 1, 1)
+	w.Data[0] = 1
+	out, err := Conv2DF32(in, w, cs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range in.Data {
+		if out.Data[i] != in.Data[i] {
+			t.Fatalf("identity conv diverged at %d: %v vs %v", i, out.Data[i], in.Data[i])
+		}
+	}
+}
+
+func TestConv2DF32Known3x3(t *testing.T) {
+	// A 3x3 all-ones kernel over an all-ones 3x3 image sums the in-bounds
+	// neighborhood: 4 at corners, 6 at edges, 9 at center.
+	cs := Conv2DShape{H: 3, W: 3, Cin: 1, K: 3, S: 1, Cout: 1}
+	in := NewF32(1, 3, 3, 1)
+	for i := range in.Data {
+		in.Data[i] = 1
+	}
+	w := NewF32(3, 3, 1, 1)
+	for i := range w.Data {
+		w.Data[i] = 1
+	}
+	out, err := Conv2DF32(in, w, cs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float32{4, 6, 4, 6, 9, 6, 4, 6, 4}
+	for i, v := range want {
+		if out.Data[i] != v {
+			t.Errorf("out[%d] = %v, want %v", i, out.Data[i], v)
+		}
+	}
+}
+
+func TestConv2DF32ShapeErrors(t *testing.T) {
+	cs := Conv2DShape{H: 3, W: 3, Cin: 1, K: 3, S: 1, Cout: 1}
+	if _, err := Conv2DF32(NewF32(1, 4, 4, 1), NewF32(3, 3, 1, 1), cs); err == nil {
+		t.Error("wrong input shape accepted")
+	}
+	if _, err := Conv2DF32(NewF32(1, 3, 3, 1), NewF32(1, 1, 1, 1), cs); err == nil {
+		t.Error("wrong weight shape accepted")
+	}
+}
+
+func TestMaxPool2DF32(t *testing.T) {
+	in := NewF32(1, 2, 2, 1)
+	copy(in.Data, []float32{1, 5, 3, 2})
+	out, err := MaxPool2DF32(in, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Data[0] != 5 {
+		t.Errorf("pool = %v, want 5", out.Data[0])
+	}
+	if !out.Shape.Equal(Shape{1, 1, 1, 1}) {
+		t.Errorf("pool shape = %v", out.Shape)
+	}
+}
+
+func TestMaxPool2DErrors(t *testing.T) {
+	if _, err := MaxPool2DF32(NewF32(2, 2), 2); err == nil {
+		t.Error("rank-2 input accepted")
+	}
+	if _, err := MaxPool2DF32(NewF32(1, 3, 3, 1), 2); err == nil {
+		t.Error("non-tiling window accepted")
+	}
+}
+
+func TestIm2ColMatchesDirectConv(t *testing.T) {
+	// The im2col lowering (what the TPU's MatrixMultiply/Convolve
+	// instruction implements) must agree with direct convolution.
+	cs := Conv2DShape{H: 5, W: 5, Cin: 3, K: 3, S: 1, Cout: 4}
+	in := NewF32(2, 5, 5, 3)
+	in.FillRandom(11, 1)
+	w := NewF32(3, 3, 3, 4)
+	w.FillRandom(12, 1)
+
+	direct, err := Conv2DF32(in, w, cs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cols, err := Im2Col(in, cs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wmat := &F32{Shape: Shape{cs.K * cs.K * cs.Cin, cs.Cout}, Data: w.Data}
+	viaMatmul, err := MatMulF32(cols, wmat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(viaMatmul.Data) != len(direct.Data) {
+		t.Fatalf("size mismatch: %d vs %d", len(viaMatmul.Data), len(direct.Data))
+	}
+	for i := range direct.Data {
+		if d := math.Abs(float64(viaMatmul.Data[i] - direct.Data[i])); d > 1e-4 {
+			t.Fatalf("im2col diverges from direct conv at %d: %v vs %v",
+				i, viaMatmul.Data[i], direct.Data[i])
+		}
+	}
+}
+
+func TestIm2ColStride2(t *testing.T) {
+	cs := Conv2DShape{H: 6, W: 6, Cin: 2, K: 3, S: 2, Cout: 3}
+	in := NewF32(1, 6, 6, 2)
+	in.FillRandom(5, 1)
+	w := NewF32(3, 3, 2, 3)
+	w.FillRandom(6, 1)
+	direct, err := Conv2DF32(in, w, cs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cols, err := Im2Col(in, cs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wmat := &F32{Shape: Shape{cs.K * cs.K * cs.Cin, cs.Cout}, Data: w.Data}
+	viaMatmul, err := MatMulF32(cols, wmat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range direct.Data {
+		if d := math.Abs(float64(viaMatmul.Data[i] - direct.Data[i])); d > 1e-4 {
+			t.Fatalf("stride-2 im2col diverges at %d", i)
+		}
+	}
+}
+
+func TestIm2ColBadShape(t *testing.T) {
+	cs := Conv2DShape{H: 5, W: 5, Cin: 3, K: 3, S: 1, Cout: 4}
+	if _, err := Im2Col(NewF32(1, 4, 4, 3), cs); err == nil {
+		t.Error("wrong shape accepted")
+	}
+}

@@ -1,0 +1,228 @@
+package tpu
+
+import (
+	"fmt"
+
+	"tpusim/internal/fixed"
+	"tpusim/internal/isa"
+)
+
+// matmulData executes the functional side of a MatrixMultiply: read rows
+// from the Unified Buffer (directly for FC, via the convolution gather for
+// Convolve), push them through the systolic array, and store partial sums
+// into the accumulators.
+func (d *Device) matmulData(in *isa.Instruction, rows, usedRows int) error {
+	accumulate := in.Flags&isa.FlagAccumulate != 0
+	if int(in.AccAddr)+rows > isa.AccumulatorCount {
+		return fmt.Errorf("matmul writes accumulators %d..%d beyond %d", in.AccAddr, int(in.AccAddr)+rows, isa.AccumulatorCount)
+	}
+	var rowBuf [isa.MatrixDim]int8
+	for i := 0; i < rows; i++ {
+		for j := range rowBuf {
+			rowBuf[j] = 0
+		}
+		if in.Flags&isa.FlagConvolve != 0 {
+			if err := d.convGather(in.UBAddr, i, usedRows, &rowBuf); err != nil {
+				return err
+			}
+		} else {
+			stride := d.regs[isa.RegMatStride]
+			if stride == 0 {
+				stride = isa.MatrixDim
+			}
+			src, err := d.ub.View(in.UBAddr+uint32(i)*stride+d.regs[isa.RegMatSrcOff], usedRows)
+			if err != nil {
+				return err
+			}
+			copy(rowBuf[:usedRows], src)
+		}
+		sum, err := d.arr.MulRow(&rowBuf)
+		if err != nil {
+			return err
+		}
+		if err := d.acc.Store(int(in.AccAddr)+i, sum, accumulate); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// convGather builds one 256-wide systolic input row for a convolution: the
+// slice [rowTile*256, rowTile*256+usedRows) of the im2col patch vector for
+// output position (chunkStart + row), gathered from the [B, H, W, Cin]
+// input tensor at base with same-style zero padding. This is the on-chip
+// address generation that lets the matrix unit "perform either a matrix
+// multiply or a convolution".
+func (d *Device) convGather(base uint32, row, usedRows int, out *[isa.MatrixDim]int8) error {
+	h := int(d.regs[isa.RegConvH])
+	w := int(d.regs[isa.RegConvW])
+	cin := int(d.regs[isa.RegConvCin])
+	k := int(d.regs[isa.RegConvK])
+	s := int(d.regs[isa.RegConvS])
+	if h <= 0 || w <= 0 || cin <= 0 || k <= 0 || s <= 0 {
+		return fmt.Errorf("convolve with unset geometry registers (H=%d W=%d Cin=%d K=%d S=%d)", h, w, cin, k, s)
+	}
+	rowTile := int(d.regs[isa.RegConvRowTile])
+	chunkStart := int(d.regs[isa.RegConvChunkStart])
+	oh := (h + s - 1) / s
+	ow := (w + s - 1) / s
+	pad := (k - 1) / 2
+
+	flat := chunkStart + row
+	img := flat / (oh * ow)
+	rem := flat % (oh * ow)
+	oy := rem / ow
+	ox := rem % ow
+
+	for j := 0; j < usedRows; j++ {
+		patchIdx := rowTile*isa.MatrixDim + j
+		ky := patchIdx / (k * cin)
+		kx := (patchIdx / cin) % k
+		ci := patchIdx % cin
+		if ky >= k {
+			break // beyond the patch: zero padding rows of the edge tile
+		}
+		iy := oy*s + ky - pad
+		ix := ox*s + kx - pad
+		if iy < 0 || iy >= h || ix < 0 || ix >= w {
+			continue // spatial zero padding
+		}
+		addr := base + uint32(((img*h+iy)*w+ix)*cin+ci)
+		v, err := d.ub.View(addr, 1)
+		if err != nil {
+			return err
+		}
+		out[j] = v[0]
+	}
+	return nil
+}
+
+// activateData executes the functional side of an Activate: requantize and
+// apply the nonlinearity table, moving data from the accumulators (matmul
+// epilogue) or from the Unified Buffer (standalone vector layers) into the
+// Unified Buffer.
+func (d *Device) activateData(in *isa.Instruction, fromUB bool) error {
+	if int(in.Func) >= len(d.prog.ActTable) {
+		return fmt.Errorf("activate func %d outside ActTable (%d entries)", in.Func, len(d.prog.ActTable))
+	}
+	meta := d.prog.ActTable[in.Func]
+	if meta.Lut == nil {
+		return fmt.Errorf("activate func %d has no lookup table", in.Func)
+	}
+
+	if fromUB {
+		return d.activateVector(in, meta)
+	}
+
+	rows := int(in.Len)
+	cols := int(d.regs[isa.RegActCols])
+	if cols == 0 || cols > isa.MatrixDim {
+		cols = isa.MatrixDim
+	}
+	stride := d.regs[isa.RegActStride]
+	if stride == 0 {
+		stride = uint32(cols)
+	}
+	colOff := d.regs[isa.RegActColOff]
+	outRow := make([]int8, cols)
+	for i := 0; i < rows; i++ {
+		acc, err := d.acc.Load(int(in.AccAddr) + i)
+		if err != nil {
+			return err
+		}
+		for j := 0; j < cols; j++ {
+			pre := fixed.Requantize(acc[j], meta.SrcScale, meta.Pre)
+			outRow[j] = meta.Lut.Lookup(pre)
+		}
+		if err := d.ub.Write(in.UBAddr+uint32(i)*stride+colOff, outRow); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// activateVector implements the standalone elementwise layers routed
+// through the activation hardware: out = LUT(requant(src op operand)), or
+// spatial max pooling when FlagPool is set.
+func (d *Device) activateVector(in *isa.Instruction, meta isa.ActMeta) error {
+	if in.Flags&isa.FlagPool != 0 {
+		return d.activatePool(in)
+	}
+	n := int(in.Len)
+	src, err := d.ub.View(d.regs[isa.RegVecSrc], n)
+	if err != nil {
+		return err
+	}
+	width := int(d.regs[isa.RegActCols])
+	var operand []int8
+	if in.Flags&(isa.FlagVecScale|isa.FlagVecBias) != 0 {
+		if width <= 0 {
+			return fmt.Errorf("vector activate needs operand width in RegActCols")
+		}
+		operand, err = d.ub.View(d.regs[isa.RegVecOperand], width)
+		if err != nil {
+			return err
+		}
+	}
+	out := make([]int8, n)
+	for i := 0; i < n; i++ {
+		var acc int32
+		switch {
+		case in.Flags&isa.FlagVecScale != 0:
+			acc = int32(src[i]) * int32(operand[i%width])
+		case in.Flags&isa.FlagVecBias != 0:
+			acc = fixed.SatAdd32(int32(src[i]), int32(operand[i%width]))
+		default:
+			acc = int32(src[i])
+		}
+		out[i] = meta.Lut.Lookup(fixed.Requantize(acc, meta.SrcScale, meta.Pre))
+	}
+	return d.ub.Write(in.UBAddr, out)
+}
+
+// activatePool performs max pooling over a raw [B, H, W, C] buffer using
+// the dedicated pooling hardware next to the activation unit. Len is the
+// total input element count; geometry comes from the convolution registers.
+func (d *Device) activatePool(in *isa.Instruction) error {
+	h := int(d.regs[isa.RegConvH])
+	w := int(d.regs[isa.RegConvW])
+	c := int(d.regs[isa.RegConvCin])
+	p := int(in.Pool)
+	if h <= 0 || w <= 0 || c <= 0 || p <= 1 {
+		return fmt.Errorf("pool with unset geometry (H=%d W=%d C=%d P=%d)", h, w, c, p)
+	}
+	if h%p != 0 || w%p != 0 {
+		return fmt.Errorf("pool window %d does not tile %dx%d", p, h, w)
+	}
+	per := h * w * c
+	n := int(in.Len)
+	if n%per != 0 {
+		return fmt.Errorf("pool input %d elems not a multiple of %d", n, per)
+	}
+	batch := n / per
+	src, err := d.ub.View(d.regs[isa.RegVecSrc], n)
+	if err != nil {
+		return err
+	}
+	oh, ow := h/p, w/p
+	out := make([]int8, batch*oh*ow*c)
+	for img := 0; img < batch; img++ {
+		for oy := 0; oy < oh; oy++ {
+			for ox := 0; ox < ow; ox++ {
+				for ch := 0; ch < c; ch++ {
+					best := src[((img*h+oy*p)*w+ox*p)*c+ch]
+					for dy := 0; dy < p; dy++ {
+						for dx := 0; dx < p; dx++ {
+							v := src[((img*h+oy*p+dy)*w+ox*p+dx)*c+ch]
+							if v > best {
+								best = v
+							}
+						}
+					}
+					out[((img*oh+oy)*ow+ox)*c+ch] = best
+				}
+			}
+		}
+	}
+	return d.ub.Write(in.UBAddr, out)
+}

@@ -1,0 +1,455 @@
+// Package tpu implements the TPU device simulator: a functional model that
+// really executes quantized inference through the systolic matrix unit,
+// accumulators, activation unit and Unified Buffer, and a deterministic
+// cycle-level timing model layered over the same instruction stream,
+// exposing the performance counters behind Table 3.
+//
+// The microarchitectural events modeled follow Section 2:
+//
+//   - weight tiles stream from Weight Memory (34 GB/s DDR3) through a
+//     four-tile FIFO, then shift into the matrix unit's double buffer
+//     (256 cycles, overlappable with computation);
+//   - a MatrixMultiply of B rows occupies the matrix unit for B pipelined
+//     cycles (x2 or x4 for 16-bit operands);
+//   - Activate drains accumulators through the nonlinearity hardware at
+//     256 values per cycle;
+//   - Sync instructions realize the "delay slot" where the matrix unit
+//     waits for explicit synchronization before reading the Unified
+//     Buffer, attributed to RAW or PCIe-input stalls;
+//   - Read_Weights follows decoupled access/execute: it retires after
+//     posting its address, and the matrix unit stalls only if data is not
+//     ready when needed.
+package tpu
+
+import (
+	"fmt"
+	"math"
+
+	"tpusim/internal/isa"
+	"tpusim/internal/memory"
+	"tpusim/internal/pcie"
+	"tpusim/internal/systolic"
+)
+
+// Config sets the device's physical parameters.
+type Config struct {
+	// ClockMHz is the core clock (700 for the production TPU).
+	ClockMHz float64
+	// WeightGBs is Weight Memory bandwidth (34 for DDR3; ~184 for the
+	// GDDR5 TPU' of Section 7).
+	WeightGBs float64
+	// PCIeGBs is effective host-link bandwidth (PCIe Gen3 x16, ~14 GB/s
+	// sustained).
+	PCIeGBs float64
+	// Functional enables the real datapath (Unified Buffer, systolic
+	// array, accumulators). Timing-only runs skip data movement so that
+	// full-size production models simulate quickly; the cycle accounting
+	// is identical in both modes.
+	Functional bool
+	// IssueCycles is the per-instruction front-end cost; the CISC
+	// instructions' own execution dwarfs it.
+	IssueCycles float64
+	// FIFODepth overrides the weight FIFO depth in tiles (0 means the
+	// production depth of 4). Exposed for the design-ablation study.
+	FIFODepth int
+	// Trace records per-instruction unit-occupancy events retrievable via
+	// Device.Trace after a run.
+	Trace bool
+}
+
+// fifoDepth returns the effective weight FIFO depth.
+func (c Config) fifoDepth() int {
+	if c.FIFODepth > 0 {
+		return c.FIFODepth
+	}
+	return isa.WeightFIFODepth
+}
+
+// DefaultConfig returns the production TPU configuration.
+func DefaultConfig() Config {
+	return Config{ClockMHz: 700, WeightGBs: 34, PCIeGBs: 14, IssueCycles: 4}
+}
+
+// Device is one TPU.
+type Device struct {
+	cfg Config
+
+	// Functional state.
+	ub   *memory.UnifiedBuffer
+	acc  *memory.Accumulators
+	arr  *systolic.Array
+	wm   *memory.WeightMemory
+	regs [isa.RegCount]uint32
+
+	// FIFO state: tile payloads (functional), ready times (timing), and
+	// per-tile metadata, kept in fetch order.
+	fifoTiles [][]int8
+	fifoReady []float64
+	fifoMeta  []isa.TileMeta
+	fetchIdx  int
+	popTimes  []float64
+
+	// Timing state, in cycles.
+	issue       float64
+	dramFree    float64
+	shiftDone   float64
+	matrixFree  float64
+	actFree     float64
+	pcieFree    float64
+	barrier     float64
+	accHalfFree [2]float64
+
+	prog *isa.Program
+	host []int8
+	c    Counters
+
+	trace    []TraceEvent
+	instrIdx int
+	instrOp  isa.Opcode
+
+	// Per-layer profiling: DebugTag markers snapshot the work frontier.
+	profTags  []uint16
+	profMarks []float64
+}
+
+// New creates a device.
+func New(cfg Config) (*Device, error) {
+	if cfg.ClockMHz <= 0 || cfg.WeightGBs <= 0 || cfg.PCIeGBs <= 0 {
+		return nil, fmt.Errorf("tpu: non-positive config parameter: %+v", cfg)
+	}
+	d := &Device{cfg: cfg}
+	if cfg.Functional {
+		d.ub = memory.NewUnifiedBuffer()
+		d.acc = memory.NewAccumulators()
+		d.arr = systolic.New()
+	}
+	return d, nil
+}
+
+// Run executes a program against a host memory buffer (DMA source and
+// destination) and returns the performance counters. The host slice is
+// mutated in place by Write_Host_Memory.
+func (d *Device) Run(p *isa.Program, host []int8) (Counters, error) {
+	if err := p.Validate(); err != nil {
+		return Counters{}, err
+	}
+	if d.cfg.Functional && p.WeightImage == nil {
+		return Counters{}, fmt.Errorf("tpu: functional run requires a weight image")
+	}
+	d.reset()
+	d.prog = p
+	d.host = host
+	var err error
+	d.wm, err = memory.NewWeightMemoryAt(p.WeightImage, d.cfg.WeightGBs, p.WeightBase)
+	if err != nil {
+		return Counters{}, err
+	}
+
+	for i := range p.Instructions {
+		in := &p.Instructions[i]
+		d.instrIdx, d.instrOp = i, in.Op
+		for rep := 0; rep < in.Times(); rep++ {
+			if err := d.exec(in); err != nil {
+				return Counters{}, fmt.Errorf("tpu: instruction %d (%s): %w", i, in, err)
+			}
+			d.c.Instructions++
+			if in.Op == isa.OpHalt {
+				d.finish()
+				return d.c, nil
+			}
+		}
+	}
+	d.finish()
+	return d.c, nil
+}
+
+func (d *Device) reset() {
+	*d = Device{cfg: d.cfg, ub: d.ub, acc: d.acc, arr: d.arr}
+	if d.cfg.Functional {
+		d.ub = memory.NewUnifiedBuffer()
+		d.acc = memory.NewAccumulators()
+		d.arr = systolic.New()
+	}
+}
+
+func (d *Device) finish() {
+	d.c.Cycles = int64(math.Ceil(d.frontier()))
+}
+
+// frontier is the furthest point any functional unit has committed work to
+// — the device's virtual completion time.
+func (d *Device) frontier() float64 {
+	return math.Max(d.issue, math.Max(d.matrixFree, math.Max(d.actFree, math.Max(d.pcieFree, d.dramFree))))
+}
+
+func (d *Device) exec(in *isa.Instruction) error {
+	d.issue += d.cfg.IssueCycles
+	switch in.Op {
+	case isa.OpDebugTag:
+		d.profTags = append(d.profTags, in.Tag)
+		d.profMarks = append(d.profMarks, d.frontier())
+		return nil
+	case isa.OpNop, isa.OpInterruptHost, isa.OpHalt:
+		return nil
+	case isa.OpSetConfig:
+		if int(in.Tag) >= len(d.regs) {
+			return fmt.Errorf("unknown config register %d", in.Tag)
+		}
+		d.regs[in.Tag] = in.Len
+		return nil
+	case isa.OpReadHostMemory, isa.OpReadHostMemoryAlt:
+		return d.execReadHost(in)
+	case isa.OpWriteHostMemory, isa.OpWriteHostMemoryAlt:
+		return d.execWriteHost(in)
+	case isa.OpReadWeights:
+		return d.execReadWeights(in)
+	case isa.OpMatrixMultiply:
+		return d.execMatmul(in)
+	case isa.OpActivate:
+		return d.execActivate(in)
+	case isa.OpSync, isa.OpSyncHost:
+		d.execSync()
+		return nil
+	default:
+		return fmt.Errorf("unimplemented opcode %s", in.Op)
+	}
+}
+
+func (d *Device) pcieLink() pcie.Link {
+	return pcie.Link{GBs: d.cfg.PCIeGBs}
+}
+
+func (d *Device) execReadHost(in *isa.Instruction) error {
+	start := math.Max(d.pcieFree, d.issue)
+	d.pcieFree = start + d.pcieLink().TransferCycles(int64(in.Len), d.cfg.ClockMHz)
+	d.emitTrace("pcie", start, d.pcieFree)
+	d.c.DMAInBytes += int64(in.Len)
+	if !d.cfg.Functional {
+		return nil
+	}
+	if in.HostAddr+uint64(in.Len) > uint64(len(d.host)) {
+		return fmt.Errorf("host read %#x+%d outside %d-byte host buffer", in.HostAddr, in.Len, len(d.host))
+	}
+	return d.ub.Write(in.UBAddr, d.host[in.HostAddr:in.HostAddr+uint64(in.Len)])
+}
+
+func (d *Device) execWriteHost(in *isa.Instruction) error {
+	start := math.Max(d.pcieFree, math.Max(d.issue, d.barrier))
+	d.pcieFree = start + d.pcieLink().TransferCycles(int64(in.Len), d.cfg.ClockMHz)
+	d.emitTrace("pcie", start, d.pcieFree)
+	d.c.DMAOutBytes += int64(in.Len)
+	if !d.cfg.Functional {
+		return nil
+	}
+	if in.HostAddr+uint64(in.Len) > uint64(len(d.host)) {
+		return fmt.Errorf("host write %#x+%d outside %d-byte host buffer", in.HostAddr, in.Len, len(d.host))
+	}
+	data, err := d.ub.View(in.UBAddr, int(in.Len))
+	if err != nil {
+		return err
+	}
+	copy(d.host[in.HostAddr:], data)
+	return nil
+}
+
+func (d *Device) execReadWeights(in *isa.Instruction) error {
+	fetchCycles := d.wm.TileFetchCycles(d.cfg.ClockMHz)
+	for t := 0; t < int(in.TileCount); t++ {
+		addr := in.WeightAddr + uint64(t)*isa.WeightTileBytes
+		start := math.Max(d.dramFree, d.issue)
+		// FIFO backpressure: the DRAM cannot push tile k until tile
+		// k-depth has left the FIFO for the matrix unit.
+		if d.fetchIdx >= d.cfg.fifoDepth() {
+			backIdx := d.fetchIdx - d.cfg.fifoDepth()
+			if backIdx < len(d.popTimes) {
+				start = math.Max(start, d.popTimes[backIdx])
+			} else {
+				return fmt.Errorf("weight FIFO overflow: tile %d fetched before tile %d popped", d.fetchIdx, backIdx)
+			}
+		}
+		ready := start + fetchCycles
+		d.emitTrace("dram", start, ready)
+		d.dramFree = ready
+		d.fifoReady = append(d.fifoReady, ready)
+		d.fifoMeta = append(d.fifoMeta, d.tileMeta(addr))
+		d.fetchIdx++
+		d.c.WeightTilesFetched++
+		d.c.WeightBytesFetched += isa.WeightTileBytes
+		if d.cfg.Functional {
+			tile, err := d.wm.FetchTile(addr)
+			if err != nil {
+				return err
+			}
+			d.fifoTiles = append(d.fifoTiles, tile)
+		}
+	}
+	return nil
+}
+
+func (d *Device) tileMeta(addr uint64) isa.TileMeta {
+	idx := int((addr - d.prog.WeightBase) / isa.WeightTileBytes)
+	if idx < len(d.prog.TileMeta) {
+		return d.prog.TileMeta[idx]
+	}
+	return isa.TileMeta{Rows: isa.MatrixDim, Cols: isa.MatrixDim}
+}
+
+func (d *Device) execMatmul(in *isa.Instruction) error {
+	base := math.Max(d.matrixFree, d.issue)
+
+	meta := isa.TileMeta{Rows: isa.MatrixDim, Cols: isa.MatrixDim}
+	if in.Flags&isa.FlagLoadTile != 0 {
+		if len(d.fifoReady) == 0 {
+			return fmt.Errorf("matrix multiply pops empty weight FIFO")
+		}
+		readyAt := d.fifoReady[0]
+		d.fifoReady = d.fifoReady[1:]
+		meta = d.fifoMeta[0]
+		d.fifoMeta = d.fifoMeta[1:]
+		// The tile leaves the FIFO when its shift into the shadow buffer
+		// begins; shifts serialize on the (single) shadow buffer.
+		shiftStart := math.Max(readyAt, d.shiftDone)
+		d.popTimes = append(d.popTimes, shiftStart)
+		d.shiftDone = shiftStart + float64(systolic.ShiftCycles())
+		d.emitTrace("shift", shiftStart, d.shiftDone)
+
+		// Attribute idle time before this op: first waiting on DRAM
+		// (tile not yet in FIFO), then on the shift; waits on UB data
+		// (the barrier) stay in the non-matrix residual, explained by the
+		// RAW/input counters recorded at Sync.
+		start := math.Max(base, math.Max(d.shiftDone, d.barrier))
+		if start > base {
+			fetchWait := clamp(math.Min(start, readyAt)-base, 0, start-base)
+			shiftWait := clamp(math.Min(start, d.shiftDone)-math.Max(base, readyAt), 0, start-base-fetchWait)
+			d.c.WeightStall += int64(fetchWait)
+			d.c.WeightShift += int64(shiftWait)
+		}
+		if d.cfg.Functional {
+			tileBytes := d.fifoTiles[0]
+			d.fifoTiles = d.fifoTiles[1:]
+			tile, err := systolic.TileFromBytes(tileBytes)
+			if err != nil {
+				return err
+			}
+			if err := d.arr.LoadShadow(tile); err != nil {
+				return err
+			}
+			if err := d.arr.Commit(); err != nil {
+				return err
+			}
+		}
+	}
+
+	mode := systolic.ModeFor(in.Flags)
+	rows, usedRows := d.matmulShape(in)
+	usedRows = min(usedRows, int(meta.Rows))
+	usedCols := int(meta.Cols)
+
+	start := math.Max(base, math.Max(d.barrier, d.shiftDoneIfLoading(in)))
+	// Accumulator WAR hazard: overwriting a half that a previous Activate
+	// is still draining.
+	if in.Flags&isa.FlagAccumulate == 0 {
+		start = math.Max(start, d.accHalfFree[accHalf(in.AccAddr)])
+	}
+	active := float64(systolic.ComputeCycles(rows, mode))
+	d.matrixFree = start + active
+	d.emitTrace("matrix", start, d.matrixFree)
+
+	d.c.MatrixActive += int64(active)
+	d.c.UsefulMACCycles += active * systolic.Utilization(usedRows, usedCols)
+	d.c.MACs += float64(rows) * float64(usedRows) * float64(usedCols)
+	d.c.Matmuls++
+
+	if d.cfg.Functional {
+		return d.matmulData(in, rows, usedRows)
+	}
+	return nil
+}
+
+func (d *Device) shiftDoneIfLoading(in *isa.Instruction) float64 {
+	if in.Flags&isa.FlagLoadTile != 0 {
+		return d.shiftDone
+	}
+	return 0
+}
+
+// matmulShape returns (rows pushed through the array, valid contraction
+// rows) for the instruction.
+func (d *Device) matmulShape(in *isa.Instruction) (rows, usedRows int) {
+	if in.Flags&isa.FlagConvolve != 0 {
+		positions, patchRows := isa.UnpackConvDims(in.Len)
+		return int(positions), int(patchRows)
+	}
+	used := int(d.regs[isa.RegMatRows])
+	if used == 0 || used > isa.MatrixDim {
+		used = isa.MatrixDim
+	}
+	return int(in.Len), used
+}
+
+func accHalf(accAddr uint16) int {
+	if int(accAddr) < isa.AccumulatorCount/2 {
+		return 0
+	}
+	return 1
+}
+
+func (d *Device) execActivate(in *isa.Instruction) error {
+	// The activation unit drains one 256-wide accumulator register per
+	// cycle (partial columns included — the register read is the unit of
+	// work); in UB-sourced vector mode it processes 256 bytes per cycle.
+	var duration float64
+	fromUB := in.Flags&isa.FlagVecSrcUB != 0
+	if fromUB {
+		duration = float64((int64(in.Len) + isa.UBRowBytes - 1) / isa.UBRowBytes)
+	} else {
+		duration = float64(in.Len)
+	}
+
+	start := math.Max(d.actFree, d.issue)
+	if fromUB {
+		start = math.Max(start, d.barrier)
+	} else {
+		// Accumulator data is visible once the in-order matrix pipeline
+		// has drained its wavefront.
+		start = math.Max(start, d.matrixFree+float64(systolic.FillLatency()))
+	}
+	d.actFree = start + duration
+	d.emitTrace("activation", start, d.actFree)
+	if !fromUB {
+		d.accHalfFree[accHalf(in.AccAddr)] = d.actFree
+	}
+	d.c.ActivationCycles += int64(duration)
+	d.c.Activates++
+
+	if d.cfg.Functional {
+		return d.activateData(in, fromUB)
+	}
+	return nil
+}
+
+func (d *Device) execSync() {
+	base := math.Max(d.matrixFree+float64(systolic.FillLatency()), d.issue)
+	barrier := math.Max(base, math.Max(d.actFree, d.pcieFree))
+	if d.actFree >= d.pcieFree {
+		d.c.RAWStall += int64(math.Max(0, d.actFree-math.Max(base, d.pcieFree)))
+		d.c.InputStall += int64(math.Max(0, d.pcieFree-base))
+	} else {
+		d.c.InputStall += int64(math.Max(0, d.pcieFree-math.Max(base, d.actFree)))
+		d.c.RAWStall += int64(math.Max(0, d.actFree-base))
+	}
+	d.emitTrace("sync", math.Min(d.issue, barrier), barrier)
+	d.barrier = barrier
+	d.issue = barrier
+	d.c.Syncs++
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

@@ -1,0 +1,98 @@
+package tpu
+
+import (
+	"strings"
+	"testing"
+
+	"tpusim/internal/fixed"
+	"tpusim/internal/isa"
+)
+
+// functionalDevice returns a functional-mode device and a minimal valid
+// program skeleton with one weight tile and an identity activation table.
+func functionalDevice(t *testing.T) *Device {
+	t.Helper()
+	cfg := DefaultConfig()
+	cfg.Functional = true
+	dev, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dev
+}
+
+func funcProg(ins ...isa.Instruction) *isa.Program {
+	p := fixed.Params{Scale: 1}
+	return &isa.Program{
+		Name:         "err",
+		Instructions: append(ins, isa.Instruction{Op: isa.OpHalt}),
+		WeightImage:  make([]int8, isa.WeightTileBytes),
+		ActTable:     []isa.ActMeta{{SrcScale: 1, Pre: p, Lut: fixed.NewLUT(fixed.Identity, p, p)}},
+	}
+}
+
+func expectRunError(t *testing.T, p *isa.Program, substr string) {
+	t.Helper()
+	dev := functionalDevice(t)
+	_, err := dev.Run(p, make([]int8, 1<<16))
+	if err == nil {
+		t.Fatalf("expected error containing %q, got success", substr)
+	}
+	if !strings.Contains(err.Error(), substr) {
+		t.Fatalf("error %q does not contain %q", err, substr)
+	}
+}
+
+func TestMatmulBeyondAccumulatorFile(t *testing.T) {
+	expectRunError(t, funcProg(
+		isa.Instruction{Op: isa.OpReadWeights, WeightAddr: 0, TileCount: 1},
+		isa.Instruction{Op: isa.OpMatrixMultiply, Flags: isa.FlagLoadTile, AccAddr: 4000, Len: 200},
+	), "accumulators")
+}
+
+func TestActivateUnknownFunc(t *testing.T) {
+	expectRunError(t, funcProg(
+		isa.Instruction{Op: isa.OpActivate, AccAddr: 0, Len: 1, Func: 9},
+	), "ActTable")
+}
+
+func TestConvolveWithoutGeometry(t *testing.T) {
+	expectRunError(t, funcProg(
+		isa.Instruction{Op: isa.OpReadWeights, WeightAddr: 0, TileCount: 1},
+		isa.Instruction{Op: isa.OpMatrixMultiply, Flags: isa.FlagLoadTile | isa.FlagConvolve,
+			Len: isa.ConvDims(4, 9)},
+	), "geometry")
+}
+
+func TestPoolWithoutGeometry(t *testing.T) {
+	expectRunError(t, funcProg(
+		isa.Instruction{Op: isa.OpActivate, Flags: isa.FlagVecSrcUB | isa.FlagPool, Pool: 2, Len: 16},
+	), "geometry")
+}
+
+func TestPoolNonTilingWindow(t *testing.T) {
+	expectRunError(t, funcProg(
+		isa.Instruction{Op: isa.OpSetConfig, Tag: isa.RegConvH, Len: 3},
+		isa.Instruction{Op: isa.OpSetConfig, Tag: isa.RegConvW, Len: 3},
+		isa.Instruction{Op: isa.OpSetConfig, Tag: isa.RegConvCin, Len: 1},
+		isa.Instruction{Op: isa.OpActivate, Flags: isa.FlagVecSrcUB | isa.FlagPool, Pool: 2, Len: 9},
+	), "tile")
+}
+
+func TestVecScaleWithoutWidth(t *testing.T) {
+	expectRunError(t, funcProg(
+		isa.Instruction{Op: isa.OpActivate, Flags: isa.FlagVecSrcUB | isa.FlagVecScale, Len: 16},
+	), "width")
+}
+
+func TestSetConfigUnknownRegister(t *testing.T) {
+	expectRunError(t, funcProg(
+		isa.Instruction{Op: isa.OpSetConfig, Tag: 200, Len: 1},
+	), "register")
+}
+
+func TestActivateMissingLUT(t *testing.T) {
+	p := funcProg(isa.Instruction{Op: isa.OpActivate, AccAddr: 0, Len: 1})
+	p.ActTable = []isa.ActMeta{{SrcScale: 1}} // no Lut
+	expectRunError(t, p, "lookup table")
+}

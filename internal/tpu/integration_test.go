@@ -1,0 +1,121 @@
+package tpu
+
+import (
+	"testing"
+
+	"tpusim/internal/compiler"
+	"tpusim/internal/isa"
+	"tpusim/internal/models"
+)
+
+// TestWireRoundTripTiming: a program serialized to its PCIe wire form and
+// decoded back must time identically — the instruction stream, not the
+// in-memory representation, defines execution. (Driver metadata — tile
+// occupancy and activation tables — rides alongside the wire image, as it
+// does in the real driver's cached program image.)
+func TestWireRoundTripTiming(t *testing.T) {
+	for _, name := range []string{"MLP1", "LSTM1", "CNN0"} {
+		b, err := models.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		art, err := compiler.CompileShape(b.Model, compiler.Options{Allocator: compiler.Reuse})
+		if err != nil {
+			t.Fatal(err)
+		}
+		wire, err := art.Program.Encode()
+		if err != nil {
+			t.Fatalf("%s: encode: %v", name, err)
+		}
+		decoded, err := isa.DecodeProgram(name, wire)
+		if err != nil {
+			t.Fatalf("%s: decode: %v", name, err)
+		}
+		// Reattach the driver-side metadata the wire does not carry.
+		decoded.WeightBytes = art.Program.WeightBytes
+		decoded.TileMeta = art.Program.TileMeta
+		decoded.ActTable = art.Program.ActTable
+
+		d1, _ := New(DefaultConfig())
+		c1, err := d1.Run(art.Program, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d2, _ := New(DefaultConfig())
+		c2, err := d2.Run(decoded, nil)
+		if err != nil {
+			t.Fatalf("%s: decoded program failed: %v", name, err)
+		}
+		if c1 != c2 {
+			t.Errorf("%s: wire round trip changed counters:\n%+v\n%+v", name, c1, c2)
+		}
+	}
+}
+
+// TestBandwidthMonotonicity: more weight bandwidth never slows any app
+// down, and strictly helps the memory-bound ones.
+func TestBandwidthMonotonicity(t *testing.T) {
+	for _, name := range models.Names() {
+		b, _ := models.ByName(name)
+		art, err := compiler.CompileShape(b.Model, compiler.Options{Allocator: compiler.Reuse})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var prev int64 = 1 << 62
+		for _, bw := range []float64{17, 34, 68, 136} {
+			cfg := DefaultConfig()
+			cfg.WeightGBs = bw
+			dev, _ := New(cfg)
+			c, err := dev.Run(art.Program, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if c.Cycles > prev {
+				t.Errorf("%s: %v GB/s is slower (%d cycles) than less bandwidth (%d)",
+					name, bw, c.Cycles, prev)
+			}
+			prev = c.Cycles
+		}
+	}
+	// Memory-bound MLP0 must gain substantially from 4x bandwidth.
+	b, _ := models.ByName("MLP0")
+	art, _ := compiler.CompileShape(b.Model, compiler.Options{Allocator: compiler.Reuse})
+	slow, fast := DefaultConfig(), DefaultConfig()
+	fast.WeightGBs = 136
+	d1, _ := New(slow)
+	c1, _ := d1.Run(art.Program, nil)
+	d2, _ := New(fast)
+	c2, _ := d2.Run(art.Program, nil)
+	if float64(c1.Cycles)/float64(c2.Cycles) < 2 {
+		t.Errorf("MLP0 4x bandwidth speedup = %.2f, want > 2", float64(c1.Cycles)/float64(c2.Cycles))
+	}
+}
+
+// TestClockScalingWallTime: for a memory-bound app, doubling the clock
+// barely changes wall time (cycles scale up with clock); for a
+// compute-bound app it nearly halves it.
+func TestClockScalingWallTime(t *testing.T) {
+	wall := func(name string, clock float64) float64 {
+		b, _ := models.ByName(name)
+		art, err := compiler.CompileShape(b.Model, compiler.Options{Allocator: compiler.Reuse})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := DefaultConfig()
+		cfg.ClockMHz = clock
+		dev, _ := New(cfg)
+		c, err := dev.Run(art.Program, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c.Seconds(clock)
+	}
+	mlpGain := wall("MLP0", 700) / wall("MLP0", 1400)
+	if mlpGain > 1.25 {
+		t.Errorf("MLP0 2x clock gain = %.2f, memory-bound apps should barely move", mlpGain)
+	}
+	cnnGain := wall("CNN0", 700) / wall("CNN0", 1400)
+	if cnnGain < 1.4 {
+		t.Errorf("CNN0 2x clock gain = %.2f, compute-bound apps should gain", cnnGain)
+	}
+}

@@ -1,0 +1,63 @@
+package tpu
+
+import (
+	"fmt"
+	"strings"
+)
+
+// LayerSpan is the work attributed to one compiler-emitted layer marker:
+// the advance of the device's work frontier between consecutive DebugTag
+// instructions. Layers overlap in the pipeline, so spans blur at the
+// boundaries, but they always sum to total run time.
+type LayerSpan struct {
+	// Tag is the layer index the compiler tagged.
+	Tag uint16
+	// Cycles is the frontier advance attributed to the layer (summed
+	// across unrolled time steps).
+	Cycles float64
+}
+
+// LayerProfile aggregates frontier advances per layer tag for the last run,
+// in first-appearance order. Empty if the program carried no DebugTag
+// markers.
+func (d *Device) LayerProfile() []LayerSpan {
+	if len(d.profMarks) == 0 {
+		return nil
+	}
+	total := map[uint16]float64{}
+	var order []uint16
+	for i, tag := range d.profTags {
+		end := float64(d.c.Cycles)
+		if i+1 < len(d.profMarks) {
+			end = d.profMarks[i+1]
+		}
+		if _, seen := total[tag]; !seen {
+			order = append(order, tag)
+		}
+		total[tag] += end - d.profMarks[i]
+	}
+	out := make([]LayerSpan, 0, len(order))
+	for _, tag := range order {
+		out = append(out, LayerSpan{Tag: tag, Cycles: total[tag]})
+	}
+	return out
+}
+
+// RenderLayerProfile formats a per-layer profile with names resolved
+// through the given layer-name list (index by tag; nil for raw tags).
+func RenderLayerProfile(spans []LayerSpan, names []string, totalCycles int64) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%5s %-12s %14s %8s\n", "layer", "name", "cycles", "share")
+	for _, s := range spans {
+		name := ""
+		if int(s.Tag) < len(names) {
+			name = names[s.Tag]
+		}
+		share := 0.0
+		if totalCycles > 0 {
+			share = s.Cycles / float64(totalCycles) * 100
+		}
+		fmt.Fprintf(&b, "%5d %-12s %14.0f %7.1f%%\n", s.Tag, name, s.Cycles, share)
+	}
+	return b.String()
+}

@@ -1,0 +1,130 @@
+package tpu
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"tpusim/internal/compiler"
+	"tpusim/internal/models"
+)
+
+func profiledRun(t *testing.T, name string) (*Device, Counters, []string) {
+	t.Helper()
+	b, err := models.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	art, err := compiler.CompileShape(b.Model, compiler.Options{Allocator: compiler.Reuse})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := dev.Run(art.Program, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := make([]string, len(b.Model.Layers))
+	for i, l := range b.Model.Layers {
+		names[i] = l.Name
+	}
+	return dev, c, names
+}
+
+// TestLayerProfileSumsToTotal: per-layer spans plus the pre-first-marker
+// prologue cover the whole run.
+func TestLayerProfileSumsToTotal(t *testing.T) {
+	dev, c, _ := profiledRun(t, "MLP0")
+	spans := dev.LayerProfile()
+	if len(spans) != 5 {
+		t.Fatalf("%d spans, want 5 layers", len(spans))
+	}
+	var sum float64
+	for _, s := range spans {
+		if s.Cycles < 0 {
+			t.Fatalf("negative span for layer %d", s.Tag)
+		}
+		sum += s.Cycles
+	}
+	// The prologue (input DMA before the first marker) accounts for the
+	// difference.
+	if sum > float64(c.Cycles) {
+		t.Errorf("spans sum to %v, more than total %d", sum, c.Cycles)
+	}
+	if sum < float64(c.Cycles)*0.8 {
+		t.Errorf("spans sum to %v of %d: layers should dominate", sum, c.Cycles)
+	}
+}
+
+// TestLayerProfileCNN1FindsFCBottleneck: CNN1's fc0 (81M weights at OI 32)
+// must stand out as the most expensive single layer — Table 3's "35% of
+// cycles waiting for weights ... during the 4 fully connected layers".
+func TestLayerProfileCNN1FindsFCBottleneck(t *testing.T) {
+	dev, c, names := profiledRun(t, "CNN1")
+	spans := dev.LayerProfile()
+	var fc0, maxOther float64
+	for _, s := range spans {
+		if names[s.Tag] == "fc0" {
+			fc0 = s.Cycles
+		} else if s.Cycles > maxOther {
+			maxOther = s.Cycles
+		}
+	}
+	if fc0 < maxOther {
+		t.Errorf("fc0 (%.0f cycles) is not the hottest layer (max other %.0f)", fc0, maxOther)
+	}
+	if fc0 < 0.2*float64(c.Cycles) {
+		t.Errorf("fc0 = %.0f%% of run; its weight streaming should dominate", fc0/float64(c.Cycles)*100)
+	}
+}
+
+// TestLayerProfileUnrolledSteps: a 2-step tiny LSTM aggregates both steps
+// into each layer's span.
+func TestLayerProfileUnrolledSteps(t *testing.T) {
+	m, err := models.Tiny("LSTM0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	art, err := compiler.CompileShape(m, compiler.Options{Allocator: compiler.Reuse})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev, _ := New(DefaultConfig())
+	if _, err := dev.Run(art.Program, nil); err != nil {
+		t.Fatal(err)
+	}
+	spans := dev.LayerProfile()
+	if len(spans) != len(m.Layers) {
+		t.Fatalf("%d spans, want %d (steps aggregated per layer)", len(spans), len(m.Layers))
+	}
+}
+
+func TestLayerProfileEmptyWithoutMarkers(t *testing.T) {
+	dev, _ := New(DefaultConfig())
+	p := mustProg(t, "plain", 0)
+	if _, err := dev.Run(p, nil); err != nil {
+		t.Fatal(err)
+	}
+	if dev.LayerProfile() != nil {
+		t.Error("profile without markers should be nil")
+	}
+}
+
+func TestRenderLayerProfile(t *testing.T) {
+	dev, c, names := profiledRun(t, "MLP1")
+	s := RenderLayerProfile(dev.LayerProfile(), names, c.Cycles)
+	if !strings.Contains(s, "fc0") {
+		t.Errorf("render missing layer names:\n%s", s)
+	}
+	// Shares sum to <= 100%.
+	var total float64
+	for _, span := range dev.LayerProfile() {
+		total += span.Cycles
+	}
+	if share := total / float64(c.Cycles); share > 1+1e-9 || math.IsNaN(share) {
+		t.Errorf("share sum = %v", share)
+	}
+}

@@ -1,0 +1,127 @@
+package tpu
+
+import (
+	"math/rand"
+	"testing"
+
+	"tpusim/internal/compiler"
+	"tpusim/internal/fixed"
+	"tpusim/internal/nn"
+	"tpusim/internal/tensor"
+)
+
+// randomModel builds a random small model mixing FC and Vector layers.
+func randomModel(seed int64) *nn.Model {
+	rng := rand.New(rand.NewSource(seed))
+	m := &nn.Model{Name: "prop", Class: nn.MLP, Batch: rng.Intn(5) + 1, TimeSteps: 1}
+	width := rng.Intn(30) + 4
+	acts := []fixed.Nonlinearity{fixed.Identity, fixed.ReLU, fixed.Sigmoid, fixed.Tanh}
+	n := rng.Intn(4) + 1
+	for i := 0; i < n; i++ {
+		switch rng.Intn(3) {
+		case 0, 1:
+			out := rng.Intn(30) + 4
+			m.Layers = append(m.Layers, nn.Layer{
+				Kind: nn.FC, In: width, Out: out, Act: acts[rng.Intn(len(acts))],
+			})
+			width = out
+		case 2:
+			vops := []nn.VecOp{nn.VecActivation, nn.VecScale, nn.VecBias}
+			m.Layers = append(m.Layers, nn.Layer{
+				Kind: nn.Vector, Width: width, VOp: vops[rng.Intn(len(vops))],
+				Act: acts[rng.Intn(len(acts))],
+			})
+		}
+	}
+	return m
+}
+
+// TestDeviceBitExactOnRandomModels is the strongest end-to-end property:
+// for randomly generated models, the full simulated datapath (compile ->
+// DMA -> systolic array -> accumulators -> activation unit -> DMA) agrees
+// bit for bit with the standalone quantized reference.
+func TestDeviceBitExactOnRandomModels(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Functional = true
+	for seed := int64(0); seed < 25; seed++ {
+		m := randomModel(seed)
+		p := nn.InitRandom(m, seed*7+1, 0.2)
+		in := tensor.NewF32(m.Batch, m.InputElems())
+		in.FillRandom(seed*7+2, 1)
+		qm, err := nn.QuantizeModel(m, p, in)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		art, err := compiler.Compile(qm, compiler.Options{Allocator: compiler.Reuse})
+		if err != nil {
+			t.Fatalf("seed %d: compile: %v", seed, err)
+		}
+		qin := qm.QuantizeInput(in)
+		host, err := compiler.PackInput(art, qin)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		dev, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := dev.Run(art.Program, host); err != nil {
+			t.Fatalf("seed %d: run: %v", seed, err)
+		}
+		got, err := compiler.UnpackOutput(art, host)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		want, err := qm.Forward(qin)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		for i := range want.Data {
+			if got.Data[i] != want.Data[i] {
+				t.Fatalf("seed %d (%d layers, batch %d): output[%d] = %d, reference %d",
+					seed, len(m.Layers), m.Batch, i, got.Data[i], want.Data[i])
+			}
+		}
+	}
+}
+
+// TestBothAllocatorsBitExact: allocator choice changes addresses, never
+// results.
+func TestBothAllocatorsBitExact(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Functional = true
+	m := randomModel(99)
+	p := nn.InitRandom(m, 100, 0.2)
+	in := tensor.NewF32(m.Batch, m.InputElems())
+	in.FillRandom(101, 1)
+	qm, err := nn.QuantizeModel(m, p, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qin := qm.QuantizeInput(in)
+	var outputs [][]int8
+	for _, kind := range []compiler.Kind{compiler.Naive, compiler.Reuse} {
+		art, err := compiler.Compile(qm, compiler.Options{Allocator: kind})
+		if err != nil {
+			t.Fatal(err)
+		}
+		host, err := compiler.PackInput(art, qin)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dev, _ := New(cfg)
+		if _, err := dev.Run(art.Program, host); err != nil {
+			t.Fatal(err)
+		}
+		out, err := compiler.UnpackOutput(art, host)
+		if err != nil {
+			t.Fatal(err)
+		}
+		outputs = append(outputs, out.Data)
+	}
+	for i := range outputs[0] {
+		if outputs[0][i] != outputs[1][i] {
+			t.Fatalf("allocators disagree at output %d", i)
+		}
+	}
+}

@@ -1,0 +1,64 @@
+package tpu
+
+import (
+	"fmt"
+	"strings"
+
+	"tpusim/internal/isa"
+)
+
+// TraceEvent is one unit-occupancy window recorded during a traced run:
+// which instruction used which functional unit, and when. Together the
+// events form the pipeline timeline the paper says it lacks clean diagrams
+// for ("our CISC instructions can occupy a station for thousands of clock
+// cycles").
+type TraceEvent struct {
+	// Index is the instruction's position in the program.
+	Index int
+	Op    isa.Opcode
+	// Unit is the functional unit occupied: "matrix", "shift", "dram",
+	// "activation", "pcie", or "sync".
+	Unit string
+	// Start and End are in device cycles.
+	Start, End float64
+}
+
+// Duration returns the event's cycle count.
+func (e TraceEvent) Duration() float64 { return e.End - e.Start }
+
+// Trace returns the events recorded by the last Run; empty unless
+// Config.Trace was set.
+func (d *Device) Trace() []TraceEvent { return d.trace }
+
+func (d *Device) emitTrace(unit string, start, end float64) {
+	if !d.cfg.Trace {
+		return
+	}
+	d.trace = append(d.trace, TraceEvent{
+		Index: d.instrIdx, Op: d.instrOp, Unit: unit, Start: start, End: end,
+	})
+}
+
+// RenderTimeline formats trace events as an aligned occupancy listing,
+// optionally limited to the first n events (0 = all).
+func RenderTimeline(events []TraceEvent, n int) string {
+	if n <= 0 || n > len(events) {
+		n = len(events)
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%6s %-22s %-10s %12s %12s %10s\n", "#", "op", "unit", "start", "end", "cycles")
+	for _, e := range events[:n] {
+		fmt.Fprintf(&b, "%6d %-22s %-10s %12.0f %12.0f %10.0f\n",
+			e.Index, e.Op, e.Unit, e.Start, e.End, e.Duration())
+	}
+	return b.String()
+}
+
+// UnitOccupancy sums busy cycles per unit over a trace.
+func UnitOccupancy(events []TraceEvent) map[string]float64 {
+	out := map[string]float64{}
+	for _, e := range events {
+		out[e.Unit] += e.Duration()
+	}
+	return out
+}
