@@ -1,0 +1,26 @@
+GO ?= go
+
+.PHONY: ci vet build test race bench-smoke bench
+
+ci: vet build race bench-smoke
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Quick benchmark smoke: proves the kernel benchmarks still run without
+# paying for a full measurement.
+bench-smoke:
+	$(GO) test ./internal/systolic -run xxx -bench BenchmarkMulRow -benchtime 100x
+
+# Full benchmark sweep (tables, figures, kernels).
+bench:
+	$(GO) test -bench . -benchmem ./...

@@ -5,6 +5,7 @@
 package tpusim
 
 import (
+	"runtime"
 	"strings"
 	"sync"
 	"testing"
@@ -42,21 +43,13 @@ func BenchmarkTable2(b *testing.B) {
 }
 
 // BenchmarkTable3 measures the full six-app cycle simulation (compile +
-// run), the core of the reproduction.
+// run), the core of the reproduction, with the apps fanned out across
+// GOMAXPROCS workers (the production regeneration path).
 func BenchmarkTable3(b *testing.B) {
+	workers := runtime.GOMAXPROCS(0)
 	for i := 0; i < b.N; i++ {
-		for _, bm := range models.All() {
-			art, err := compiler.CompileShape(bm.Model, compiler.Options{Allocator: compiler.Reuse})
-			if err != nil {
-				b.Fatal(err)
-			}
-			dev, err := tpu.New(tpu.DefaultConfig())
-			if err != nil {
-				b.Fatal(err)
-			}
-			if _, err := dev.Run(art.Program, nil); err != nil {
-				b.Fatal(err)
-			}
+		if _, err := experiments.CompileAndRunAll(workers); err != nil {
+			b.Fatal(err)
 		}
 	}
 	rows, err := experiments.Table3()
@@ -64,6 +57,16 @@ func BenchmarkTable3(b *testing.B) {
 		b.Fatal(err)
 	}
 	report(b, "Table 3", experiments.RenderTable3(rows))
+}
+
+// BenchmarkTable3Serial is the same six-app regeneration pinned to one
+// worker, isolating the single-threaded compile+simulate cost.
+func BenchmarkTable3Serial(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.CompileAndRunAll(1); err != nil {
+			b.Fatal(err)
+		}
+	}
 }
 
 func BenchmarkTable4(b *testing.B) {

@@ -1,0 +1,25 @@
+package compiler
+
+import (
+	"testing"
+
+	"tpusim/internal/models"
+)
+
+// TestWeightFootprintMatchesCompiledImage: the driver reserves Weight
+// Memory from WeightFootprint before compiling, so it must predict the
+// compiled image extent exactly for every production model.
+func TestWeightFootprintMatchesCompiledImage(t *testing.T) {
+	for _, b := range models.All() {
+		art, err := CompileShape(b.Model, Options{Allocator: Reuse})
+		if err != nil {
+			t.Fatalf("%s: %v", b.Model.Name, err)
+		}
+		if got, want := art.Program.WeightExtent(), WeightFootprint(b.Model, false); got != want {
+			t.Errorf("%s: compiled weight image %d bytes, footprint predicts %d", b.Model.Name, got, want)
+		}
+		if int64(art.WeightTiles)*64*1024 != art.Program.WeightExtent() {
+			t.Errorf("%s: %d tiles inconsistent with %d-byte image", b.Model.Name, art.WeightTiles, art.Program.WeightExtent())
+		}
+	}
+}

@@ -52,6 +52,26 @@ func (lo *lowering) buildWeights() error {
 	return nil
 }
 
+// WeightFootprint returns the tile-aligned Weight Memory bytes a model's
+// weight image occupies — the region size the driver must reserve before
+// compiling at a chosen WeightBase. It is exact: buildWeights advances by
+// one 64 KiB tile per (row-tile, col-tile) pair of every matrix layer.
+func WeightFootprint(m *nn.Model, weights16 bool) int64 {
+	rowsPerTile := isa.MatrixDim
+	if weights16 {
+		rowsPerTile = isa.MatrixDim / 2
+	}
+	var n int64
+	for _, l := range m.Layers {
+		rows, cols := weightMatrixDims(l)
+		if rows == 0 {
+			continue
+		}
+		n += int64(ceilDiv(rows, rowsPerTile)) * int64(ceilDiv(cols, isa.MatrixDim)) * isa.WeightTileBytes
+	}
+	return n
+}
+
 // weightMatrixDims returns the (contraction rows, output cols) of a layer's
 // weight matrix as the matrix unit sees it; (0, 0) for layers with no
 // matrix weights.

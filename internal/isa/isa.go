@@ -171,7 +171,10 @@ func (in Instruction) Times() int {
 
 // Validate checks address ranges and opcode-specific requirements.
 func (in Instruction) Validate() error {
-	if _, ok := opNames[in.Op]; !ok {
+	// Opcodes are contiguous (OpNop..OpHalt), so a range check replaces the
+	// opNames map lookup on this hot path (Validate runs once per emitted
+	// instruction at compile time and once per program at device load).
+	if in.Op > OpHalt {
 		return fmt.Errorf("isa: unknown opcode %d", in.Op)
 	}
 	if in.UBAddr >= UnifiedBufferBytes {

@@ -3,6 +3,7 @@ package isa
 import (
 	"fmt"
 	"strings"
+	"sync/atomic"
 )
 
 // Program is an ordered instruction stream plus the weight image the host
@@ -28,6 +29,12 @@ type Program struct {
 	TileMeta []TileMeta
 	// ActTable maps Activate Func selectors to requantization pipelines.
 	ActTable []ActMeta
+
+	// validated is set after a successful Validate. Programs are immutable
+	// once compiled, and the driver re-validates on every Device.Run, so
+	// caching the verdict takes full validation off the hot path. Mutating
+	// a Program after a successful Validate is unsupported.
+	validated atomic.Bool
 }
 
 // WeightExtent returns the addressable weight image size in bytes.
@@ -38,8 +45,14 @@ func (p *Program) WeightExtent() int64 {
 	return p.WeightBytes
 }
 
-// Validate checks every instruction and the weight image size.
+// Validate checks every instruction and the weight image size. A
+// successful verdict is cached: compiled programs are immutable, so the
+// per-run re-validation in Device.Run costs one atomic load instead of a
+// full instruction walk.
 func (p *Program) Validate() error {
+	if p.validated.Load() {
+		return nil
+	}
 	if len(p.Instructions) == 0 {
 		return fmt.Errorf("isa: program %q is empty", p.Name)
 	}
@@ -69,6 +82,7 @@ func (p *Program) Validate() error {
 				p.Name, i, end, p.WeightBase+uint64(extent))
 		}
 	}
+	p.validated.Store(true)
 	return nil
 }
 

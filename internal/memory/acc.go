@@ -41,6 +41,28 @@ func (a *Accumulators) Store(idx int, row *[isa.MatrixDim]int32, accumulate bool
 	return nil
 }
 
+// StoreRows bulk-writes consecutive partial-sum rows starting at register
+// idx — the batched epilogue of one MatrixMultiply. Semantically identical
+// to calling Store row by row: with accumulate set each row saturating-adds
+// into the existing register, otherwise the rows overwrite.
+func (a *Accumulators) StoreRows(idx int, rows [][isa.MatrixDim]int32, accumulate bool) error {
+	if idx < 0 || idx+len(rows) > len(a.regs) {
+		return fmt.Errorf("memory: accumulator range [%d,%d) outside [0,%d)", idx, idx+len(rows), len(a.regs))
+	}
+	if !accumulate {
+		copy(a.regs[idx:], rows)
+		return nil
+	}
+	for i := range rows {
+		dst := &a.regs[idx+i]
+		src := &rows[i]
+		for j := range dst {
+			dst[j] = fixed.SatAdd32(dst[j], src[j])
+		}
+	}
+	return nil
+}
+
 // Load reads register idx.
 func (a *Accumulators) Load(idx int) (*[isa.MatrixDim]int32, error) {
 	if idx < 0 || idx >= len(a.regs) {

@@ -5,6 +5,13 @@
 // writing the weight image into the TPU's weight memory; the second and
 // following evaluations run at full speed", plus the multi-device server
 // abstraction (a server carries four TPUs).
+//
+// The driver is safe for concurrent use: first evaluations of a model are
+// single-flighted (exactly one compilation per model, however many
+// goroutines race in cold), Weight Memory regions are reserved atomically
+// and returned to a free list on compile failure or Invalidate, and each
+// cached model's device is serialized independently so different models
+// evaluate in parallel on one driver.
 package runtime
 
 import (
@@ -17,8 +24,13 @@ import (
 	"tpusim/internal/tpu"
 )
 
-// Driver is the User Space Driver: it owns a device and a compilation
-// cache keyed by model name.
+// region is a reserved span of Weight Memory.
+type region struct {
+	base, size uint64
+}
+
+// Driver is the User Space Driver: it owns a device per cached model and a
+// compilation cache keyed by model name.
 type Driver struct {
 	cfg tpu.Config
 
@@ -26,17 +38,31 @@ type Driver struct {
 	cache map[string]*entry
 	// weightNext is the next free tile-aligned Weight Memory offset; each
 	// compiled model gets its own region so many stay resident at once
-	// ("8 GiB supports many simultaneously active models").
+	// ("8 GiB supports many simultaneously active models"). weightFree
+	// holds regions returned by failed compiles and Invalidate, reused
+	// first-fit so a compile failure never leaks Weight Memory.
 	weightNext uint64
+	weightFree []region
 	// Compilations counts slow-path compiles (for observing the caching
 	// behaviour the paper describes).
 	Compilations int
 }
 
+// entry is one cached model. once single-flights the slow path: the first
+// goroutine to evaluate the model compiles inside once.Do while every
+// concurrent caller blocks on the same Do and then reuses the artifact.
+// runMu serializes access to the entry's device (the functional simulator
+// is stateful); distinct models run concurrently on their own devices.
 type entry struct {
+	once sync.Once
+	err  error
+	reg  region
+
 	art *compiler.Artifact
 	qm  *nn.QuantizedModel
 	dev *tpu.Device
+
+	runMu sync.Mutex
 }
 
 // NewDriver creates a driver for devices with the given configuration;
@@ -63,41 +89,101 @@ type InferenceResult struct {
 	Cached bool
 }
 
+// reserveWeights returns a tile-aligned Weight Memory base for n bytes,
+// reusing freed regions first-fit before extending the high-water mark.
+func (d *Driver) reserveWeights(n uint64) uint64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for i, r := range d.weightFree {
+		if r.size >= n {
+			if r.size == n {
+				d.weightFree = append(d.weightFree[:i], d.weightFree[i+1:]...)
+			} else {
+				d.weightFree[i] = region{base: r.base + n, size: r.size - n}
+			}
+			return r.base
+		}
+	}
+	base := d.weightNext
+	d.weightNext += n
+	return base
+}
+
+// releaseWeights returns a region to the allocator. The top-most region
+// rolls the high-water mark back; interior regions go on the free list.
+func (d *Driver) releaseWeights(r region) {
+	if r.size == 0 {
+		return
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if r.base+r.size == d.weightNext {
+		d.weightNext = r.base
+		return
+	}
+	d.weightFree = append(d.weightFree, r)
+}
+
+// compile is the single-flighted slow path: quantize, reserve a Weight
+// Memory region sized by the model's exact tile footprint, compile at that
+// base, and create the model's device. On any failure the region is
+// returned, so a failed compile never leaks Weight Memory.
+func (d *Driver) compile(e *entry, m *nn.Model, params *nn.Params, in *tensor.F32) error {
+	qm, err := nn.QuantizeModel(m, params, in)
+	if err != nil {
+		return fmt.Errorf("runtime: quantizing %s: %w", m.Name, err)
+	}
+	need := uint64(compiler.WeightFootprint(m, false))
+	reg := region{base: d.reserveWeights(need), size: need}
+	art, err := compiler.Compile(qm, compiler.Options{Allocator: compiler.Reuse, WeightBase: reg.base})
+	if err != nil {
+		d.releaseWeights(reg)
+		return fmt.Errorf("runtime: compiling %s: %w", m.Name, err)
+	}
+	if got := uint64(len(art.Program.WeightImage)); got != need {
+		d.releaseWeights(reg)
+		return fmt.Errorf("runtime: %s weight image %d bytes, reserved %d", m.Name, got, need)
+	}
+	dev, err := tpu.New(d.cfg)
+	if err != nil {
+		d.releaseWeights(reg)
+		return err
+	}
+	e.art, e.qm, e.dev, e.reg = art, qm, dev, reg
+	d.mu.Lock()
+	d.Compilations++
+	d.mu.Unlock()
+	return nil
+}
+
 // Run evaluates one batch of a model. The first evaluation quantizes and
 // compiles (the slow path); later evaluations reuse the cached program
-// image and weight image.
+// image and weight image. Safe for concurrent use: racing first
+// evaluations compile exactly once, and runs of the same model serialize
+// on its device while different models proceed in parallel.
 func (d *Driver) Run(m *nn.Model, params *nn.Params, in *tensor.F32) (*InferenceResult, error) {
 	if err := m.Validate(); err != nil {
 		return nil, err
 	}
 	d.mu.Lock()
 	e, ok := d.cache[m.Name]
+	if !ok {
+		e = &entry{}
+		d.cache[m.Name] = e
+	}
 	d.mu.Unlock()
 	cached := ok
-	if !ok {
-		qm, err := nn.QuantizeModel(m, params, in)
-		if err != nil {
-			return nil, fmt.Errorf("runtime: quantizing %s: %w", m.Name, err)
-		}
+
+	e.once.Do(func() { e.err = d.compile(e, m, params, in) })
+	if e.err != nil {
+		err := e.err
+		// Drop the poisoned entry so a later evaluation can retry.
 		d.mu.Lock()
-		base := d.weightNext
-		d.mu.Unlock()
-		art, err := compiler.Compile(qm, compiler.Options{Allocator: compiler.Reuse, WeightBase: base})
-		if err != nil {
-			return nil, fmt.Errorf("runtime: compiling %s: %w", m.Name, err)
+		if d.cache[m.Name] == e {
+			delete(d.cache, m.Name)
 		}
-		d.mu.Lock()
-		d.weightNext = base + uint64(len(art.Program.WeightImage))
 		d.mu.Unlock()
-		dev, err := tpu.New(d.cfg)
-		if err != nil {
-			return nil, err
-		}
-		e = &entry{art: art, qm: qm, dev: dev}
-		d.mu.Lock()
-		d.cache[m.Name] = e
-		d.Compilations++
-		d.mu.Unlock()
+		return nil, err
 	}
 
 	qin := e.qm.QuantizeInput(in)
@@ -105,7 +191,9 @@ func (d *Driver) Run(m *nn.Model, params *nn.Params, in *tensor.F32) (*Inference
 	if err != nil {
 		return nil, err
 	}
+	e.runMu.Lock()
 	c, err := e.dev.Run(e.art.Program, host)
+	e.runMu.Unlock()
 	if err != nil {
 		return nil, fmt.Errorf("runtime: running %s: %w", m.Name, err)
 	}
@@ -121,11 +209,26 @@ func (d *Driver) Run(m *nn.Model, params *nn.Params, in *tensor.F32) (*Inference
 	}, nil
 }
 
-// Invalidate drops a cached program (e.g. after retraining).
+// Invalidate drops a cached program (e.g. after retraining) and returns
+// its Weight Memory region to the allocator.
 func (d *Driver) Invalidate(modelName string) {
 	d.mu.Lock()
-	delete(d.cache, modelName)
+	e, ok := d.cache[modelName]
+	if ok {
+		delete(d.cache, modelName)
+	}
 	d.mu.Unlock()
+	if !ok {
+		return
+	}
+	// Resolve the entry's once: either the in-flight compile finishes (Do
+	// blocks until then, making e.reg safe to read) or a never-compiled
+	// entry is poisoned so racing waiters fail cleanly instead of using a
+	// half-built artifact.
+	e.once.Do(func() { e.err = fmt.Errorf("runtime: %s invalidated before first compile", modelName) })
+	if e.err == nil {
+		d.releaseWeights(e.reg)
+	}
 }
 
 // Server is one datacenter server: a host plus several TPUs behind it (4
@@ -162,4 +265,44 @@ func (s *Server) Run(m *nn.Model, params *nn.Params, in *tensor.F32) (*Inference
 	s.next = (s.next + 1) % len(s.drivers)
 	s.mu.Unlock()
 	return d.Run(m, params, in)
+}
+
+// Request is one inference batch for concurrent dispatch.
+type Request struct {
+	Model  *nn.Model
+	Params *nn.Params
+	Input  *tensor.F32
+}
+
+// RunAll dispatches the requests across the server's TPUs concurrently:
+// one worker per device drains a striped share of the queue, so a 4-TPU
+// server really runs four batches at once. Results are returned in request
+// order; the first error is reported after all workers finish.
+func (s *Server) RunAll(reqs []Request) ([]*InferenceResult, error) {
+	results := make([]*InferenceResult, len(reqs))
+	errs := make([]error, len(s.drivers))
+	var wg sync.WaitGroup
+	for w, dr := range s.drivers {
+		wg.Add(1)
+		go func(w int, dr *Driver) {
+			defer wg.Done()
+			for i := w; i < len(reqs); i += len(s.drivers) {
+				r, err := dr.Run(reqs[i].Model, reqs[i].Params, reqs[i].Input)
+				if err != nil {
+					if errs[w] == nil {
+						errs[w] = fmt.Errorf("runtime: request %d: %w", i, err)
+					}
+					continue
+				}
+				results[i] = r
+			}
+		}(w, dr)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return results, err
+		}
+	}
+	return results, nil
 }

@@ -1,6 +1,8 @@
 package systolic
 
 import (
+	"fmt"
+	"runtime"
 	"testing"
 
 	"tpusim/internal/isa"
@@ -20,33 +22,68 @@ func benchArray(b *testing.B) *Array {
 	return a
 }
 
-// BenchmarkMulRow measures one 256-wide systolic row (65,536 MACs).
+// BenchmarkMulRow measures one 256-wide systolic row (65,536 MACs) through
+// the naive per-row reference path.
 func BenchmarkMulRow(b *testing.B) {
 	a := benchArray(b)
 	var in [isa.MatrixDim]int8
 	for i := range in {
 		in[i] = int8(i)
 	}
+	b.SetBytes(isa.MatrixDim)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := a.MulRow(&in); err != nil {
 			b.Fatal(err)
 		}
 	}
-	b.SetBytes(isa.MatrixDim)
 }
 
-// BenchmarkMultiplyBatch measures a 64-row matmul through the array.
+// BenchmarkMultiplyBatch measures a 64-row matmul through the blocked
+// batch kernel (kept for comparability with earlier runs).
 func BenchmarkMultiplyBatch(b *testing.B) {
 	a := benchArray(b)
 	in := make([]int8, 64*isa.MatrixDim)
 	for i := range in {
 		in[i] = int8(i)
 	}
+	b.SetBytes(int64(len(in)))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := a.Multiply(in); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMultiply sweeps batch size with the blocked kernel, serial
+// versus sharded across GOMAXPROCS workers. Outputs are bit-identical
+// between the two (see TestMultiplyIntoParallelDeterministic); only the
+// wall clock differs.
+func BenchmarkMultiply(b *testing.B) {
+	for _, batch := range []int{8, 64, 256} {
+		a := benchArray(b)
+		in := make([]int8, batch*isa.MatrixDim)
+		for i := range in {
+			in[i] = int8(i * 7)
+		}
+		out := make([][isa.MatrixDim]int32, batch)
+		for _, bc := range []struct {
+			name    string
+			workers int
+		}{
+			{"serial", 1},
+			{fmt.Sprintf("parallel-%d", runtime.GOMAXPROCS(0)), 0},
+		} {
+			b.Run(fmt.Sprintf("B=%d/%s", batch, bc.name), func(b *testing.B) {
+				b.SetBytes(int64(len(in)))
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if err := a.MultiplyInto(in, out, bc.workers); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
 		}
 	}
 }

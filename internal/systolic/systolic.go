@@ -14,6 +14,8 @@ package systolic
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
 
 	"tpusim/internal/isa"
 )
@@ -106,25 +108,127 @@ func (a *Array) MulRow(in *[isa.MatrixDim]int8) (*[isa.MatrixDim]int32, error) {
 	return &out, nil
 }
 
+// blockRows is the contraction-dimension block size of the cache-blocked
+// kernel: 32 weight rows x 256 columns = 8 KiB of int8 weights, small
+// enough to stay resident in L1d alongside one activation row (256 B) and
+// one 1 KiB output accumulator row while every batch row is streamed
+// against the block. The per-row MulRow path instead re-reads the whole
+// 64 KiB tile from L2 for every activation row.
+const blockRows = 32
+
 // Multiply pushes B rows (flat, B*256 int8) through the array, returning
 // B 256-wide partial sums. It is the functional body of one MatrixMultiply
-// instruction against the active tile.
+// instruction against the active tile. The computation is cache-blocked
+// (one pass over the weight tile per batch, not per row) and bit-identical
+// to calling MulRow row by row.
 func (a *Array) Multiply(in []int8) ([][isa.MatrixDim]int32, error) {
 	if len(in)%isa.MatrixDim != 0 {
 		return nil, fmt.Errorf("systolic: input length %d not a multiple of %d", len(in), isa.MatrixDim)
 	}
-	b := len(in) / isa.MatrixDim
-	out := make([][isa.MatrixDim]int32, b)
-	var row [isa.MatrixDim]int8
-	for i := 0; i < b; i++ {
-		copy(row[:], in[i*isa.MatrixDim:(i+1)*isa.MatrixDim])
-		sum, err := a.MulRow(&row)
-		if err != nil {
-			return nil, err
-		}
-		out[i] = *sum
+	out := make([][isa.MatrixDim]int32, len(in)/isa.MatrixDim)
+	if err := a.MultiplyInto(in, out, 1); err != nil {
+		return nil, err
 	}
 	return out, nil
+}
+
+// MultiplyInto is the allocation-free batched kernel behind Multiply: it
+// computes the B partial-sum rows for in (flat, B*256 int8) into out
+// (length B), overwriting out. workers sets how many goroutines shard the
+// batch rows; <= 0 means GOMAXPROCS and 1 runs serially on the caller's
+// goroutine. Each output row is produced by exactly one goroutine with the
+// same block iteration order as the serial path, so results are
+// deterministic and bit-identical for every worker count.
+func (a *Array) MultiplyInto(in []int8, out [][isa.MatrixDim]int32, workers int) error {
+	if a.active == nil {
+		return fmt.Errorf("systolic: no active weight tile")
+	}
+	if len(in)%isa.MatrixDim != 0 {
+		return fmt.Errorf("systolic: input length %d not a multiple of %d", len(in), isa.MatrixDim)
+	}
+	b := len(in) / isa.MatrixDim
+	if len(out) < b {
+		return fmt.Errorf("systolic: output has %d rows, need %d", len(out), b)
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > b {
+		workers = b
+	}
+	if workers <= 1 {
+		a.mulRange(in, out, 0, b)
+		return nil
+	}
+	// Shard the batch rows into contiguous per-worker chunks. Chunks never
+	// overlap, so no synchronization beyond the WaitGroup is needed.
+	var wg sync.WaitGroup
+	chunk := (b + workers - 1) / workers
+	for lo := 0; lo < b; lo += chunk {
+		hi := min(lo+chunk, b)
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			a.mulRange(in, out, lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+	return nil
+}
+
+// mulRange computes output rows [lo, hi) of the batched matmul with the
+// cache-blocked inner loop. For each activation row it walks the weight
+// tile in blockRows x 256 blocks: the block's nonzero activation values and
+// weight-row pointers are gathered once (the zero-row skip), then each
+// 4-column group accumulates the whole block in registers before storing —
+// one output store per column per block instead of one per MAC. Blocks and
+// rows within a block are visited in ascending order, the same per-element
+// accumulation order as MulRow, so results are bit-identical.
+func (a *Array) mulRange(in []int8, out [][isa.MatrixDim]int32, lo, hi int) {
+	t := a.active
+	for i := lo; i < hi; i++ {
+		// Slice-to-array-pointer conversions give the compiler fixed
+		// 256-element bounds, eliminating bounds checks in the MAC loop.
+		row := (*[isa.MatrixDim]int8)(in[i*isa.MatrixDim:])
+		o := &out[i]
+		*o = [isa.MatrixDim]int32{}
+		for r0 := 0; r0 < isa.MatrixDim; r0 += blockRows {
+			// Gather the block's nonzero rows: quantized activations are
+			// zero-heavy (ReLU), and a zero contributes nothing to any
+			// column.
+			var vs [blockRows]int32
+			var ws [blockRows]*[isa.MatrixDim]int8
+			n := 0
+			for r := r0; r < r0+blockRows; r++ {
+				if v := int32(row[r]); v != 0 {
+					vs[n] = v
+					ws[n] = &t.W[r]
+					n++
+				}
+			}
+			if n == 0 {
+				continue
+			}
+			for c := 0; c < isa.MatrixDim; c += 8 {
+				a0, a1, a2, a3 := o[c], o[c+1], o[c+2], o[c+3]
+				a4, a5, a6, a7 := o[c+4], o[c+5], o[c+6], o[c+7]
+				for k := 0; k < n; k++ {
+					v := vs[k]
+					w := ws[k]
+					a0 += v * int32(w[c])
+					a1 += v * int32(w[c+1])
+					a2 += v * int32(w[c+2])
+					a3 += v * int32(w[c+3])
+					a4 += v * int32(w[c+4])
+					a5 += v * int32(w[c+5])
+					a6 += v * int32(w[c+6])
+					a7 += v * int32(w[c+7])
+				}
+				o[c], o[c+1], o[c+2], o[c+3] = a0, a1, a2, a3
+				o[c+4], o[c+5], o[c+6], o[c+7] = a4, a5, a6, a7
+			}
+		}
+	}
 }
 
 // SpeedMode is the precision-dependent throughput of the MACs.

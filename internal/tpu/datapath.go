@@ -2,49 +2,77 @@ package tpu
 
 import (
 	"fmt"
+	"sync"
 
 	"tpusim/internal/fixed"
 	"tpusim/internal/isa"
 )
 
-// matmulData executes the functional side of a MatrixMultiply: read rows
-// from the Unified Buffer (directly for FC, via the convolution gather for
-// Convolve), push them through the systolic array, and store partial sums
-// into the accumulators.
+// matmulScratch is the reusable flat staging area for one MatrixMultiply:
+// all B gathered input rows and all B partial-sum rows, pooled so the hot
+// loop performs no per-instruction allocation.
+type matmulScratch struct {
+	in  []int8
+	out [][isa.MatrixDim]int32
+}
+
+var matmulPool = sync.Pool{New: func() any { return &matmulScratch{} }}
+
+// grab returns a scratch with capacity for rows input/output rows; the
+// input region is zeroed (gathers rely on zero padding beyond the valid
+// elements).
+func (s *matmulScratch) grab(rows int) {
+	n := rows * isa.MatrixDim
+	if cap(s.in) < n {
+		s.in = make([]int8, n)
+	} else {
+		s.in = s.in[:n]
+		clear(s.in)
+	}
+	if cap(s.out) < rows {
+		s.out = make([][isa.MatrixDim]int32, rows)
+	} else {
+		s.out = s.out[:rows]
+	}
+}
+
+// matmulData executes the functional side of a MatrixMultiply: gather all B
+// input rows from the Unified Buffer (directly for FC, via the convolution
+// gather for Convolve) into a pooled flat buffer, push the whole batch
+// through the blocked systolic kernel — sharded across cfg.Parallelism
+// goroutines — and bulk-store the partial sums into the accumulators.
 func (d *Device) matmulData(in *isa.Instruction, rows, usedRows int) error {
 	accumulate := in.Flags&isa.FlagAccumulate != 0
 	if int(in.AccAddr)+rows > isa.AccumulatorCount {
 		return fmt.Errorf("matmul writes accumulators %d..%d beyond %d", in.AccAddr, int(in.AccAddr)+rows, isa.AccumulatorCount)
 	}
-	var rowBuf [isa.MatrixDim]int8
-	for i := 0; i < rows; i++ {
-		for j := range rowBuf {
-			rowBuf[j] = 0
-		}
-		if in.Flags&isa.FlagConvolve != 0 {
-			if err := d.convGather(in.UBAddr, i, usedRows, &rowBuf); err != nil {
+	s := matmulPool.Get().(*matmulScratch)
+	defer matmulPool.Put(s)
+	s.grab(rows)
+
+	if in.Flags&isa.FlagConvolve != 0 {
+		for i := 0; i < rows; i++ {
+			if err := d.convGather(in.UBAddr, i, usedRows, s.in[i*isa.MatrixDim:(i+1)*isa.MatrixDim]); err != nil {
 				return err
 			}
-		} else {
-			stride := d.regs[isa.RegMatStride]
-			if stride == 0 {
-				stride = isa.MatrixDim
-			}
+		}
+	} else {
+		stride := d.regs[isa.RegMatStride]
+		if stride == 0 {
+			stride = isa.MatrixDim
+		}
+		for i := 0; i < rows; i++ {
 			src, err := d.ub.View(in.UBAddr+uint32(i)*stride+d.regs[isa.RegMatSrcOff], usedRows)
 			if err != nil {
 				return err
 			}
-			copy(rowBuf[:usedRows], src)
-		}
-		sum, err := d.arr.MulRow(&rowBuf)
-		if err != nil {
-			return err
-		}
-		if err := d.acc.Store(int(in.AccAddr)+i, sum, accumulate); err != nil {
-			return err
+			copy(s.in[i*isa.MatrixDim:], src)
 		}
 	}
-	return nil
+	if err := d.arr.MultiplyInto(s.in, s.out, d.cfg.parallelism()); err != nil {
+		return err
+	}
+	return d.acc.StoreRows(int(in.AccAddr), s.out, accumulate)
 }
 
 // convGather builds one 256-wide systolic input row for a convolution: the
@@ -52,8 +80,10 @@ func (d *Device) matmulData(in *isa.Instruction, rows, usedRows int) error {
 // output position (chunkStart + row), gathered from the [B, H, W, Cin]
 // input tensor at base with same-style zero padding. This is the on-chip
 // address generation that lets the matrix unit "perform either a matrix
-// multiply or a convolution".
-func (d *Device) convGather(base uint32, row, usedRows int, out *[isa.MatrixDim]int8) error {
+// multiply or a convolution". out must be zeroed (len >= usedRows); input
+// channels are contiguous in both the patch vector and the source tensor,
+// so each (ky, kx) tap is copied as one run instead of per element.
+func (d *Device) convGather(base uint32, row, usedRows int, out []int8) error {
 	h := int(d.regs[isa.RegConvH])
 	w := int(d.regs[isa.RegConvW])
 	cin := int(d.regs[isa.RegConvCin])
@@ -74,7 +104,7 @@ func (d *Device) convGather(base uint32, row, usedRows int, out *[isa.MatrixDim]
 	oy := rem / ow
 	ox := rem % ow
 
-	for j := 0; j < usedRows; j++ {
+	for j := 0; j < usedRows; {
 		patchIdx := rowTile*isa.MatrixDim + j
 		ky := patchIdx / (k * cin)
 		kx := (patchIdx / cin) % k
@@ -82,17 +112,22 @@ func (d *Device) convGather(base uint32, row, usedRows int, out *[isa.MatrixDim]
 		if ky >= k {
 			break // beyond the patch: zero padding rows of the edge tile
 		}
+		// Channels ci..cin-1 of tap (ky, kx) are contiguous in the patch
+		// vector and in the [B, H, W, Cin] tensor: one copy covers the run.
+		run := min(cin-ci, usedRows-j)
 		iy := oy*s + ky - pad
 		ix := ox*s + kx - pad
 		if iy < 0 || iy >= h || ix < 0 || ix >= w {
-			continue // spatial zero padding
+			j += run // spatial zero padding: out is pre-zeroed
+			continue
 		}
 		addr := base + uint32(((img*h+iy)*w+ix)*cin+ci)
-		v, err := d.ub.View(addr, 1)
+		src, err := d.ub.View(addr, run)
 		if err != nil {
 			return err
 		}
-		out[j] = v[0]
+		copy(out[j:j+run], src)
+		j += run
 	}
 	return nil
 }

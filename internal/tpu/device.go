@@ -24,6 +24,7 @@ package tpu
 import (
 	"fmt"
 	"math"
+	goruntime "runtime"
 
 	"tpusim/internal/isa"
 	"tpusim/internal/memory"
@@ -55,6 +56,21 @@ type Config struct {
 	// Trace records per-instruction unit-occupancy events retrievable via
 	// Device.Trace after a run.
 	Trace bool
+	// Parallelism is the worker count for the functional matrix kernel:
+	// batch rows of each MatrixMultiply are sharded across this many
+	// goroutines. 0 means GOMAXPROCS; 1 runs the hot loop serially on the
+	// issuing goroutine (the pre-batching behaviour). Results are
+	// bit-identical for every value, and the timing counters are computed
+	// from the instruction stream alone, so they never depend on it.
+	Parallelism int
+}
+
+// parallelism returns the effective functional worker count.
+func (c Config) parallelism() int {
+	if c.Parallelism > 0 {
+		return c.Parallelism
+	}
+	return goruntime.GOMAXPROCS(0)
 }
 
 // fifoDepth returns the effective weight FIFO depth.
@@ -82,10 +98,15 @@ type Device struct {
 	regs [isa.RegCount]uint32
 
 	// FIFO state: tile payloads (functional), ready times (timing), and
-	// per-tile metadata, kept in fetch order.
+	// per-tile metadata, kept in fetch order. Pops advance fifoHead /
+	// tileHead instead of reslicing, so the backing arrays are allocated
+	// once per run (pre-sized to the program's total tile count) and reused
+	// across runs.
 	fifoTiles [][]int8
 	fifoReady []float64
 	fifoMeta  []isa.TileMeta
+	fifoHead  int
+	tileHead  int
 	fetchIdx  int
 	popTimes  []float64
 
@@ -144,6 +165,7 @@ func (d *Device) Run(p *isa.Program, host []int8) (Counters, error) {
 	if err != nil {
 		return Counters{}, err
 	}
+	d.sizeFIFOs(p)
 
 	for i := range p.Instructions {
 		in := &p.Instructions[i]
@@ -164,11 +186,36 @@ func (d *Device) Run(p *isa.Program, host []int8) (Counters, error) {
 }
 
 func (d *Device) reset() {
-	*d = Device{cfg: d.cfg, ub: d.ub, acc: d.acc, arr: d.arr}
+	// Keep the FIFO backing arrays so repeated runs on one device reuse
+	// their allocations.
+	fifoTiles, fifoReady := d.fifoTiles[:0], d.fifoReady[:0]
+	fifoMeta, popTimes := d.fifoMeta[:0], d.popTimes[:0]
+	*d = Device{cfg: d.cfg, ub: d.ub, acc: d.acc, arr: d.arr,
+		fifoTiles: fifoTiles, fifoReady: fifoReady, fifoMeta: fifoMeta, popTimes: popTimes}
 	if d.cfg.Functional {
 		d.ub = memory.NewUnifiedBuffer()
 		d.acc = memory.NewAccumulators()
 		d.arr = systolic.New()
+	}
+}
+
+// sizeFIFOs pre-sizes the FIFO queues to the program's total tile count so
+// the hot exec loop never calls growslice.
+func (d *Device) sizeFIFOs(p *isa.Program) {
+	tiles := 0
+	for i := range p.Instructions {
+		in := &p.Instructions[i]
+		if in.Op == isa.OpReadWeights {
+			tiles += int(in.TileCount) * in.Times()
+		}
+	}
+	if cap(d.fifoReady) < tiles {
+		d.fifoReady = make([]float64, 0, tiles)
+		d.fifoMeta = make([]isa.TileMeta, 0, tiles)
+		d.popTimes = make([]float64, 0, tiles)
+		if d.cfg.Functional {
+			d.fifoTiles = make([][]int8, 0, tiles)
+		}
 	}
 }
 
@@ -179,7 +226,7 @@ func (d *Device) finish() {
 // frontier is the furthest point any functional unit has committed work to
 // — the device's virtual completion time.
 func (d *Device) frontier() float64 {
-	return math.Max(d.issue, math.Max(d.matrixFree, math.Max(d.actFree, math.Max(d.pcieFree, d.dramFree))))
+	return fmax(d.issue, fmax(d.matrixFree, fmax(d.actFree, fmax(d.pcieFree, d.dramFree))))
 }
 
 func (d *Device) exec(in *isa.Instruction) error {
@@ -220,7 +267,7 @@ func (d *Device) pcieLink() pcie.Link {
 }
 
 func (d *Device) execReadHost(in *isa.Instruction) error {
-	start := math.Max(d.pcieFree, d.issue)
+	start := fmax(d.pcieFree, d.issue)
 	d.pcieFree = start + d.pcieLink().TransferCycles(int64(in.Len), d.cfg.ClockMHz)
 	d.emitTrace("pcie", start, d.pcieFree)
 	d.c.DMAInBytes += int64(in.Len)
@@ -234,7 +281,7 @@ func (d *Device) execReadHost(in *isa.Instruction) error {
 }
 
 func (d *Device) execWriteHost(in *isa.Instruction) error {
-	start := math.Max(d.pcieFree, math.Max(d.issue, d.barrier))
+	start := fmax(d.pcieFree, fmax(d.issue, d.barrier))
 	d.pcieFree = start + d.pcieLink().TransferCycles(int64(in.Len), d.cfg.ClockMHz)
 	d.emitTrace("pcie", start, d.pcieFree)
 	d.c.DMAOutBytes += int64(in.Len)
@@ -256,13 +303,13 @@ func (d *Device) execReadWeights(in *isa.Instruction) error {
 	fetchCycles := d.wm.TileFetchCycles(d.cfg.ClockMHz)
 	for t := 0; t < int(in.TileCount); t++ {
 		addr := in.WeightAddr + uint64(t)*isa.WeightTileBytes
-		start := math.Max(d.dramFree, d.issue)
+		start := fmax(d.dramFree, d.issue)
 		// FIFO backpressure: the DRAM cannot push tile k until tile
 		// k-depth has left the FIFO for the matrix unit.
 		if d.fetchIdx >= d.cfg.fifoDepth() {
 			backIdx := d.fetchIdx - d.cfg.fifoDepth()
 			if backIdx < len(d.popTimes) {
-				start = math.Max(start, d.popTimes[backIdx])
+				start = fmax(start, d.popTimes[backIdx])
 			} else {
 				return fmt.Errorf("weight FIFO overflow: tile %d fetched before tile %d popped", d.fetchIdx, backIdx)
 			}
@@ -295,20 +342,19 @@ func (d *Device) tileMeta(addr uint64) isa.TileMeta {
 }
 
 func (d *Device) execMatmul(in *isa.Instruction) error {
-	base := math.Max(d.matrixFree, d.issue)
+	base := fmax(d.matrixFree, d.issue)
 
 	meta := isa.TileMeta{Rows: isa.MatrixDim, Cols: isa.MatrixDim}
 	if in.Flags&isa.FlagLoadTile != 0 {
-		if len(d.fifoReady) == 0 {
+		if d.fifoHead >= len(d.fifoReady) {
 			return fmt.Errorf("matrix multiply pops empty weight FIFO")
 		}
-		readyAt := d.fifoReady[0]
-		d.fifoReady = d.fifoReady[1:]
-		meta = d.fifoMeta[0]
-		d.fifoMeta = d.fifoMeta[1:]
+		readyAt := d.fifoReady[d.fifoHead]
+		meta = d.fifoMeta[d.fifoHead]
+		d.fifoHead++
 		// The tile leaves the FIFO when its shift into the shadow buffer
 		// begins; shifts serialize on the (single) shadow buffer.
-		shiftStart := math.Max(readyAt, d.shiftDone)
+		shiftStart := fmax(readyAt, d.shiftDone)
 		d.popTimes = append(d.popTimes, shiftStart)
 		d.shiftDone = shiftStart + float64(systolic.ShiftCycles())
 		d.emitTrace("shift", shiftStart, d.shiftDone)
@@ -317,16 +363,16 @@ func (d *Device) execMatmul(in *isa.Instruction) error {
 		// (tile not yet in FIFO), then on the shift; waits on UB data
 		// (the barrier) stay in the non-matrix residual, explained by the
 		// RAW/input counters recorded at Sync.
-		start := math.Max(base, math.Max(d.shiftDone, d.barrier))
+		start := fmax(base, fmax(d.shiftDone, d.barrier))
 		if start > base {
-			fetchWait := clamp(math.Min(start, readyAt)-base, 0, start-base)
-			shiftWait := clamp(math.Min(start, d.shiftDone)-math.Max(base, readyAt), 0, start-base-fetchWait)
+			fetchWait := clamp(fmin(start, readyAt)-base, 0, start-base)
+			shiftWait := clamp(fmin(start, d.shiftDone)-fmax(base, readyAt), 0, start-base-fetchWait)
 			d.c.WeightStall += int64(fetchWait)
 			d.c.WeightShift += int64(shiftWait)
 		}
 		if d.cfg.Functional {
-			tileBytes := d.fifoTiles[0]
-			d.fifoTiles = d.fifoTiles[1:]
+			tileBytes := d.fifoTiles[d.tileHead]
+			d.tileHead++
 			tile, err := systolic.TileFromBytes(tileBytes)
 			if err != nil {
 				return err
@@ -345,11 +391,11 @@ func (d *Device) execMatmul(in *isa.Instruction) error {
 	usedRows = min(usedRows, int(meta.Rows))
 	usedCols := int(meta.Cols)
 
-	start := math.Max(base, math.Max(d.barrier, d.shiftDoneIfLoading(in)))
+	start := fmax(base, fmax(d.barrier, d.shiftDoneIfLoading(in)))
 	// Accumulator WAR hazard: overwriting a half that a previous Activate
 	// is still draining.
 	if in.Flags&isa.FlagAccumulate == 0 {
-		start = math.Max(start, d.accHalfFree[accHalf(in.AccAddr)])
+		start = fmax(start, d.accHalfFree[accHalf(in.AccAddr)])
 	}
 	active := float64(systolic.ComputeCycles(rows, mode))
 	d.matrixFree = start + active
@@ -406,13 +452,13 @@ func (d *Device) execActivate(in *isa.Instruction) error {
 		duration = float64(in.Len)
 	}
 
-	start := math.Max(d.actFree, d.issue)
+	start := fmax(d.actFree, d.issue)
 	if fromUB {
-		start = math.Max(start, d.barrier)
+		start = fmax(start, d.barrier)
 	} else {
 		// Accumulator data is visible once the in-order matrix pipeline
 		// has drained its wavefront.
-		start = math.Max(start, d.matrixFree+float64(systolic.FillLatency()))
+		start = fmax(start, d.matrixFree+float64(systolic.FillLatency()))
 	}
 	d.actFree = start + duration
 	d.emitTrace("activation", start, d.actFree)
@@ -429,19 +475,37 @@ func (d *Device) execActivate(in *isa.Instruction) error {
 }
 
 func (d *Device) execSync() {
-	base := math.Max(d.matrixFree+float64(systolic.FillLatency()), d.issue)
-	barrier := math.Max(base, math.Max(d.actFree, d.pcieFree))
+	base := fmax(d.matrixFree+float64(systolic.FillLatency()), d.issue)
+	barrier := fmax(base, fmax(d.actFree, d.pcieFree))
 	if d.actFree >= d.pcieFree {
-		d.c.RAWStall += int64(math.Max(0, d.actFree-math.Max(base, d.pcieFree)))
-		d.c.InputStall += int64(math.Max(0, d.pcieFree-base))
+		d.c.RAWStall += int64(fmax(0, d.actFree-fmax(base, d.pcieFree)))
+		d.c.InputStall += int64(fmax(0, d.pcieFree-base))
 	} else {
-		d.c.InputStall += int64(math.Max(0, d.pcieFree-math.Max(base, d.actFree)))
-		d.c.RAWStall += int64(math.Max(0, d.actFree-base))
+		d.c.InputStall += int64(fmax(0, d.pcieFree-fmax(base, d.actFree)))
+		d.c.RAWStall += int64(fmax(0, d.actFree-base))
 	}
-	d.emitTrace("sync", math.Min(d.issue, barrier), barrier)
+	d.emitTrace("sync", fmin(d.issue, barrier), barrier)
 	d.barrier = barrier
 	d.issue = barrier
 	d.c.Syncs++
+}
+
+// fmax / fmin are branch-cheap float max/min for the timing math. The
+// simulator's timestamps are always finite and non-NaN, so skipping
+// math.Max's NaN/signed-zero handling is behaviour-preserving and keeps
+// the exec loop free of function-call overhead.
+func fmax(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func fmin(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
 }
 
 func clamp(v, lo, hi float64) float64 {

@@ -1,0 +1,113 @@
+package tpu
+
+import (
+	"testing"
+
+	"tpusim/internal/compiler"
+	"tpusim/internal/models"
+	"tpusim/internal/nn"
+	"tpusim/internal/tensor"
+)
+
+// runFunctional compiles and runs a random model at the given Parallelism,
+// returning the output bytes and the full counter file.
+func runFunctional(t *testing.T, seed int64, parallelism int) ([]int8, Counters) {
+	t.Helper()
+	m := randomModel(seed)
+	p := nn.InitRandom(m, seed+1, 0.2)
+	in := tensor.NewF32(m.Batch, m.InputElems())
+	in.FillRandom(seed+2, 1)
+	qm, err := nn.QuantizeModel(m, p, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	art, err := compiler.Compile(qm, compiler.Options{Allocator: compiler.Reuse})
+	if err != nil {
+		t.Fatal(err)
+	}
+	host, err := compiler.PackInput(art, qm.QuantizeInput(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.Functional = true
+	cfg.Parallelism = parallelism
+	dev, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := dev.Run(art.Program, host)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := compiler.UnpackOutput(art, host)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out.Data, c
+}
+
+// TestFunctionalBitExactAcrossParallelism: outputs and counters must be
+// byte-identical whether the functional matmul kernel runs serially or
+// sharded across workers.
+func TestFunctionalBitExactAcrossParallelism(t *testing.T) {
+	for seed := int64(0); seed < 6; seed++ {
+		refOut, refC := runFunctional(t, seed*101, 1)
+		for _, par := range []int{0, 2, 8} {
+			out, c := runFunctional(t, seed*101, par)
+			if c != refC {
+				t.Fatalf("seed %d: counters differ at Parallelism=%d:\n%v\nvs Parallelism=1:\n%v",
+					seed, par, c, refC)
+			}
+			for i := range refOut {
+				if out[i] != refOut[i] {
+					t.Fatalf("seed %d: output[%d] = %d at Parallelism=%d, %d at Parallelism=1",
+						seed, i, out[i], par, refOut[i])
+				}
+			}
+		}
+	}
+}
+
+// TestProductionCountersIdenticalAcrossParallelism regenerates the Table 3
+// counter files for every production app at Parallelism 1 and N, in every
+// precision mode (Full/Half/Quarter), and requires byte-identical counters:
+// the timing model is computed from the instruction stream alone.
+func TestProductionCountersIdenticalAcrossParallelism(t *testing.T) {
+	modes := []struct {
+		name     string
+		w16, a16 bool
+	}{
+		{"full", false, false},
+		{"half", true, false},
+		{"quarter", true, true},
+	}
+	for _, b := range models.All() {
+		for _, mode := range modes {
+			art, err := compiler.CompileShape(b.Model, compiler.Options{
+				Allocator: compiler.Reuse, Weights16: mode.w16, Acts16: mode.a16,
+			})
+			if err != nil {
+				t.Fatalf("%s/%s: %v", b.Model.Name, mode.name, err)
+			}
+			var ref Counters
+			for i, par := range []int{1, 8} {
+				cfg := DefaultConfig()
+				cfg.Parallelism = par
+				dev, err := New(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				c, err := dev.Run(art.Program, nil)
+				if err != nil {
+					t.Fatalf("%s/%s: %v", b.Model.Name, mode.name, err)
+				}
+				if i == 0 {
+					ref = c
+				} else if c != ref {
+					t.Errorf("%s/%s: counters differ between Parallelism=1 and %d", b.Model.Name, mode.name, par)
+				}
+			}
+		}
+	}
+}
