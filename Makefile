@@ -1,11 +1,16 @@
 GO ?= go
 
-.PHONY: ci vet build test race bench-smoke bench
+.PHONY: ci vet vet-cmd build test race bench-smoke bench fuzz-smoke cover
 
-ci: vet build race bench-smoke
+ci: vet vet-cmd build race fuzz-smoke cover bench-smoke
 
 vet:
 	$(GO) vet ./...
+
+# Explicit vet of the command entry points (also covered by vet, kept as a
+# named target so CI output shows the binaries were checked).
+vet-cmd:
+	$(GO) vet ./cmd/...
 
 build:
 	$(GO) build ./...
@@ -24,3 +29,21 @@ bench-smoke:
 # Full benchmark sweep (tables, figures, kernels).
 bench:
 	$(GO) test -bench . -benchmem ./...
+
+# Fuzz smoke: run each native fuzz target for a few seconds so CI notices
+# decoder regressions without a dedicated fuzzing job.
+fuzz-smoke:
+	$(GO) test ./internal/isa -run '^$$' -fuzz '^FuzzDecode$$' -fuzztime 5s
+	$(GO) test ./internal/isa -run '^$$' -fuzz '^FuzzProgramValidate$$' -fuzztime 5s
+
+# Coverage floor: the tier-1 packages must keep at least 80% statement
+# coverage (examples are exercised separately by their smoke test).
+COVER_FLOOR ?= 80.0
+
+cover:
+	$(GO) test -short -count=1 -coverprofile=cover.out ./internal/...
+	@total=$$($(GO) tool cover -func=cover.out | awk '/^total:/ {sub(/%/, "", $$3); print $$3}'); \
+	echo "total coverage: $$total% (floor $(COVER_FLOOR)%)"; \
+	awk -v t="$$total" -v f="$(COVER_FLOOR)" 'BEGIN { exit !(t+0 >= f+0) }' || \
+		{ echo "coverage $$total% is below the $(COVER_FLOOR)% floor"; exit 1; }
+	@rm -f cover.out

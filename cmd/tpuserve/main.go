@@ -1,0 +1,137 @@
+// Command tpuserve exercises the deadline-aware serving layer.
+//
+//	tpuserve                  # virtual-time load sweep: the Table 4 knee for all six apps
+//	tpuserve -mode live       # wall-clock demo: batcher + metrics over a simulated backend
+//	tpuserve -mode live -json # same, but dump the metrics registry as JSON
+//
+// The sweep mode replays each app's deadline-aware batching policy against
+// open-loop Poisson arrivals at increasing rates and prints the
+// latency-bounded-throughput curve: achieved throughput tracks offered
+// load up to deadline-safe capacity, then flattens while the p99 of served
+// requests stays inside the 7 ms SLA.
+//
+// The live mode runs the real wall-clock server: per-model lanes, bounded
+// queues, fill-wait batching, shed-at-dispatch — with service times slowed
+// by -timescale so a laptop can watch the batcher work. It finishes by
+// printing the live metrics registry.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"sync"
+	"time"
+
+	"tpusim/internal/experiments"
+	"tpusim/internal/latency"
+	"tpusim/internal/models"
+	"tpusim/internal/serve"
+	"tpusim/internal/tensor"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("tpuserve: ")
+	mode := flag.String("mode", "sweep", "sweep (virtual-time knee curves) or live (wall-clock server demo)")
+	duration := flag.Duration("duration", 2*time.Second, "live mode: how long to offer load")
+	timescale := flag.Float64("timescale", 500, "live mode: slow modeled service times by this factor")
+	loadFrac := flag.Float64("load", 0.8, "live mode: offered load as a fraction of deadline-safe capacity")
+	asJSON := flag.Bool("json", false, "live mode: print the metrics registry as JSON instead of text")
+	flag.Parse()
+
+	switch *mode {
+	case "sweep":
+		rows, err := experiments.LoadSweepAll()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(experiments.RenderLoadSweep(rows))
+	case "live":
+		if err := live(*duration, *timescale, *loadFrac, *asJSON); err != nil {
+			log.Fatal(err)
+		}
+	default:
+		log.Fatalf("unknown -mode %q (want sweep or live)", *mode)
+	}
+}
+
+// live drives the wall-clock server with Poisson arrivals for each app.
+// Modeled service times are stretched by scale, and offered rates shrink by
+// the same factor, so the batching dynamics (relative to the SLA) are
+// preserved while staying at laptop-friendly request rates.
+func live(duration time.Duration, scale, loadFrac float64, asJSON bool) error {
+	if scale <= 0 || loadFrac <= 0 {
+		return fmt.Errorf("need positive -timescale and -load")
+	}
+	// The backend sleeps exactly the modeled time: the service model below
+	// is already stretched by scale.
+	backend := serve.NewSimBackend(1)
+	srv := serve.NewServer(backend)
+	type app struct {
+		name string
+		rate float64 // wall-clock offered rate
+	}
+	var apps []app
+	for _, b := range models.All() {
+		name := b.Model.Name
+		// The scaled service model: the policy resolves against scaled
+		// times and a scaled SLA, keeping the same safe batch.
+		sm := latency.ServiceFunc(func(n int) (float64, error) {
+			s, err := experiments.TPUBatchSeconds(name, n)
+			return s * scale, err
+		})
+		backend.AddModel(name, sm)
+		plan, err := srv.Register(name, serve.ModelConfig{
+			Policy:  serve.Policy{MaxBatch: b.Model.Batch, SLASeconds: 7e-3 * scale},
+			Service: sm,
+		})
+		if err != nil {
+			return err
+		}
+		capacity := float64(plan.SafeBatch) / plan.SafeServiceSeconds
+		apps = append(apps, app{name: name, rate: loadFrac * capacity})
+		fmt.Printf("%-6s safe batch %4d  svc %6.2f ms (x%g)  offered %6.1f req/s\n",
+			name, plan.SafeBatch, plan.SafeServiceSeconds*1e3, scale, loadFrac*capacity)
+	}
+	var wg sync.WaitGroup
+	stop := make(chan struct{}) // closed, so every generator sees it
+	time.AfterFunc(duration, func() { close(stop) })
+	for _, a := range apps {
+		wg.Add(1)
+		go func(a app) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(1))
+			var inner sync.WaitGroup
+			for {
+				select {
+				case <-stop:
+					inner.Wait()
+					return
+				default:
+				}
+				time.Sleep(time.Duration(rng.ExpFloat64() / a.rate * float64(time.Second)))
+				inner.Add(1)
+				go func() {
+					defer inner.Done()
+					srv.Submit(a.name, tensor.NewF32(1, 1)) //nolint:errcheck // sheds are expected
+				}()
+			}
+		}(a)
+	}
+	wg.Wait()
+	srv.Close()
+
+	if asJSON {
+		data, err := srv.Metrics().JSON()
+		if err != nil {
+			return err
+		}
+		fmt.Println(string(data))
+		return nil
+	}
+	fmt.Println()
+	fmt.Print(srv.Metrics().Text())
+	return nil
+}

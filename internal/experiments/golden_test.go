@@ -1,0 +1,97 @@
+package experiments
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// update regenerates the golden files:
+//
+//	go test ./internal/experiments -run TestGolden -update
+var update = flag.Bool("update", false, "rewrite golden files with current output")
+
+// goldenTables pins the rendered Table 2/3/4/6 output. Every generator is
+// seeded and deterministic, so any drift in the simulator, the perf model,
+// or the renderers shows up as a readable diff against testdata/golden/.
+func goldenTables(t *testing.T) map[string]func() (string, error) {
+	t.Helper()
+	return map[string]func() (string, error){
+		"table2.txt": func() (string, error) {
+			return RenderTable2(Table2()), nil
+		},
+		"table3.txt": func() (string, error) {
+			rows, err := Table3()
+			if err != nil {
+				return "", err
+			}
+			return RenderTable3(rows), nil
+		},
+		"table4.txt": func() (string, error) {
+			rows, err := Table4()
+			if err != nil {
+				return "", err
+			}
+			return RenderTable4(rows), nil
+		},
+		"table6.txt": func() (string, error) {
+			res, err := Table6()
+			if err != nil {
+				return "", err
+			}
+			return RenderTable6(res), nil
+		},
+	}
+}
+
+func TestGoldenTables(t *testing.T) {
+	for name, gen := range goldenTables(t) {
+		t.Run(name, func(t *testing.T) {
+			got, err := gen()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got == "" {
+				t.Fatal("empty rendering")
+			}
+			path := filepath.Join("testdata", "golden", name)
+			if *update {
+				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden file (run with -update to create): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("%s drifted from golden file.\n--- got ---\n%s--- want ---\n%s(run with -update to accept)",
+					name, got, want)
+			}
+		})
+	}
+}
+
+// TestGoldenDeterministic guards the premise of golden testing: rendering
+// twice gives byte-identical output (all randomness is seeded, caches are
+// transparent).
+func TestGoldenDeterministic(t *testing.T) {
+	for name, gen := range goldenTables(t) {
+		a, err := gen()
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := gen()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a != b {
+			t.Errorf("%s renders nondeterministically", name)
+		}
+	}
+}

@@ -1,0 +1,129 @@
+// Native Go fuzz targets for the ISA wire format. This file lives in
+// package isa_test so the seed corpus can be built from real compiled
+// programs (importing the compiler from package isa would be a cycle).
+//
+// Run them as fuzzers with:
+//
+//	go test ./internal/isa -fuzz FuzzDecode -fuzztime 30s
+//	go test ./internal/isa -fuzz FuzzProgramValidate -fuzztime 30s
+//
+// Without -fuzz they run the seed corpus as ordinary tests.
+package isa_test
+
+import (
+	"bytes"
+	"testing"
+
+	"tpusim/internal/compiler"
+	"tpusim/internal/isa"
+	"tpusim/internal/models"
+)
+
+// seedWire adds the compiled six-app programs (tiny variants, so seeds stay
+// small) plus hand-picked edge cases to the corpus.
+func seedWire(f *testing.F) {
+	f.Helper()
+	for _, name := range models.Names() {
+		m, err := models.Tiny(name)
+		if err != nil {
+			f.Fatal(err)
+		}
+		art, err := compiler.CompileShape(m, compiler.Options{Allocator: compiler.Reuse})
+		if err != nil {
+			f.Fatal(err)
+		}
+		wire, err := art.Program.Encode()
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(wire)
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0})
+	f.Add([]byte{byte(isa.OpHalt), 0})
+	f.Add([]byte{byte(isa.OpMatrixMultiply)})                       // truncated
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff})                           // bogus opcode
+	f.Add(bytes.Repeat([]byte{byte(isa.OpNop), 0}, 16))             // nop sled
+	f.Add([]byte{byte(isa.OpSync), 0, 0, 0, byte(isa.OpHalt), 0x1}) // trailing flag bits
+}
+
+// FuzzDecode: the instruction decoder is a trust boundary — the buffer
+// receives bytes straight off PCIe. For arbitrary input it must never
+// panic, and anything it accepts must validate and round-trip through the
+// canonical encoding: decode(encode(decode(x))) == decode(x), with
+// byte-identical re-encoding (encode zeroes the bytes decode ignores).
+func FuzzDecode(f *testing.F) {
+	seedWire(f)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		in, n, err := isa.Decode(data)
+		if err != nil {
+			return
+		}
+		if n <= 0 || n > len(data) {
+			t.Fatalf("consumed %d of %d bytes", n, len(data))
+		}
+		if verr := in.Validate(); verr != nil {
+			t.Fatalf("decoder accepted invalid instruction %+v: %v", in, verr)
+		}
+		wire, err := isa.Encode(nil, in)
+		if err != nil {
+			t.Fatalf("decoded instruction does not re-encode: %v", err)
+		}
+		in2, n2, err := isa.Decode(wire)
+		if err != nil {
+			t.Fatalf("canonical encoding does not decode: %v", err)
+		}
+		if n2 != len(wire) {
+			t.Fatalf("canonical decode consumed %d of %d bytes", n2, len(wire))
+		}
+		if in2 != in {
+			t.Fatalf("round trip changed instruction:\n got %+v\nwant %+v", in2, in)
+		}
+		wire2, err := isa.Encode(nil, in2)
+		if err != nil || !bytes.Equal(wire, wire2) {
+			t.Fatalf("re-encoding not byte-identical (%v)", err)
+		}
+	})
+}
+
+// FuzzProgramValidate: whole-stream decoding and program validation must
+// never panic, and any stream that parses must round-trip as a program.
+func FuzzProgramValidate(f *testing.F) {
+	seedWire(f)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := isa.DecodeProgram("fuzz", data)
+		if err != nil {
+			return
+		}
+		// Validate must not panic; it may legitimately fail (e.g. an empty
+		// stream decodes to an empty program, which is not runnable).
+		if verr := p.Validate(); verr == nil {
+			for i, in := range p.Instructions {
+				if ierr := in.Validate(); ierr != nil {
+					t.Fatalf("validated program holds invalid instruction %d: %v", i, ierr)
+				}
+			}
+		}
+		wire, err := p.Encode()
+		if err != nil {
+			t.Fatalf("decoded program does not re-encode: %v", err)
+		}
+		p2, err := isa.DecodeProgram("fuzz2", wire)
+		if err != nil {
+			t.Fatalf("canonical program encoding does not decode: %v", err)
+		}
+		if len(p2.Instructions) != len(p.Instructions) {
+			t.Fatalf("round trip changed instruction count %d -> %d",
+				len(p.Instructions), len(p2.Instructions))
+		}
+		for i := range p.Instructions {
+			if p.Instructions[i] != p2.Instructions[i] {
+				t.Fatalf("round trip changed instruction %d", i)
+			}
+		}
+		wire2, err := p2.Encode()
+		if err != nil || !bytes.Equal(wire, wire2) {
+			t.Fatalf("program re-encoding not byte-identical (%v)", err)
+		}
+	})
+}

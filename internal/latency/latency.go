@@ -41,6 +41,8 @@ type Config struct {
 
 // Result summarizes one simulation.
 type Result struct {
+	// Offered is the configured arrival rate in requests per second.
+	Offered float64
 	// P50, P99, Mean are request latencies in seconds (queue wait plus
 	// service of the whole batch the request rode in).
 	P50, P99, Mean float64
@@ -49,6 +51,9 @@ type Result struct {
 	// MeanBatch is the average assembled batch size; under light load
 	// batches go out partially filled.
 	MeanBatch float64
+	// MaxQueue is the deepest the waiting queue got at a dispatch point —
+	// the backlog a bounded-queue server would have needed to hold.
+	MaxQueue int
 }
 
 // Simulate runs the batching queue: requests arrive open-loop; whenever the
@@ -70,7 +75,7 @@ func Simulate(sm ServiceModel, cfg Config) (Result, error) {
 
 	latencies := make([]float64, 0, cfg.Requests)
 	var serverFree float64
-	batches := 0
+	batches, maxQueue := 0, 0
 	i := 0
 	for i < len(arrivals) {
 		// The server picks up work at the later of its availability and
@@ -83,6 +88,9 @@ func Simulate(sm ServiceModel, cfg Config) (Result, error) {
 		j := i
 		for j < len(arrivals) && j-i < cfg.Batch && arrivals[j] <= start {
 			j++
+		}
+		if depth := waiting(arrivals, i, start); depth > maxQueue {
+			maxQueue = depth
 		}
 		if j == i {
 			j = i + 1 // at least the first request
@@ -118,10 +126,22 @@ func Simulate(sm ServiceModel, cfg Config) (Result, error) {
 	}
 	span := serverFree - arrivals[0]
 	return Result{
-		P50: p50, P99: p99, Mean: mean,
+		Offered: cfg.RatePerSecond,
+		P50:     p50, P99: p99, Mean: mean,
 		Throughput: float64(cfg.Requests) / span,
 		MeanBatch:  float64(cfg.Requests) / float64(batches),
+		MaxQueue:   maxQueue,
 	}, nil
+}
+
+// waiting counts requests at or after index i that have arrived by time t —
+// the queue depth the server sees at a dispatch point.
+func waiting(arrivals []float64, i int, t float64) int {
+	n := 0
+	for k := i; k < len(arrivals) && arrivals[k] <= t; k++ {
+		n++
+	}
+	return n
 }
 
 // Capacity returns the server's saturation throughput at a batch size.

@@ -152,3 +152,28 @@ func TestTable4CPUShape(t *testing.T) {
 		t.Errorf("CPU batch-64 p99 = %.1f ms; Table 4 says it exceeds 7 ms", r64.P99*1e3)
 	}
 }
+
+func TestSimulateQueueAndOfferedFields(t *testing.T) {
+	sm := fixedService(2e-3, 0.05e-3)
+	cap_, _ := Capacity(sm, 16)
+	r, err := Simulate(sm, Config{Batch: 16, RatePerSecond: cap_ * 0.95, Requests: 20000, Seed: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Offered != cap_*0.95 {
+		t.Errorf("offered = %v, want %v", r.Offered, cap_*0.95)
+	}
+	// Near saturation the queue must back up beyond one batch.
+	if r.MaxQueue <= 1 {
+		t.Errorf("max queue = %d near saturation, want backlog", r.MaxQueue)
+	}
+	// At very light load the queue never holds more than the request being
+	// picked up.
+	light, err := Simulate(sm, Config{Batch: 16, RatePerSecond: 5, Requests: 2000, Seed: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if light.MaxQueue > 3 {
+		t.Errorf("light-load max queue = %d, want ~1", light.MaxQueue)
+	}
+}

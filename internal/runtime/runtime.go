@@ -267,6 +267,17 @@ func (s *Server) Run(m *nn.Model, params *nn.Params, in *tensor.F32) (*Inference
 	return d.Run(m, params, in)
 }
 
+// RunOn dispatches a batch to a specific device. The serving layer pins
+// each model to one TPU so its compiled program image and weight region
+// stay resident on that device's driver (maximizing the Section 2 cache
+// behaviour); different models pinned to different devices run in parallel.
+func (s *Server) RunOn(device int, m *nn.Model, params *nn.Params, in *tensor.F32) (*InferenceResult, error) {
+	if device < 0 || device >= len(s.drivers) {
+		return nil, fmt.Errorf("runtime: device %d out of range [0, %d)", device, len(s.drivers))
+	}
+	return s.drivers[device].Run(m, params, in)
+}
+
 // Request is one inference batch for concurrent dispatch.
 type Request struct {
 	Model  *nn.Model

@@ -144,6 +144,43 @@ func TestServerErrors(t *testing.T) {
 	}
 }
 
+func TestServerRunOn(t *testing.T) {
+	s, err := NewServer(2, tpu.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, p, in := testModel()
+	// Pinned runs stay on one device: its driver compiles once, the other
+	// driver never compiles at all.
+	for i := 0; i < 3; i++ {
+		if _, err := s.RunOn(1, m, p, in); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if c0, c1 := s.drivers[0].Compilations, s.drivers[1].Compilations; c0 != 0 || c1 != 1 {
+		t.Errorf("compilations = %d/%d, want 0/1 (pinned to device 1)", c0, c1)
+	}
+	// Pinned and round-robin runs agree on the answer.
+	rr, err := s.Run(m, p, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pinned, err := s.RunOn(1, m, p, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range rr.Output.Data {
+		if rr.Output.Data[i] != pinned.Output.Data[i] {
+			t.Fatal("pinned run diverged from round-robin run")
+		}
+	}
+	for _, dev := range []int{-1, 2} {
+		if _, err := s.RunOn(dev, m, p, in); err == nil {
+			t.Errorf("device %d accepted", dev)
+		}
+	}
+}
+
 func TestDriverTinyBenchmarks(t *testing.T) {
 	// All six benchmark structures run end to end through the driver.
 	d, err := NewDriver(tpu.DefaultConfig())

@@ -1,0 +1,209 @@
+package serve
+
+import (
+	"math"
+	"testing"
+
+	"tpusim/internal/models"
+	"tpusim/internal/nn"
+	"tpusim/internal/runtime"
+	"tpusim/internal/tensor"
+	"tpusim/internal/tpu"
+)
+
+// tinyServed compiles one tiny benchmark onto a fresh 2-device runtime
+// server and registers it with a RuntimeBackend.
+func tinyServed(t *testing.T, name string) (*RuntimeBackend, *nn.Model, *nn.Params) {
+	t.Helper()
+	srv, err := runtime.NewServer(2, tpu.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := models.Tiny(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := nn.InitRandom(m, 11, 0.25)
+	b := NewRuntimeBackend(srv)
+	if err := b.AddModel(m, p); err != nil {
+		t.Fatal(err)
+	}
+	return b, m, p
+}
+
+// requestRows builds n per-request rows with distinct random data.
+func requestRows(m *nn.Model, n int) []*tensor.F32 {
+	rows := make([]*tensor.F32, n)
+	for i := range rows {
+		r := tensor.NewF32(1, m.InputElems())
+		r.FillRandom(int64(100+i), 1)
+		rows[i] = r
+	}
+	return rows
+}
+
+func TestRuntimeBackendMatchesReference(t *testing.T) {
+	b, m, p := tinyServed(t, "MLP0")
+	rows := requestRows(m, m.Batch)
+	outs, err := b.Run(m.Name, rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(outs) != len(rows) {
+		t.Fatalf("%d outputs for %d requests", len(outs), len(rows))
+	}
+	// Reference: the same rows stacked into one full batch through the
+	// float32 forward pass.
+	in := tensor.NewF32(m.Batch, m.InputElems())
+	for i, r := range rows {
+		copy(in.Data[i*m.InputElems():], r.Data)
+	}
+	want, err := nn.Forward(m, p, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rowOut := len(want.Data) / m.Batch
+	for i, o := range outs {
+		if len(o.Data) != rowOut {
+			t.Fatalf("request %d output has %d elems, want %d", i, len(o.Data), rowOut)
+		}
+		for j, v := range o.Data {
+			if math.Abs(float64(v-want.Data[i*rowOut+j])) > 0.1 {
+				t.Fatalf("request %d elem %d: %v vs reference %v", i, j, v, want.Data[i*rowOut+j])
+			}
+		}
+	}
+}
+
+func TestRuntimeBackendPadsPartialBatches(t *testing.T) {
+	b, m, _ := tinyServed(t, "MLP0")
+	if m.Batch < 2 {
+		t.Skipf("tiny MLP0 batch %d too small", m.Batch)
+	}
+	rows := requestRows(m, m.Batch)
+	full, err := b.Run(m.Name, rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A short batch is padded with zero rows up to the compiled batch; the
+	// real requests' outputs are unchanged because rows are independent.
+	part, err := b.Run(m.Name, rows[:2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(part) != 2 {
+		t.Fatalf("%d outputs for 2 requests", len(part))
+	}
+	for i := 0; i < 2; i++ {
+		for j := range part[i].Data {
+			if part[i].Data[j] != full[i].Data[j] {
+				t.Fatalf("request %d diverges between padded and full batch", i)
+			}
+		}
+	}
+}
+
+func TestRuntimeBackendServesCNNRows(t *testing.T) {
+	// CNN inputs flow through the same flat-row path: one request row is
+	// the H*W*Cin image flattened.
+	b, m, _ := tinyServed(t, "CNN0")
+	outs, err := b.Run(m.Name, requestRows(m, m.Batch))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(outs) != m.Batch || len(outs[0].Data) == 0 {
+		t.Fatalf("bad CNN outputs: %d requests, first has %d elems", len(outs), len(outs[0].Data))
+	}
+}
+
+func TestRuntimeBackendErrors(t *testing.T) {
+	b, m, p := tinyServed(t, "MLP0")
+	if _, err := b.Run("nope", requestRows(m, 1)); err == nil {
+		t.Error("unknown model accepted")
+	}
+	if _, err := b.Run(m.Name, nil); err == nil {
+		t.Error("empty batch accepted")
+	}
+	if _, err := b.Run(m.Name, requestRows(m, m.Batch+1)); err == nil {
+		t.Error("oversized batch accepted")
+	}
+	bad := tensor.NewF32(1, m.InputElems()+1)
+	if _, err := b.Run(m.Name, []*tensor.F32{bad}); err == nil {
+		t.Error("wrong-sized request accepted")
+	}
+	if err := b.AddModel(m, p); err == nil {
+		t.Error("duplicate model accepted")
+	}
+	if err := b.AddModel(&nn.Model{Name: "bad"}, &nn.Params{}); err == nil {
+		t.Error("invalid model accepted")
+	}
+}
+
+func TestRuntimeBackendPinsDevicesRoundRobin(t *testing.T) {
+	srv, err := runtime.NewServer(2, tpu.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := NewRuntimeBackend(srv)
+	var names []string
+	for _, name := range []string{"MLP0", "MLP1"} {
+		m, err := models.Tiny(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := b.AddModel(m, nn.InitRandom(m, 3, 0.25)); err != nil {
+			t.Fatal(err)
+		}
+		names = append(names, m.Name)
+	}
+	if d0, d1 := b.models[names[0]].dev, b.models[names[1]].dev; d0 == d1 {
+		t.Errorf("both models pinned to device %d; want round robin", d0)
+	}
+}
+
+// TestServerOverRuntimeBackend wires the full stack: serve.Server batching
+// real requests onto the simulated TPU via the runtime driver.
+func TestServerOverRuntimeBackend(t *testing.T) {
+	b, m, _ := tinyServed(t, "MLP0")
+	s := NewServer(b)
+	plan, err := s.Register(m.Name, ModelConfig{
+		// A generous SLA: this test is about plumbing, not deadlines.
+		Policy:  Policy{MaxBatch: m.Batch, SLASeconds: 10, MaxWaitSeconds: 2e-3},
+		Service: linearService(1e-4, 1e-6),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.SafeBatch != m.Batch {
+		t.Errorf("safe batch %d, want compiled batch %d", plan.SafeBatch, m.Batch)
+	}
+	rows := requestRows(m, 6)
+	type out struct {
+		resp Response
+		err  error
+	}
+	outs := make(chan out, len(rows))
+	for _, r := range rows {
+		go func(r *tensor.F32) {
+			resp, err := s.Submit(m.Name, r)
+			outs <- out{resp, err}
+		}(r)
+	}
+	for range rows {
+		o := <-outs
+		if o.err != nil {
+			t.Fatal(o.err)
+		}
+		if o.resp.Output == nil || len(o.resp.Output.Data) == 0 {
+			t.Error("empty output from runtime backend")
+		}
+		if o.resp.BatchSize < 1 || o.resp.BatchSize > m.Batch {
+			t.Errorf("batch size %d out of range", o.resp.BatchSize)
+		}
+	}
+	s.Close()
+	snap := s.Metrics().Snapshot().Models[0]
+	if snap.Completed != uint64(len(rows)) {
+		t.Errorf("completed %d of %d", snap.Completed, len(rows))
+	}
+}

@@ -1,0 +1,138 @@
+package serve
+
+import (
+	"fmt"
+
+	"tpusim/internal/latency"
+)
+
+// slaSlop absorbs float rounding when comparing latencies against the SLA.
+const slaSlop = 1e-12
+
+// Policy is the per-model serving policy. The zero values of MaxWaitSeconds
+// and QueueLimit are resolved from the latency model (see Resolve); MaxBatch
+// and SLASeconds must be set.
+type Policy struct {
+	// MaxBatch is the upper bound on assembled batch size, typically the
+	// model's production batch (Table 1). The resolved deadline-safe batch
+	// never exceeds it.
+	MaxBatch int
+	// SLASeconds is the 99th-percentile response-time bound; the paper's
+	// applications use 7 ms.
+	SLASeconds float64
+	// MaxWaitSeconds bounds how long the head-of-line request waits for
+	// the batch to fill. 0 derives half the slack left after serving a
+	// safe batch, so fill waiting alone can never spend the whole budget.
+	MaxWaitSeconds float64
+	// QueueLimit bounds the per-model queue; arrivals beyond it are shed
+	// at admission. 0 derives a deadline-aware bound: the largest backlog
+	// (in safe batches, capped at four) that can still drain within the
+	// SLA, so admitted requests are rarely doomed to expire at dispatch.
+	QueueLimit int
+}
+
+// Plan is a Policy resolved against a concrete latency model: the concrete
+// numbers the batcher runs with.
+type Plan struct {
+	// SafeBatch is the largest batch whose service time alone fits in the
+	// SLA. Dispatching more than this is never admissible.
+	SafeBatch int
+	// SafeServiceSeconds is the service time of a SafeBatch-sized batch.
+	SafeServiceSeconds float64
+	// MaxWaitSeconds is the resolved head-of-line fill wait.
+	MaxWaitSeconds float64
+	// QueueLimit is the resolved admission bound.
+	QueueLimit int
+	// SLASeconds echoes the policy's deadline.
+	SLASeconds float64
+}
+
+// Validate checks the fields a caller must set.
+func (p Policy) Validate() error {
+	if p.MaxBatch < 1 {
+		return fmt.Errorf("serve: MaxBatch %d, need >= 1", p.MaxBatch)
+	}
+	if p.SLASeconds <= 0 {
+		return fmt.Errorf("serve: SLASeconds %v, need > 0", p.SLASeconds)
+	}
+	if p.MaxWaitSeconds < 0 {
+		return fmt.Errorf("serve: negative MaxWaitSeconds %v", p.MaxWaitSeconds)
+	}
+	if p.QueueLimit < 0 {
+		return fmt.Errorf("serve: negative QueueLimit %d", p.QueueLimit)
+	}
+	return nil
+}
+
+// Resolve sizes the policy against a latency model. It finds the largest
+// deadline-safe batch by binary search (batch service time is nondecreasing
+// in batch size), then derives the fill wait and queue bound. It fails if
+// even a single-request batch cannot meet the SLA — no operating point
+// exists, and serving would only burn capacity on doomed work.
+func (p Policy) Resolve(sm latency.ServiceModel) (Plan, error) {
+	if err := p.Validate(); err != nil {
+		return Plan{}, err
+	}
+	svc1, err := sm.BatchSeconds(1)
+	if err != nil {
+		return Plan{}, err
+	}
+	if svc1 <= 0 {
+		return Plan{}, fmt.Errorf("serve: non-positive service time %v for batch 1", svc1)
+	}
+	if svc1 > p.SLASeconds+slaSlop {
+		return Plan{}, fmt.Errorf("serve: batch-1 service %.3f ms exceeds SLA %.3f ms; no deadline-safe operating point",
+			svc1*1e3, p.SLASeconds*1e3)
+	}
+	// Largest b in [1, MaxBatch] with svc(b) <= SLA.
+	lo, hi := 1, p.MaxBatch // invariant: svc(lo) <= SLA
+	safeSvc := svc1
+	for lo < hi {
+		mid := (lo + hi + 1) / 2
+		svc, err := sm.BatchSeconds(mid)
+		if err != nil {
+			return Plan{}, err
+		}
+		if svc <= p.SLASeconds+slaSlop {
+			lo, safeSvc = mid, svc
+		} else {
+			hi = mid - 1
+		}
+	}
+	plan := Plan{
+		SafeBatch:          lo,
+		SafeServiceSeconds: safeSvc,
+		MaxWaitSeconds:     p.MaxWaitSeconds,
+		QueueLimit:         p.QueueLimit,
+		SLASeconds:         p.SLASeconds,
+	}
+	if plan.MaxWaitSeconds == 0 {
+		plan.MaxWaitSeconds = (p.SLASeconds - safeSvc) / 2
+	}
+	if plan.QueueLimit == 0 {
+		// A request admitted into a queue of q safe batches waits at most
+		// the in-flight batch's remainder plus q service times before its
+		// own batch completes: latency <= (q+1)*svc. Bounding q at
+		// floor(SLA/svc - 1) keeps that inside the SLA; the cap of four
+		// batches bounds memory when svc is tiny relative to the SLA, and
+		// the floor of one batch lets full batches assemble even when the
+		// service time alone nearly fills the deadline (then the
+		// shed-at-dispatch check is the safety net).
+		q := int(p.SLASeconds/safeSvc - 1)
+		if q < 1 {
+			q = 1
+		}
+		if q > 4 {
+			q = 4
+		}
+		plan.QueueLimit = q * plan.SafeBatch
+	}
+	return plan, nil
+}
+
+// Expired reports whether a request that arrived at arr and would complete
+// at start+svc violates the SLA — the shared shed-at-dispatch decision of
+// both the wall-clock server and the virtual-time simulator.
+func (p Plan) Expired(arr, start, svc float64) bool {
+	return start+svc-arr > p.SLASeconds+slaSlop
+}

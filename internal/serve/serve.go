@@ -1,0 +1,47 @@
+// Package serve is the online serving subsystem layered on the runtime
+// driver stack: a deadline-aware dynamic batcher, admission control with
+// bounded queues and load shedding, and a live metrics registry.
+//
+// The paper's central serving constraint (Section 8, Table 4) is that the
+// TPU's throughput only counts when the batching scheduler can fill the
+// matrix unit *without* blowing the 7 ms 99th-percentile response-time
+// bound. This package encodes that constraint as a first-class policy:
+//
+//   - The batcher collects requests per model up to a deadline-safe batch
+//     size or a maximum fill wait, whichever comes first. The safe batch is
+//     sized from the latency model so that batch service alone never
+//     exceeds the SLA (for CNN1, whose production batch of 32 takes ~12 ms,
+//     this means serving smaller batches — the "less-efficient, smaller
+//     batch sizes" trade-off of Section 8 applied to the TPU itself).
+//   - Admission control bounds the per-model queue; arrivals beyond the
+//     bound are shed immediately rather than queued into certain SLA
+//     violation, and requests that can no longer meet their deadline by
+//     dispatch time are shed there ("expired") instead of served late.
+//   - Every decision is observable: per-model counters, latency histograms
+//     with p50/p99, queue depth, batch-size distribution, and shed counts,
+//     exported as aligned text and as JSON.
+//
+// Two execution surfaces share the same Policy: Server runs wall-clock
+// with goroutines against a Backend (including a runtime.Server-backed
+// backend that executes real batches on the functional simulator), and
+// Simulate replays the identical batching/shedding decisions in virtual
+// time, which is what the load-generator sweep in internal/experiments
+// uses to reproduce the latency-bounded-throughput knee of Table 4.
+package serve
+
+import "errors"
+
+// Shed/rejection errors a Submit caller can observe.
+var (
+	// ErrOverloaded reports that the model's bounded queue was full and
+	// the request was shed at admission.
+	ErrOverloaded = errors.New("serve: queue full, request shed")
+	// ErrDeadline reports that the request could no longer meet the SLA by
+	// the time the batcher dispatched it, so it was shed instead of served
+	// late.
+	ErrDeadline = errors.New("serve: deadline exceeded, request shed")
+	// ErrClosed reports a Submit against a closed server.
+	ErrClosed = errors.New("serve: server closed")
+	// ErrUnknownModel reports a Submit for a model never registered.
+	ErrUnknownModel = errors.New("serve: unknown model")
+)

@@ -1,0 +1,277 @@
+package serve
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"tpusim/internal/latency"
+	"tpusim/internal/tensor"
+)
+
+// ModelConfig registers one model with the server.
+type ModelConfig struct {
+	// Policy is the deadline-aware batching policy for this model.
+	Policy Policy
+	// Service is the latency model that sizes the deadline-safe batch and
+	// drives shed-at-dispatch decisions. For the TPU this is the analytic
+	// batch-time model of experiments.TPUBatchSeconds.
+	Service latency.ServiceModel
+}
+
+// Response is one served request's outcome.
+type Response struct {
+	// Output is the backend's per-request output.
+	Output *tensor.F32
+	// Latency is enqueue-to-completion time.
+	Latency time.Duration
+	// BatchSize is how many requests rode in the same dispatch.
+	BatchSize int
+}
+
+// Server is the wall-clock serving front end: per-model lanes, each with a
+// bounded queue and a dispatcher goroutine that assembles deadline-safe
+// batches and executes them on the Backend.
+type Server struct {
+	backend Backend
+	metrics *Metrics
+
+	mu     sync.Mutex
+	lanes  map[string]*lane
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// lane is one model's bounded queue plus its dispatcher's state.
+type lane struct {
+	model string
+	plan  Plan
+	sm    latency.ServiceModel
+	mm    *ModelMetrics
+
+	mu     sync.Mutex
+	closed bool
+	ch     chan *call
+}
+
+// call is one in-flight request.
+type call struct {
+	input *tensor.F32
+	enq   time.Time
+	done  chan callDone
+}
+
+type callDone struct {
+	resp Response
+	err  error
+}
+
+// NewServer creates a server over the given backend.
+func NewServer(b Backend) *Server {
+	return &Server{backend: b, metrics: NewMetrics(), lanes: map[string]*lane{}}
+}
+
+// Metrics exposes the live registry.
+func (s *Server) Metrics() *Metrics { return s.metrics }
+
+// Register adds a model lane. The policy is resolved against the latency
+// model immediately, so an SLA no operating point can meet fails loudly at
+// registration rather than silently at runtime.
+func (s *Server) Register(model string, cfg ModelConfig) (Plan, error) {
+	if cfg.Service == nil {
+		return Plan{}, fmt.Errorf("serve: model %s needs a Service latency model", model)
+	}
+	plan, err := cfg.Policy.Resolve(cfg.Service)
+	if err != nil {
+		return Plan{}, fmt.Errorf("serve: registering %s: %w", model, err)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return Plan{}, ErrClosed
+	}
+	if _, ok := s.lanes[model]; ok {
+		return Plan{}, fmt.Errorf("serve: model %s already registered", model)
+	}
+	l := &lane{
+		model: model,
+		plan:  plan,
+		sm:    cfg.Service,
+		mm:    s.metrics.Model(model),
+		ch:    make(chan *call, plan.QueueLimit),
+	}
+	s.lanes[model] = l
+	s.wg.Add(1)
+	go s.dispatch(l)
+	return plan, nil
+}
+
+// Submit enqueues one request and blocks until it is served or shed.
+// Admission control is immediate: a full queue sheds the request now
+// (ErrOverloaded) instead of letting it queue into certain SLA violation.
+func (s *Server) Submit(model string, input *tensor.F32) (Response, error) {
+	s.mu.Lock()
+	l, ok := s.lanes[model]
+	s.mu.Unlock()
+	if !ok {
+		return Response{}, fmt.Errorf("%w: %s", ErrUnknownModel, model)
+	}
+	c := &call{input: input, enq: time.Now(), done: make(chan callDone, 1)}
+
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return Response{}, ErrClosed
+	}
+	l.mm.Submitted()
+	select {
+	case l.ch <- c:
+	default:
+		l.mm.ShedQueue()
+		l.mu.Unlock()
+		return Response{}, ErrOverloaded
+	}
+	l.mm.SetQueueDepth(len(l.ch))
+	l.mu.Unlock()
+
+	d := <-c.done
+	return d.resp, d.err
+}
+
+// dispatch is one lane's batching loop: block for the head request, fill
+// until the deadline-safe batch size or the fill-wait deadline, shed
+// whatever can no longer meet the SLA, and run the rest on the backend.
+func (s *Server) dispatch(l *lane) {
+	defer s.wg.Done()
+	for {
+		head, ok := <-l.ch
+		if !ok {
+			return
+		}
+		batch := []*call{head}
+		if l.plan.SafeBatch > 1 {
+			wait := l.plan.MaxWaitSeconds - time.Since(head.enq).Seconds()
+			if wait > 0 {
+				timer := time.NewTimer(time.Duration(wait * float64(time.Second)))
+			fill:
+				for len(batch) < l.plan.SafeBatch {
+					select {
+					case c, ok := <-l.ch:
+						if !ok {
+							break fill
+						}
+						batch = append(batch, c)
+					case <-timer.C:
+						break fill
+					}
+				}
+				timer.Stop()
+			}
+			// Greedily drain anything already queued up to the safe batch:
+			// the wait budget is spent, but a fuller batch is free.
+		greedy:
+			for len(batch) < l.plan.SafeBatch {
+				select {
+				case c, ok := <-l.ch:
+					if !ok {
+						break greedy
+					}
+					batch = append(batch, c)
+				default:
+					break greedy
+				}
+			}
+		}
+		l.mm.SetQueueDepth(len(l.ch))
+		s.runBatch(l, batch)
+	}
+}
+
+// runBatch sheds expired members, executes the rest, and delivers results.
+func (s *Server) runBatch(l *lane, batch []*call) {
+	svc, err := l.sm.BatchSeconds(len(batch))
+	if err != nil {
+		s.failBatch(l, batch, err)
+		return
+	}
+	now := time.Now()
+	kept := batch[:0]
+	for _, c := range batch {
+		age := now.Sub(c.enq).Seconds()
+		if l.plan.Expired(0, age, svc) { // arrived at 0, dispatching at age
+			l.mm.Expired()
+			c.done <- callDone{err: ErrDeadline}
+			continue
+		}
+		kept = append(kept, c)
+	}
+	if len(kept) == 0 {
+		return
+	}
+	inputs := make([]*tensor.F32, len(kept))
+	for i, c := range kept {
+		inputs[i] = c.input
+	}
+	outputs, err := s.backend.Run(l.model, inputs)
+	if err != nil {
+		s.failBatch(l, kept, fmt.Errorf("serve: %s backend: %w", l.model, err))
+		return
+	}
+	if len(outputs) != len(kept) {
+		s.failBatch(l, kept, fmt.Errorf("serve: %s backend returned %d outputs for %d requests",
+			l.model, len(outputs), len(kept)))
+		return
+	}
+	done := time.Now()
+	l.mm.Batch(len(kept))
+	for i, c := range kept {
+		lat := done.Sub(c.enq)
+		l.mm.Completed(lat.Seconds())
+		c.done <- callDone{resp: Response{Output: outputs[i], Latency: lat, BatchSize: len(kept)}}
+	}
+}
+
+// failBatch errors out every request in a batch.
+func (s *Server) failBatch(l *lane, batch []*call, err error) {
+	for _, c := range batch {
+		l.mm.Errored()
+		c.done <- callDone{err: err}
+	}
+}
+
+// Plan returns the resolved plan of a registered model.
+func (s *Server) Plan(model string) (Plan, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	l, ok := s.lanes[model]
+	if !ok {
+		return Plan{}, fmt.Errorf("%w: %s", ErrUnknownModel, model)
+	}
+	return l.plan, nil
+}
+
+// Close stops admission, drains every lane's queue (buffered requests are
+// still served or shed normally), and waits for the dispatchers to exit.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.wg.Wait()
+		return
+	}
+	s.closed = true
+	lanes := make([]*lane, 0, len(s.lanes))
+	for _, l := range s.lanes {
+		lanes = append(lanes, l)
+	}
+	s.mu.Unlock()
+	for _, l := range lanes {
+		l.mu.Lock()
+		if !l.closed {
+			l.closed = true
+			close(l.ch)
+		}
+		l.mu.Unlock()
+	}
+	s.wg.Wait()
+}

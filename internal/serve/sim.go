@@ -1,0 +1,201 @@
+package serve
+
+import (
+	"fmt"
+
+	"tpusim/internal/latency"
+	"tpusim/internal/stats"
+	"tpusim/internal/workload"
+)
+
+// SimConfig drives one virtual-time serving simulation.
+type SimConfig struct {
+	// Policy is the deadline-aware batching policy under test.
+	Policy Policy
+	// RatePerSecond is the open-loop offered load.
+	RatePerSecond float64
+	// Requests is the number of simulated arrivals.
+	Requests int
+	// Seed makes the Poisson arrival process deterministic.
+	Seed int64
+}
+
+// SimResult summarizes one virtual-time simulation.
+type SimResult struct {
+	// Plan is the resolved policy the run used.
+	Plan Plan
+	// Offered is the configured arrival rate.
+	Offered float64
+	// Completed and Shed partition the arrivals: every request is either
+	// served within the SLA or shed. Shed = ShedQueue + Expired.
+	Completed, Shed int
+	// ShedQueue counts requests refused at admission (queue full), the
+	// server's first line of overload defense.
+	ShedQueue int
+	// Expired counts requests shed at dispatch because they could no
+	// longer make their deadline.
+	Expired int
+	// P50, P99, Mean are latencies of completed requests in seconds.
+	P50, P99, Mean float64
+	// Throughput is completed requests per second of simulated span.
+	Throughput float64
+	// MeanBatch is the average dispatched batch size.
+	MeanBatch float64
+	// Batches counts dispatches that served at least one request.
+	Batches int
+	// MaxQueue is the deepest the admitted queue got at a dispatch point.
+	MaxQueue int
+}
+
+// ShedFrac is the fraction of arrivals shed.
+func (r SimResult) ShedFrac() float64 {
+	total := r.Completed + r.Shed
+	if total == 0 {
+		return 0
+	}
+	return float64(r.Shed) / float64(total)
+}
+
+// Simulate replays the deadline-aware batcher in virtual time against an
+// open-loop Poisson arrival stream. The decision sequence is identical to
+// the wall-clock Server's:
+//
+//  1. Admission: an arrival joins the queue only if fewer than QueueLimit
+//     requests are waiting; otherwise it is shed immediately. The bounded
+//     queue keeps waiting time short enough that admitted requests can
+//     still meet their deadline.
+//  2. The dispatcher picks up the head request when the server is free.
+//  3. It waits for the batch to fill, bounded by the plan's MaxWait from
+//     the head request's arrival — never longer, because fill waiting
+//     spends the same budget queueing already consumed.
+//  4. It takes every admitted request at the dispatch point, up to the
+//     deadline-safe batch size.
+//  5. Requests that can no longer complete within the SLA are shed at
+//     dispatch instead of served late, so the p99 of *served* requests is
+//     bounded by construction and the shed count is the overload signal.
+func Simulate(sm latency.ServiceModel, cfg SimConfig) (SimResult, error) {
+	plan, err := cfg.Policy.Resolve(sm)
+	if err != nil {
+		return SimResult{}, err
+	}
+	if cfg.Requests <= 0 {
+		return SimResult{}, fmt.Errorf("serve: non-positive request count %d", cfg.Requests)
+	}
+	arr, err := workload.NewPoisson(cfg.RatePerSecond, cfg.Seed)
+	if err != nil {
+		return SimResult{}, err
+	}
+	arrivals := workload.Collect(arr, cfg.Requests)
+
+	res := SimResult{Plan: plan, Offered: cfg.RatePerSecond}
+	latencies := make([]float64, 0, cfg.Requests)
+	pending := make([]float64, 0, plan.QueueLimit) // admitted arrival times, FIFO
+	next := 0                                      // next arrival to admit or shed
+	var serverFree, lastDone float64
+	var batchSum int
+
+	// admitUpTo processes arrivals through time t in order: each joins the
+	// queue if there is room, and is shed otherwise. The queue only drains
+	// at dispatch points, so admission between dispatches is a simple scan.
+	admitUpTo := func(t float64) {
+		for next < len(arrivals) && arrivals[next] <= t {
+			if len(pending) < plan.QueueLimit {
+				pending = append(pending, arrivals[next])
+			} else {
+				res.ShedQueue++
+			}
+			next++
+		}
+	}
+
+	for {
+		if len(pending) == 0 {
+			if next >= len(arrivals) {
+				break
+			}
+			// Idle server: jump to the next arrival, which is always
+			// admitted into an empty queue.
+			pending = append(pending, arrivals[next])
+			next++
+		}
+		head := pending[0]
+		ready := serverFree
+		if head > ready {
+			ready = head
+		}
+		admitUpTo(ready)
+		// Fill wait: leave when the safe batch is queued or the head has
+		// waited MaxWait — but never before the server is ready anyway.
+		start := ready
+		if fill := head + plan.MaxWaitSeconds; len(pending) < plan.SafeBatch && fill > ready {
+			for next < len(arrivals) && arrivals[next] <= fill && len(pending) < plan.SafeBatch {
+				start = arrivals[next]
+				pending = append(pending, arrivals[next])
+				next++
+			}
+			if len(pending) < plan.SafeBatch {
+				start = fill // waited the full window, batch still short
+			}
+		}
+		admitUpTo(start)
+		if len(pending) > res.MaxQueue {
+			res.MaxQueue = len(pending)
+		}
+		n := len(pending)
+		if n > plan.SafeBatch {
+			n = plan.SafeBatch
+		}
+		svc, err := sm.BatchSeconds(n)
+		if err != nil {
+			return SimResult{}, err
+		}
+		if svc <= 0 {
+			return SimResult{}, fmt.Errorf("serve: non-positive service time %v for batch %d", svc, n)
+		}
+		// Shed batch members that would violate the SLA if served now.
+		// Shedding only shrinks the batch, which only shortens the service
+		// time, so the kept requests' deadline check is conservative.
+		kept := make([]float64, 0, n)
+		for _, a := range pending[:n] {
+			if plan.Expired(a, start, svc) {
+				res.Expired++
+				continue
+			}
+			kept = append(kept, a)
+		}
+		pending = pending[:copy(pending, pending[n:])]
+		if len(kept) == 0 {
+			continue // stale requests shed without occupying the server
+		}
+		svcKept, err := sm.BatchSeconds(len(kept))
+		if err != nil {
+			return SimResult{}, err
+		}
+		done := start + svcKept
+		for _, a := range kept {
+			latencies = append(latencies, done-a)
+		}
+		serverFree, lastDone = done, done
+		res.Batches++
+		batchSum += len(kept)
+	}
+
+	res.Shed = res.ShedQueue + res.Expired
+	res.Completed = len(latencies)
+	if res.Completed > 0 {
+		if res.P50, err = stats.Percentile(latencies, 50); err != nil {
+			return SimResult{}, err
+		}
+		if res.P99, err = stats.Percentile(latencies, 99); err != nil {
+			return SimResult{}, err
+		}
+		if res.Mean, err = stats.Mean(latencies); err != nil {
+			return SimResult{}, err
+		}
+		if span := lastDone - arrivals[0]; span > 0 {
+			res.Throughput = float64(res.Completed) / span
+		}
+		res.MeanBatch = float64(batchSum) / float64(res.Batches)
+	}
+	return res, nil
+}

@@ -1,0 +1,154 @@
+package serve
+
+import (
+	"testing"
+)
+
+// mlp0Like is a service model shaped like the TPU's MLP0 batch-time curve:
+// mostly fixed cost, tiny per-item cost, safe at its full production batch.
+func mlp0Like() (Policy, *int) {
+	return Policy{MaxBatch: 200, SLASeconds: 7e-3}, nil
+}
+
+func TestSimulateLightLoadNoShedding(t *testing.T) {
+	sm := linearService(0.75e-3, 0.4e-6) // svc(200) ~ 0.83ms, like MLP0
+	pol, _ := mlp0Like()
+	r, err := Simulate(sm, SimConfig{Policy: pol, RatePerSecond: 10_000, Requests: 5000, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Shed != 0 {
+		t.Errorf("light load shed %d requests", r.Shed)
+	}
+	if r.Completed != 5000 {
+		t.Errorf("completed %d of 5000", r.Completed)
+	}
+	if r.P99 > pol.SLASeconds {
+		t.Errorf("p99 %.2f ms exceeds SLA", r.P99*1e3)
+	}
+	// Achieved throughput tracks offered load when nothing is shed.
+	if r.Throughput < 0.9*10_000 || r.Throughput > 1.1*10_000 {
+		t.Errorf("throughput %.0f, offered 10000", r.Throughput)
+	}
+}
+
+func TestSimulateOverloadShedsNotViolates(t *testing.T) {
+	sm := linearService(0.75e-3, 0.4e-6)
+	pol, _ := mlp0Like()
+	plan, err := pol.Resolve(sm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	capacity := float64(plan.SafeBatch) / plan.SafeServiceSeconds
+	r, err := Simulate(sm, SimConfig{Policy: pol, RatePerSecond: 1.5 * capacity, Requests: 20000, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Completed+r.Shed != 20000 {
+		t.Errorf("accounting broken: %d completed + %d shed != 20000", r.Completed, r.Shed)
+	}
+	if r.Shed == 0 {
+		t.Error("overload shed nothing")
+	}
+	// The core SLA property: served requests never violate the deadline.
+	if r.P99 > pol.SLASeconds+slaSlop {
+		t.Errorf("p99 %.2f ms exceeds the 7 ms SLA under overload", r.P99*1e3)
+	}
+	// Shedding protects throughput: the server still completes close to
+	// its deadline-safe capacity.
+	if r.Throughput < 0.85*capacity {
+		t.Errorf("overload throughput %.0f below 85%% of capacity %.0f", r.Throughput, capacity)
+	}
+	// Full batches under overload.
+	if r.MeanBatch < 0.8*float64(plan.SafeBatch) {
+		t.Errorf("mean batch %.1f, overload should fill to ~%d", r.MeanBatch, plan.SafeBatch)
+	}
+	if r.MaxQueue == 0 {
+		t.Error("overload never queued")
+	}
+	if f := r.ShedFrac(); f <= 0 || f >= 1 {
+		t.Errorf("shed fraction %.2f out of (0,1)", f)
+	}
+}
+
+// TestSimulateKnee: the latency-bounded-throughput knee — achieved tracks
+// offered until capacity, then flattens while p99 stays bounded.
+func TestSimulateKnee(t *testing.T) {
+	sm := linearService(0.75e-3, 0.4e-6)
+	pol, _ := mlp0Like()
+	plan, err := pol.Resolve(sm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	capacity := float64(plan.SafeBatch) / plan.SafeServiceSeconds
+	var prev float64
+	for _, frac := range []float64{0.25, 0.5, 0.75, 1.0, 1.25} {
+		r, err := Simulate(sm, SimConfig{Policy: pol, RatePerSecond: frac * capacity, Requests: 10000, Seed: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.P99 > pol.SLASeconds+slaSlop {
+			t.Errorf("frac %.2f: p99 %.2f ms exceeds SLA", frac, r.P99*1e3)
+		}
+		if frac <= 0.75 && r.Throughput < 0.9*frac*capacity {
+			t.Errorf("frac %.2f: below-knee throughput %.0f should track offered %.0f",
+				frac, r.Throughput, frac*capacity)
+		}
+		if frac >= 1.0 && r.Throughput > 1.05*capacity {
+			t.Errorf("frac %.2f: throughput %.0f exceeds capacity %.0f", frac, r.Throughput, capacity)
+		}
+		if r.Throughput+1 < prev*0.95 {
+			t.Errorf("frac %.2f: throughput collapsed %.0f -> %.0f", frac, prev, r.Throughput)
+		}
+		prev = r.Throughput
+	}
+}
+
+func TestSimulateDownsizedBatchStillMeetsSLA(t *testing.T) {
+	// CNN1-like: production batch violates the SLA; the batcher's safe
+	// batch keeps p99 bounded at reduced but nonzero throughput.
+	sm := linearService(4.2e-3, 0.26e-3)
+	pol := Policy{MaxBatch: 32, SLASeconds: 7e-3}
+	plan, err := pol.Resolve(sm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	capacity := float64(plan.SafeBatch) / plan.SafeServiceSeconds
+	r, err := Simulate(sm, SimConfig{Policy: pol, RatePerSecond: 1.2 * capacity, Requests: 8000, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The hard property: served requests never violate the SLA, even though
+	// svc(1) = 4.46 ms leaves almost no queueing headroom against 7 ms.
+	if r.P99 > pol.SLASeconds+slaSlop {
+		t.Errorf("p99 %.2f ms exceeds SLA despite downsized batch", r.P99*1e3)
+	}
+	if r.MeanBatch > float64(plan.SafeBatch) {
+		t.Errorf("mean batch %.1f exceeds safe batch %d", r.MeanBatch, plan.SafeBatch)
+	}
+	// This service shape is genuinely latency-limited (the paper's Table 3
+	// story): throughput under the SLA is a fraction of batch capacity, but
+	// the server keeps serving rather than collapsing.
+	if r.Completed == 0 || r.Throughput <= 0 {
+		t.Error("downsized server served nothing")
+	}
+	if r.Throughput > capacity {
+		t.Errorf("throughput %.0f exceeds capacity %.0f", r.Throughput, capacity)
+	}
+	if r.Shed == 0 {
+		t.Error("overload shed nothing")
+	}
+}
+
+func TestSimulateErrors(t *testing.T) {
+	sm := linearService(1e-3, 0)
+	if _, err := Simulate(sm, SimConfig{Policy: Policy{MaxBatch: 8, SLASeconds: 7e-3}, RatePerSecond: 100, Requests: 0}); err == nil {
+		t.Error("zero requests accepted")
+	}
+	if _, err := Simulate(sm, SimConfig{Policy: Policy{MaxBatch: 8, SLASeconds: 7e-3}, RatePerSecond: 0, Requests: 10}); err == nil {
+		t.Error("zero rate accepted")
+	}
+	if _, err := Simulate(sm, SimConfig{Policy: Policy{MaxBatch: 0, SLASeconds: 7e-3}, RatePerSecond: 10, Requests: 10}); err == nil {
+		t.Error("invalid policy accepted")
+	}
+}
