@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: ci vet vet-cmd build test race bench-smoke bench fuzz-smoke cover
+.PHONY: ci vet vet-cmd build test race bench-smoke bench fuzz-smoke cover obs-smoke
 
-ci: vet vet-cmd build race fuzz-smoke cover bench-smoke
+ci: vet vet-cmd build race fuzz-smoke cover bench-smoke obs-smoke
 
 vet:
 	$(GO) vet ./...
@@ -35,6 +35,13 @@ bench:
 fuzz-smoke:
 	$(GO) test ./internal/isa -run '^$$' -fuzz '^FuzzDecode$$' -fuzztime 5s
 	$(GO) test ./internal/isa -run '^$$' -fuzz '^FuzzProgramValidate$$' -fuzztime 5s
+
+# Observability smoke, race-enabled: boots the ops HTTP endpoint on a
+# random port, scrapes /metrics and /healthz, validates the exported trace
+# JSON parses, and runs the end-to-end serve->runtime->device span test.
+obs-smoke:
+	$(GO) test -race -count=1 ./internal/obs -run 'TestOps'
+	$(GO) test -race -count=1 ./internal/serve -run 'TestSubmitSpanTree|TestOpsServesServeMetrics'
 
 # Coverage floor: the tier-1 packages must keep at least 80% statement
 # coverage (examples are exercised separately by their smoke test).

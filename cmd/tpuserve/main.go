@@ -13,20 +13,33 @@
 // The live mode runs the real wall-clock server: per-model lanes, bounded
 // queues, fill-wait batching, shed-at-dispatch — with service times slowed
 // by -timescale so a laptop can watch the batcher work. It finishes by
-// printing the live metrics registry.
+// printing the live metrics registry. Two observability flags extend it:
+//
+//   - -listen <addr> boots the ops HTTP endpoint for the run's duration,
+//     serving /metrics (Prometheus text exposition of the serve registry),
+//     /healthz, /trace (Chrome trace-event JSON of recorded request spans,
+//     loadable in Perfetto), and /debug/pprof. Request-scoped tracing and
+//     structured logging switch on with the endpoint; -sample N keeps one
+//     request trace in every N.
+//   - -metrics-every <dur> periodically flushes the live metrics registry
+//     to stdout while load runs, so the batcher's behaviour is visible
+//     before the final report.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"log/slog"
 	"math/rand"
+	"os"
 	"sync"
 	"time"
 
 	"tpusim/internal/experiments"
 	"tpusim/internal/latency"
 	"tpusim/internal/models"
+	"tpusim/internal/obs"
 	"tpusim/internal/serve"
 	"tpusim/internal/tensor"
 )
@@ -39,6 +52,9 @@ func main() {
 	timescale := flag.Float64("timescale", 500, "live mode: slow modeled service times by this factor")
 	loadFrac := flag.Float64("load", 0.8, "live mode: offered load as a fraction of deadline-safe capacity")
 	asJSON := flag.Bool("json", false, "live mode: print the metrics registry as JSON instead of text")
+	listen := flag.String("listen", "", "live mode: serve /metrics, /healthz, /trace, /debug/pprof on this address (e.g. :8080)")
+	metricsEvery := flag.Duration("metrics-every", 0, "live mode: flush the metrics registry to stdout at this interval (0 = off)")
+	sampleEvery := flag.Int("sample", 1, "live mode with -listen: record every Nth request's trace")
 	flag.Parse()
 
 	switch *mode {
@@ -49,7 +65,7 @@ func main() {
 		}
 		fmt.Print(experiments.RenderLoadSweep(rows))
 	case "live":
-		if err := live(*duration, *timescale, *loadFrac, *asJSON); err != nil {
+		if err := live(*duration, *timescale, *loadFrac, *asJSON, *listen, *metricsEvery, *sampleEvery); err != nil {
 			log.Fatal(err)
 		}
 	default:
@@ -61,7 +77,8 @@ func main() {
 // Modeled service times are stretched by scale, and offered rates shrink by
 // the same factor, so the batching dynamics (relative to the SLA) are
 // preserved while staying at laptop-friendly request rates.
-func live(duration time.Duration, scale, loadFrac float64, asJSON bool) error {
+func live(duration time.Duration, scale, loadFrac float64, asJSON bool,
+	listen string, metricsEvery time.Duration, sampleEvery int) error {
 	if scale <= 0 || loadFrac <= 0 {
 		return fmt.Errorf("need positive -timescale and -load")
 	}
@@ -69,6 +86,22 @@ func live(duration time.Duration, scale, loadFrac float64, asJSON bool) error {
 	// is already stretched by scale.
 	backend := serve.NewSimBackend(1)
 	srv := serve.NewServer(backend)
+
+	// Telemetry: tracing and structured logs switch on with the ops
+	// endpoint (there is no one to scrape them otherwise).
+	if listen != "" {
+		tracer := obs.NewTracer(obs.DefaultCapacity)
+		tracer.SetSampleEvery(sampleEvery)
+		srv.Observe(tracer, obs.NewLogger(os.Stderr, slog.LevelWarn))
+		ops := obs.NewOps(tracer)
+		ops.AddCollector(srv.Metrics().WritePrometheus)
+		opsSrv, err := ops.Start(listen)
+		if err != nil {
+			return err
+		}
+		defer opsSrv.Close()
+		fmt.Printf("ops endpoint on %s (/metrics /healthz /trace /debug/pprof)\n", opsSrv.URL)
+	}
 	type app struct {
 		name string
 		rate float64 // wall-clock offered rate
@@ -98,6 +131,21 @@ func live(duration time.Duration, scale, loadFrac float64, asJSON bool) error {
 	var wg sync.WaitGroup
 	stop := make(chan struct{}) // closed, so every generator sees it
 	time.AfterFunc(duration, func() { close(stop) })
+	if metricsEvery > 0 {
+		ticker := time.NewTicker(metricsEvery)
+		defer ticker.Stop()
+		go func() {
+			for {
+				select {
+				case <-stop:
+					return
+				case <-ticker.C:
+					fmt.Println()
+					fmt.Print(srv.Metrics().Text())
+				}
+			}
+		}()
+	}
 	for _, a := range apps {
 		wg.Add(1)
 		go func(a app) {

@@ -5,16 +5,25 @@
 //	tpusim -model CNN1 -batch 128      # batch override
 //	tpusim -model LSTM0 -functional    # miniature model, real datapath
 //	tpusim -model MLP0 -disassemble    # dump the instruction stream
+//	tpusim -model MLP0 -trace-json t.json  # Perfetto-loadable unit timeline
+//
+// -trace-json exports the run's unit-occupancy timeline as Chrome
+// trace-event JSON: one track per functional unit, spans in true device
+// time (cycles scaled by the configured clock), loadable at
+// ui.perfetto.dev. It also prints the sorted per-unit occupancy summary.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
+	"time"
 
 	"tpusim/internal/compiler"
 	"tpusim/internal/models"
 	"tpusim/internal/nn"
+	"tpusim/internal/obs"
 	"tpusim/internal/tensor"
 	"tpusim/internal/tpu"
 )
@@ -27,6 +36,7 @@ func main() {
 	functional := flag.Bool("functional", false, "run a miniature variant through the real datapath")
 	disassemble := flag.Bool("disassemble", false, "print the compiled instruction stream")
 	trace := flag.Int("trace", 0, "print the first N unit-occupancy trace events")
+	traceJSON := flag.String("trace-json", "", "write the unit-occupancy timeline as Chrome trace-event JSON to this file")
 	layers := flag.Bool("layers", false, "print the per-layer cycle profile")
 	clock := flag.Float64("clock", 700, "clock rate in MHz")
 	memGBs := flag.Float64("membw", 34, "weight memory bandwidth in GB/s (use ~184 for TPU')")
@@ -35,7 +45,7 @@ func main() {
 	cfg := tpu.DefaultConfig()
 	cfg.ClockMHz = *clock
 	cfg.WeightGBs = *memGBs
-	cfg.Trace = *trace > 0
+	cfg.Trace = *trace > 0 || *traceJSON != ""
 
 	var art *compiler.Artifact
 	var host []int8
@@ -94,6 +104,14 @@ func main() {
 		fmt.Print(tpu.RenderTimeline(dev.Trace(), *trace))
 		fmt.Println()
 	}
+	if *traceJSON != "" {
+		if err := exportTrace(*traceJSON, dev.Trace(), art.Program.Name, cfg.ClockMHz, c.Cycles); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %d trace events to %s (load at ui.perfetto.dev)\n\n", len(dev.Trace()), *traceJSON)
+		fmt.Print(tpu.RenderUnitOccupancy(dev.Trace(), c.Cycles))
+		fmt.Println()
+	}
 	if *layers {
 		b, err := models.ByName(*model)
 		var names []string
@@ -112,4 +130,39 @@ func main() {
 	fmt.Printf("\ndelivered             %11.1f TOPS\n", c.TeraOps(cfg.ClockMHz))
 	fmt.Printf("batch time            %11.0f us\n", c.Seconds(cfg.ClockMHz)*1e6)
 	fmt.Printf("inferences/second     %11.0f\n", float64(art.Layout.Batch)/c.Seconds(cfg.ClockMHz))
+}
+
+// exportTrace writes the device's unit-occupancy timeline as Chrome
+// trace-event JSON in true device time: cycle 0 anchors at the epoch and
+// one cycle spans 1/(MHz*1e6) seconds, so the Perfetto timebar reads as
+// real device microseconds. A root span covering the whole run frames the
+// per-unit tracks.
+func exportTrace(path string, events []tpu.TraceEvent, name string, clockMHz float64, cycles int64) error {
+	base := time.Unix(0, 0).UTC()
+	secondsPerCycle := 1 / (clockMHz * 1e6)
+	spans := tpu.TraceSpans(events, tpu.SpanMapping{
+		Base:            base,
+		SecondsPerCycle: secondsPerCycle,
+		Track:           "tpu0",
+		Trace:           1,
+		Parent:          1 << 62, // root id outside TraceSpans' local counter range
+	})
+	root := obs.SpanData{
+		Trace: 1, ID: 1 << 62, Name: name, Track: "tpu0",
+		Start: base,
+		End:   base.Add(time.Duration(float64(cycles) * secondsPerCycle * float64(time.Second))),
+		Attrs: []obs.Attr{
+			obs.Int64("cycles", cycles),
+			obs.Float("clock_mhz", clockMHz),
+		},
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := obs.WriteChromeTrace(f, append([]obs.SpanData{root}, spans...)); err != nil {
+		return err
+	}
+	return f.Close()
 }

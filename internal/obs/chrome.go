@@ -1,0 +1,141 @@
+// Chrome trace-event JSON exporter. The output is the "JSON array format"
+// of the Trace Event specification, loadable by Perfetto (ui.perfetto.dev)
+// and chrome://tracing: a flat array of events with ph "X" (complete
+// slice), "M" (metadata naming processes/threads), and "s"/"f" (flow
+// arrows linking one request's spans across tracks).
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+	"time"
+)
+
+// chromeEvent uses a map so each phase carries exactly the keys it needs
+// while "name", "ph", "ts", "pid", "tid" stay present on every event
+// (encoding/json renders map keys sorted, keeping output deterministic).
+type chromeEvent map[string]any
+
+// ChromeTrace renders spans as Chrome trace-event JSON. Tracks become
+// threads of one process (tid assigned in sorted-track order, with
+// thread_sort_index metadata so Perfetto lists them in the same order);
+// parent/child edges that cross tracks and explicit span Links become flow
+// arrows, so one request reads as a connected path from its serve track
+// through the lane track down to the device's unit tracks.
+func ChromeTrace(spans []SpanData) ([]byte, error) {
+	events := buildChromeEvents(spans)
+	return json.MarshalIndent(events, "", " ")
+}
+
+// WriteChromeTrace streams the trace JSON to w.
+func WriteChromeTrace(w io.Writer, spans []SpanData) error {
+	data, err := ChromeTrace(spans)
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(data)
+	return err
+}
+
+func buildChromeEvents(spans []SpanData) []chromeEvent {
+	const pid = 1
+	// Assign tids in sorted track order for deterministic, readable output.
+	trackSet := map[string]int{}
+	for _, s := range spans {
+		trackSet[s.Track] = 0
+	}
+	tracks := make([]string, 0, len(trackSet))
+	for tr := range trackSet {
+		tracks = append(tracks, tr)
+	}
+	sort.Strings(tracks)
+	for i, tr := range tracks {
+		trackSet[tr] = i + 1
+	}
+
+	events := make([]chromeEvent, 0, 2*len(spans)+len(tracks)+1)
+	events = append(events, chromeEvent{
+		"name": "process_name", "ph": "M", "ts": 0, "pid": pid, "tid": 0,
+		"args": map[string]any{"name": "tpusim"},
+	})
+	for _, tr := range tracks {
+		tid := trackSet[tr]
+		events = append(events,
+			chromeEvent{
+				"name": "thread_name", "ph": "M", "ts": 0, "pid": pid, "tid": tid,
+				"args": map[string]any{"name": tr},
+			},
+			chromeEvent{
+				"name": "thread_sort_index", "ph": "M", "ts": 0, "pid": pid, "tid": tid,
+				"args": map[string]any{"sort_index": tid},
+			})
+	}
+
+	byID := make(map[uint64]*SpanData, len(spans))
+	for i := range spans {
+		byID[spans[i].ID] = &spans[i]
+	}
+
+	for i := range spans {
+		s := &spans[i]
+		tid := trackSet[s.Track]
+		args := map[string]any{
+			"trace": s.Trace, "span": s.ID,
+		}
+		if s.Parent != 0 {
+			args["parent"] = s.Parent
+		}
+		for _, a := range s.Attrs {
+			args[a.Key] = a.Value
+		}
+		events = append(events, chromeEvent{
+			"name": s.Name, "cat": "span", "ph": "X",
+			"ts": usec(s.Start), "dur": maxI64(s.End.Sub(s.Start).Microseconds(), 0),
+			"pid": pid, "tid": tid, "args": args,
+		})
+		// Cross-track parent edge -> flow arrow parent.Start .. span.Start.
+		if p, ok := byID[s.Parent]; ok && p.Track != s.Track {
+			events = appendFlow(events, pid, s.ID,
+				trackSet[p.Track], usec(p.Start), tid, usec(s.Start))
+		}
+		// Explicit links -> flow arrow link.End .. span.Start (the linked
+		// span finishing is what fed this one).
+		for _, lid := range s.Links {
+			l, ok := byID[lid]
+			if !ok {
+				continue
+			}
+			// Flow ids must be unique per arrow; fold the link id in.
+			events = appendFlow(events, pid, s.ID<<20|lid&0xfffff,
+				trackSet[l.Track], usec(l.End), tid, usec(s.Start))
+		}
+	}
+	return events
+}
+
+// appendFlow emits a flow start ("s") / finish ("f") pair. Chrome requires
+// the finish timestamp to be >= the start timestamp.
+func appendFlow(events []chromeEvent, pid int, id uint64, fromTid int, fromTs int64, toTid int, toTs int64) []chromeEvent {
+	if toTs < fromTs {
+		toTs = fromTs
+	}
+	return append(events,
+		chromeEvent{
+			"name": "flow", "cat": "flow", "ph": "s", "id": id,
+			"ts": fromTs, "pid": pid, "tid": fromTid,
+		},
+		chromeEvent{
+			"name": "flow", "cat": "flow", "ph": "f", "bp": "e", "id": id,
+			"ts": toTs, "pid": pid, "tid": toTid,
+		})
+}
+
+func usec(t time.Time) int64 { return t.UnixMicro() }
+
+func maxI64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

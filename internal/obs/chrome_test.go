@@ -1,0 +1,130 @@
+package obs_test
+
+import (
+	"encoding/json"
+	"testing"
+	"time"
+
+	"tpusim/internal/obs"
+)
+
+// chromeSpans builds a two-track trace: a request root on the serve track
+// with a child run span on a device track, plus a linked sibling from
+// another trace (a batch member).
+func chromeSpans(t0 time.Time) []obs.SpanData {
+	return []obs.SpanData{
+		{Trace: 1, ID: 1, Name: "request", Track: "serve/MLP0",
+			Start: t0, End: t0.Add(4 * time.Millisecond),
+			Attrs: []obs.Attr{obs.String("model", "MLP0")}},
+		{Trace: 1, ID: 2, Parent: 1, Name: "run", Track: "tpu0",
+			Start: t0.Add(time.Millisecond), End: t0.Add(3 * time.Millisecond),
+			Links: []uint64{4}},
+		{Trace: 1, ID: 3, Parent: 2, Name: "matrix_multiply", Track: "tpu0/matrix",
+			Start: t0.Add(time.Millisecond), End: t0.Add(2 * time.Millisecond)},
+		{Trace: 2, ID: 4, Name: "request", Track: "serve/MLP0",
+			Start: t0, End: t0.Add(time.Millisecond)},
+	}
+}
+
+// TestChromeTraceSchema validates the exported JSON against the trace
+// event format contract: a flat array where every event carries name, ph,
+// ts, pid, tid.
+func TestChromeTraceSchema(t *testing.T) {
+	data, err := obs.ChromeTrace(chromeSpans(time.Unix(1000, 0)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal(data, &events); err != nil {
+		t.Fatalf("exported trace is not a JSON array: %v", err)
+	}
+	if len(events) == 0 {
+		t.Fatal("empty event array")
+	}
+	phases := map[string]int{}
+	for i, e := range events {
+		for _, key := range []string{"name", "ph", "ts", "pid", "tid"} {
+			if _, ok := e[key]; !ok {
+				t.Fatalf("event %d missing %q: %v", i, key, e)
+			}
+		}
+		phases[e["ph"].(string)]++
+	}
+	// Four spans -> four complete slices; three flow arrows (cross-track
+	// parent edges 1->2 and 2->3, plus link 4->2), each an s/f pair;
+	// metadata naming the process and the three distinct tracks.
+	if phases["X"] != 4 {
+		t.Errorf("%d complete slices, want 4", phases["X"])
+	}
+	if phases["s"] != 3 || phases["f"] != 3 {
+		t.Errorf("flow pairs s=%d f=%d, want 3/3", phases["s"], phases["f"])
+	}
+	if phases["M"] != 1+2*3 {
+		t.Errorf("%d metadata events, want 7 (process + 2 per track)", phases["M"])
+	}
+}
+
+func TestChromeTraceDurationsAndArgs(t *testing.T) {
+	t0 := time.Unix(1000, 0)
+	data, err := obs.ChromeTrace(chromeSpans(t0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal(data, &events); err != nil {
+		t.Fatal(err)
+	}
+	tracks := map[float64]string{} // tid -> thread name
+	for _, e := range events {
+		if e["ph"] == "M" && e["name"] == "thread_name" {
+			tracks[e["tid"].(float64)] = e["args"].(map[string]any)["name"].(string)
+		}
+	}
+	for _, e := range events {
+		if e["ph"] != "X" {
+			continue
+		}
+		if e["name"] == "request" {
+			args := e["args"].(map[string]any)
+			if args["model"] != "MLP0" && args["trace"].(float64) != 2 {
+				t.Errorf("request args lost attrs: %v", args)
+			}
+		}
+		if e["name"] == "run" {
+			if dur := e["dur"].(float64); dur != 2000 {
+				t.Errorf("run dur %v us, want 2000", dur)
+			}
+			if tr := tracks[e["tid"].(float64)]; tr != "tpu0" {
+				t.Errorf("run renders on track %q, want tpu0", tr)
+			}
+		}
+	}
+	// Flow finish must never precede its start.
+	starts := map[float64]float64{}
+	for _, e := range events {
+		if e["ph"] == "s" {
+			starts[e["id"].(float64)] = e["ts"].(float64)
+		}
+	}
+	for _, e := range events {
+		if e["ph"] == "f" {
+			if e["ts"].(float64) < starts[e["id"].(float64)] {
+				t.Errorf("flow %v finishes before it starts", e["id"])
+			}
+		}
+	}
+}
+
+func TestChromeTraceEmpty(t *testing.T) {
+	data, err := obs.ChromeTrace(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal(data, &events); err != nil {
+		t.Fatalf("empty trace is not valid JSON: %v", err)
+	}
+	if len(events) != 1 {
+		t.Errorf("empty trace has %d events, want just the process metadata", len(events))
+	}
+}

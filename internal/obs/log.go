@@ -1,0 +1,25 @@
+// Structured logging: a thin veneer over log/slog so every layer logs with
+// the same shape (level, component, request_id) without re-deciding
+// handler configuration at each call site.
+package obs
+
+import (
+	"io"
+	"log/slog"
+	"os"
+)
+
+// NewLogger builds a text slog.Logger at the given level. A nil writer
+// logs to stderr.
+func NewLogger(w io.Writer, level slog.Level) *slog.Logger {
+	if w == nil {
+		w = os.Stderr
+	}
+	return slog.New(slog.NewTextHandler(w, &slog.HandlerOptions{Level: level}))
+}
+
+// Discard is a logger that drops everything — handy as an explicit "no
+// logging" value where a nil *slog.Logger would need checks at every site.
+func Discard() *slog.Logger {
+	return slog.New(slog.NewTextHandler(io.Discard, &slog.HandlerOptions{Level: slog.Level(127)}))
+}

@@ -1,0 +1,296 @@
+// Package obs is the stdlib-only telemetry subsystem: request-scoped span
+// tracing with context propagation, a bounded in-memory span ring, a Chrome
+// trace-event (Perfetto-loadable) exporter, an ops HTTP endpoint
+// (/metrics, /healthz, /trace, pprof), and slog-based structured logging.
+//
+// The paper's methodology is built on observability — the real TPU exposes
+// 106 performance counters "and if anything we would like a few more", and
+// every table in the evaluation is derived from reading them. This package
+// gives the reproduction the same property end to end: one inference is
+// visible from serve.Submit through the runtime driver down to the
+// simulated device's per-unit cycle occupancy, on one timeline.
+//
+// Design constraints:
+//
+//   - Disabled-path cost is near zero. Every entry point is nil-safe: a nil
+//     *Tracer or nil *Span turns the whole API into cheap nil checks with
+//     no allocation, so instrumented code needs no build tags or flags.
+//   - Head-based sampling bounds overhead when enabled: the keep/drop
+//     decision is made once per root span (per request) and inherited by
+//     every child through the context, so traces are never half-recorded.
+//   - Finished spans land in a fixed-capacity ring; a scraper or exporter
+//     reads a consistent snapshot without ever blocking the serving path
+//     for more than a mutex-protected copy.
+//
+// Span identity is three numbers: Trace groups every span of one request,
+// ID names the span, Parent nests it. Track is the display lane ("a thread"
+// in Chrome trace terms): requests/MLP0, lane/MLP0, tpu0, tpu0/matrix, ...
+package obs
+
+import (
+	"context"
+	"fmt"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Attr is one key/value annotation on a span.
+type Attr struct {
+	Key, Value string
+}
+
+// String builds a string attribute.
+func String(k, v string) Attr { return Attr{Key: k, Value: v} }
+
+// Int builds an integer attribute.
+func Int(k string, v int) Attr { return Attr{Key: k, Value: strconv.Itoa(v)} }
+
+// Int64 builds a 64-bit integer attribute.
+func Int64(k string, v int64) Attr { return Attr{Key: k, Value: strconv.FormatInt(v, 10)} }
+
+// Float builds a float attribute with %g formatting.
+func Float(k string, v float64) Attr {
+	return Attr{Key: k, Value: strconv.FormatFloat(v, 'g', -1, 64)}
+}
+
+// SpanData is one finished span. It is plain data: safe to copy, marshal,
+// and export after the originating request is long gone.
+type SpanData struct {
+	// Trace groups all spans of one request.
+	Trace uint64 `json:"trace"`
+	// ID is the span's unique id within the tracer.
+	ID uint64 `json:"id"`
+	// Parent is the enclosing span's ID (0 for a root).
+	Parent uint64 `json:"parent,omitempty"`
+	// Name is the operation ("request", "queue", "run", "matrix_multiply").
+	Name string `json:"name"`
+	// Track is the display lane the span renders on (one Chrome trace tid).
+	Track string `json:"track"`
+	// Start and End are wall-clock times.
+	Start time.Time `json:"start"`
+	End   time.Time `json:"end"`
+	// Attrs are key/value annotations.
+	Attrs []Attr `json:"attrs,omitempty"`
+	// Links are span IDs from other traces whose completion fed this span
+	// (e.g. every member request of a dispatched batch links to the batch
+	// span). The exporter draws them as flow arrows.
+	Links []uint64 `json:"links,omitempty"`
+}
+
+// Tracer collects finished spans into a bounded ring.
+//
+// The zero value is not usable; call NewTracer. A nil *Tracer is fully
+// usable and records nothing — that is the disabled fast path.
+type Tracer struct {
+	idSeq   atomic.Uint64
+	rootSeq atomic.Uint64
+	sample  atomic.Int64 // keep 1 in sample roots; <= 1 keeps all
+	dropped atomic.Uint64
+
+	mu   sync.Mutex
+	ring []SpanData
+	next int
+	full bool
+}
+
+// DefaultCapacity is the span ring size when NewTracer is given n <= 0.
+const DefaultCapacity = 4096
+
+// NewTracer creates a tracer whose ring holds the last capacity finished
+// spans (DefaultCapacity if capacity <= 0).
+func NewTracer(capacity int) *Tracer {
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	return &Tracer{ring: make([]SpanData, capacity)}
+}
+
+// SetSampleEvery keeps 1 in n root spans (head sampling: the decision is
+// made at StartRoot and inherited by all children). n <= 1 keeps every
+// root. Safe to change while serving.
+func (t *Tracer) SetSampleEvery(n int) {
+	if t == nil {
+		return
+	}
+	t.sample.Store(int64(n))
+}
+
+// NextID mints a process-unique span id. Exposed so pre-timed spans built
+// outside the Start/End lifecycle (device cycle timelines) can be stitched
+// into a live trace.
+func (t *Tracer) NextID() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.idSeq.Add(1)
+}
+
+// Emit appends one finished span to the ring, evicting the oldest when
+// full. Safe for concurrent use; nil-safe.
+func (t *Tracer) Emit(d SpanData) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	if t.full {
+		t.dropped.Add(1)
+	}
+	t.ring[t.next] = d
+	t.next++
+	if t.next == len(t.ring) {
+		t.next = 0
+		t.full = true
+	}
+	t.mu.Unlock()
+}
+
+// Spans returns the ring's contents oldest-first. The slice is a copy.
+func (t *Tracer) Spans() []SpanData {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if !t.full {
+		out := make([]SpanData, t.next)
+		copy(out, t.ring[:t.next])
+		return out
+	}
+	out := make([]SpanData, 0, len(t.ring))
+	out = append(out, t.ring[t.next:]...)
+	out = append(out, t.ring[:t.next]...)
+	return out
+}
+
+// Dropped reports how many spans were evicted from the ring.
+func (t *Tracer) Dropped() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.dropped.Load()
+}
+
+// Span is one in-progress operation. All methods are nil-safe; a nil span
+// is the not-recording span. A span is owned by one goroutine at a time —
+// ownership may transfer (e.g. a queued request's span is ended by the
+// dispatcher) as long as the handoff happens-before the next method call,
+// which a channel send/receive provides.
+type Span struct {
+	t *Tracer
+	d SpanData
+}
+
+// ctxKey carries the active span through a context.
+type ctxKey struct{}
+
+// FromContext returns the active span, or nil if none is recording.
+func FromContext(ctx context.Context) *Span {
+	if ctx == nil {
+		return nil
+	}
+	s, _ := ctx.Value(ctxKey{}).(*Span)
+	return s
+}
+
+// ContextWith returns ctx with s as the active span.
+func ContextWith(ctx context.Context, s *Span) context.Context {
+	return context.WithValue(ctx, ctxKey{}, s)
+}
+
+// StartRoot begins a new trace (one request). It makes the head-sampling
+// decision: an unsampled request returns (ctx, nil) and every descendant
+// Start call is a no-op. A nil tracer records nothing.
+func (t *Tracer) StartRoot(ctx context.Context, name, track string, attrs ...Attr) (context.Context, *Span) {
+	if t == nil {
+		return ctx, nil
+	}
+	seq := t.rootSeq.Add(1)
+	if n := t.sample.Load(); n > 1 && (seq-1)%uint64(n) != 0 {
+		return ctx, nil
+	}
+	s := &Span{t: t, d: SpanData{
+		Trace: seq,
+		ID:    t.NextID(),
+		Name:  name,
+		Track: track,
+		Start: time.Now(),
+		Attrs: attrs,
+	}}
+	return ContextWith(ctx, s), s
+}
+
+// Start begins a child of the active span in ctx. If no span is recording
+// (nil tracer, unsampled request, or plain context) it returns (ctx, nil).
+func Start(ctx context.Context, name, track string, attrs ...Attr) (context.Context, *Span) {
+	parent := FromContext(ctx)
+	if parent == nil {
+		return ctx, nil
+	}
+	s := &Span{t: parent.t, d: SpanData{
+		Trace:  parent.d.Trace,
+		ID:     parent.t.NextID(),
+		Parent: parent.d.ID,
+		Name:   name,
+		Track:  track,
+		Start:  time.Now(),
+		Attrs:  attrs,
+	}}
+	return ContextWith(ctx, s), s
+}
+
+// Recording reports whether the span records anything.
+func (s *Span) Recording() bool { return s != nil }
+
+// Tracer returns the span's tracer (nil for a not-recording span).
+func (s *Span) Tracer() *Tracer {
+	if s == nil {
+		return nil
+	}
+	return s.t
+}
+
+// TraceID returns the span's trace id (0 if not recording).
+func (s *Span) TraceID() uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.d.Trace
+}
+
+// ID returns the span id (0 if not recording).
+func (s *Span) ID() uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.d.ID
+}
+
+// SetAttr annotates the span.
+func (s *Span) SetAttr(attrs ...Attr) {
+	if s == nil {
+		return
+	}
+	s.d.Attrs = append(s.d.Attrs, attrs...)
+}
+
+// Link records that span id (usually from another trace) fed this span.
+func (s *Span) Link(id uint64) {
+	if s == nil || id == 0 {
+		return
+	}
+	s.d.Links = append(s.d.Links, id)
+}
+
+// End finishes the span and emits it to the tracer's ring.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.d.End = time.Now()
+	s.t.Emit(s.d)
+}
+
+// RequestID formats a request sequence number as a stable log/trace id.
+func RequestID(seq uint64) string { return fmt.Sprintf("req-%06d", seq) }

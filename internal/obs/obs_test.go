@@ -1,0 +1,178 @@
+package obs_test
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"tpusim/internal/obs"
+)
+
+func TestTracerRingBounds(t *testing.T) {
+	tr := obs.NewTracer(4)
+	for i := 0; i < 6; i++ {
+		tr.Emit(obs.SpanData{ID: uint64(i + 1), Name: fmt.Sprintf("s%d", i)})
+	}
+	spans := tr.Spans()
+	if len(spans) != 4 {
+		t.Fatalf("ring holds %d spans, want 4", len(spans))
+	}
+	// Oldest-first, keeping the newest 4.
+	for i, s := range spans {
+		if want := uint64(i + 3); s.ID != want {
+			t.Errorf("span %d has id %d, want %d", i, s.ID, want)
+		}
+	}
+	if tr.Dropped() != 2 {
+		t.Errorf("dropped %d, want 2", tr.Dropped())
+	}
+}
+
+func TestSpanTreeThroughContext(t *testing.T) {
+	tr := obs.NewTracer(16)
+	ctx, root := tr.StartRoot(context.Background(), "request", "serve/MLP0",
+		obs.String("model", "MLP0"))
+	if !root.Recording() {
+		t.Fatal("root not recording")
+	}
+	cctx, child := obs.Start(ctx, "queue", "serve/MLP0")
+	_, grand := obs.Start(cctx, "run", "tpu0", obs.Int("batch", 8))
+	grand.End()
+	child.End()
+	root.SetAttr(obs.String("outcome", "ok"))
+	root.End()
+
+	spans := tr.Spans()
+	if len(spans) != 3 {
+		t.Fatalf("%d spans recorded, want 3", len(spans))
+	}
+	byName := map[string]obs.SpanData{}
+	for _, s := range spans {
+		byName[s.Name] = s
+	}
+	r, q, g := byName["request"], byName["queue"], byName["run"]
+	if q.Parent != r.ID || g.Parent != q.ID {
+		t.Errorf("parent chain broken: run->%d queue->%d root=%d queue=%d", g.Parent, q.Parent, r.ID, q.ID)
+	}
+	if q.Trace != r.Trace || g.Trace != r.Trace {
+		t.Errorf("trace ids diverge: %d %d %d", r.Trace, q.Trace, g.Trace)
+	}
+	if g.Track != "tpu0" {
+		t.Errorf("run track %q", g.Track)
+	}
+	if r.End.Before(r.Start) {
+		t.Error("root ends before it starts")
+	}
+	if len(r.Attrs) != 2 {
+		t.Errorf("root attrs %v, want model+outcome", r.Attrs)
+	}
+}
+
+func TestHeadSampling(t *testing.T) {
+	tr := obs.NewTracer(64)
+	tr.SetSampleEvery(3)
+	recorded := 0
+	for i := 0; i < 9; i++ {
+		ctx, root := tr.StartRoot(context.Background(), "request", "t")
+		// Children of an unsampled root must not record either (head-based:
+		// whole traces are kept or dropped).
+		_, child := obs.Start(ctx, "child", "t")
+		if child.Recording() != root.Recording() {
+			t.Fatal("child sampling decision diverged from root")
+		}
+		child.End()
+		root.End()
+		if root.Recording() {
+			recorded++
+		}
+	}
+	if recorded != 3 {
+		t.Errorf("recorded %d of 9 roots with SampleEvery(3), want 3", recorded)
+	}
+	if got := len(tr.Spans()); got != 6 {
+		t.Errorf("%d spans in ring, want 6 (3 roots + 3 children)", got)
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var tr *obs.Tracer
+	ctx, root := tr.StartRoot(context.Background(), "request", "t", obs.String("k", "v"))
+	if root.Recording() {
+		t.Fatal("nil tracer produced a recording span")
+	}
+	// Every method must be a safe no-op on the nil span.
+	root.SetAttr(obs.Int("x", 1))
+	root.Link(7)
+	root.End()
+	if root.ID() != 0 || root.TraceID() != 0 || root.Tracer() != nil {
+		t.Error("nil span leaked identity")
+	}
+	if _, child := obs.Start(ctx, "child", "t"); child.Recording() {
+		t.Error("child of nil span records")
+	}
+	tr.SetSampleEvery(10)
+	tr.Emit(obs.SpanData{})
+	if tr.Spans() != nil || tr.Dropped() != 0 || tr.NextID() != 0 {
+		t.Error("nil tracer not inert")
+	}
+}
+
+// TestDisabledPathAllocs guards the disabled fast path: with no tracer the
+// whole span API must cost zero allocations.
+func TestDisabledPathAllocs(t *testing.T) {
+	var tr *obs.Tracer
+	ctx := context.Background()
+	allocs := testing.AllocsPerRun(200, func() {
+		c2, s := tr.StartRoot(ctx, "request", "t")
+		_, s2 := obs.Start(c2, "child", "t")
+		s2.End()
+		s.End()
+	})
+	if allocs != 0 {
+		t.Errorf("disabled path allocates %.1f per request, want 0", allocs)
+	}
+}
+
+func TestRequestID(t *testing.T) {
+	if got := obs.RequestID(42); got != "req-000042" {
+		t.Errorf("RequestID(42) = %q", got)
+	}
+}
+
+// BenchmarkDisabledSpan is the overhead guard for the nil-tracer fast
+// path; BenchmarkEnabledSpan measures the full record cost for contrast.
+func BenchmarkDisabledSpan(b *testing.B) {
+	var tr *obs.Tracer
+	ctx := context.Background()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c2, s := tr.StartRoot(ctx, "request", "t")
+		_, s2 := obs.Start(c2, "child", "t")
+		s2.End()
+		s.End()
+	}
+}
+
+func BenchmarkEnabledSpan(b *testing.B) {
+	tr := obs.NewTracer(obs.DefaultCapacity)
+	ctx := context.Background()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c2, s := tr.StartRoot(ctx, "request", "t")
+		_, s2 := obs.Start(c2, "child", "t")
+		s2.End()
+		s.End()
+	}
+}
+
+func TestSpanDataTimesOrdered(t *testing.T) {
+	tr := obs.NewTracer(4)
+	_, s := tr.StartRoot(context.Background(), "x", "t")
+	time.Sleep(time.Millisecond)
+	s.End()
+	d := tr.Spans()[0]
+	if !d.End.After(d.Start) {
+		t.Errorf("span end %v not after start %v", d.End, d.Start)
+	}
+}

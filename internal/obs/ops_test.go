@@ -1,0 +1,120 @@
+package obs_test
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"tpusim/internal/obs"
+)
+
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+// TestOpsSmoke boots the ops endpoint on a random port and scrapes every
+// route: /healthz, /metrics (with a registered collector), /trace, and the
+// pprof index. This is the CI obs-smoke target's backing test.
+func TestOpsSmoke(t *testing.T) {
+	tr := obs.NewTracer(64)
+	_, root := tr.StartRoot(context.Background(), "request", "serve/MLP0",
+		obs.String("model", "MLP0"))
+	root.End()
+
+	ops := obs.NewOps(tr)
+	ops.AddCollector(func(w io.Writer) {
+		fmt.Fprintf(w, "tpuserve_up 1\n")
+	})
+	srv, err := ops.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	code, body := get(t, srv.URL+"/healthz")
+	if code != http.StatusOK {
+		t.Fatalf("/healthz status %d", code)
+	}
+	var health map[string]any
+	if err := json.Unmarshal([]byte(body), &health); err != nil {
+		t.Fatalf("/healthz is not JSON: %v", err)
+	}
+	if health["status"] != "ok" {
+		t.Errorf("/healthz status %v, want ok", health["status"])
+	}
+
+	code, body = get(t, srv.URL+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics status %d", code)
+	}
+	if !strings.Contains(body, "tpuserve_up 1") {
+		t.Error("/metrics missing collector output")
+	}
+	if !strings.Contains(body, "obs_spans_dropped_total") {
+		t.Error("/metrics missing tracer gauge")
+	}
+
+	code, body = get(t, srv.URL+"/trace")
+	if code != http.StatusOK {
+		t.Fatalf("/trace status %d", code)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal([]byte(body), &events); err != nil {
+		t.Fatalf("/trace is not a JSON array: %v", err)
+	}
+	found := false
+	for _, e := range events {
+		for _, key := range []string{"name", "ph", "ts", "pid", "tid"} {
+			if _, ok := e[key]; !ok {
+				t.Fatalf("/trace event missing %q: %v", key, e)
+			}
+		}
+		if e["name"] == "request" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("/trace missing the recorded request span")
+	}
+
+	if code, _ = get(t, srv.URL+"/trace?n=bogus"); code != http.StatusBadRequest {
+		t.Errorf("/trace?n=bogus status %d, want 400", code)
+	}
+	if code, _ = get(t, srv.URL+"/debug/pprof/"); code != http.StatusOK {
+		t.Errorf("pprof index status %d", code)
+	}
+}
+
+// TestOpsNilTracer: the endpoint must stay serviceable with tracing off.
+func TestOpsNilTracer(t *testing.T) {
+	srv, err := obs.NewOps(nil).Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	if code, _ := get(t, srv.URL+"/healthz"); code != http.StatusOK {
+		t.Errorf("/healthz status %d with nil tracer", code)
+	}
+	code, body := get(t, srv.URL+"/trace")
+	if code != http.StatusOK {
+		t.Errorf("/trace status %d with nil tracer", code)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal([]byte(body), &events); err != nil {
+		t.Errorf("/trace with nil tracer is not JSON: %v", err)
+	}
+}

@@ -1,0 +1,111 @@
+package runtime
+
+import (
+	"fmt"
+	"io"
+)
+
+// DriverStats is one device's lifetime accounting, the material behind the
+// per-device gauges on the ops endpoint. Utilization here is the Table 3
+// headline ratio — matrix-unit active cycles over total cycles — computed
+// over everything the device has run since creation.
+type DriverStats struct {
+	// Device is the telemetry label ("tpu0".."tpu3" on a server).
+	Device string
+	// Runs is completed inference batches.
+	Runs int64
+	// Cycles is total device cycles across all runs.
+	Cycles int64
+	// MatrixActive is matrix-unit busy cycles across all runs.
+	MatrixActive int64
+	// DeviceSeconds is accumulated simulated device time.
+	DeviceSeconds float64
+	// Compilations counts slow-path compiles.
+	Compilations int
+	// ModelsResident is how many compiled models are cached right now.
+	ModelsResident int
+	// WeightBytesReserved is the Weight Memory allocation high-water mark.
+	WeightBytesReserved uint64
+}
+
+// MatrixUtilization is lifetime matrix-active cycles / total cycles.
+func (st DriverStats) MatrixUtilization() float64 {
+	if st.Cycles == 0 {
+		return 0
+	}
+	return float64(st.MatrixActive) / float64(st.Cycles)
+}
+
+// Stats snapshots the driver's lifetime accounting.
+func (d *Driver) Stats() DriverStats {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return DriverStats{
+		Device:              d.label,
+		Runs:                d.runs,
+		Cycles:              d.cycles,
+		MatrixActive:        d.matrixActive,
+		DeviceSeconds:       d.deviceSeconds,
+		Compilations:        d.Compilations,
+		ModelsResident:      len(d.cache),
+		WeightBytesReserved: d.weightNext,
+	}
+}
+
+// Stats snapshots every device on the server, in device order.
+func (s *Server) Stats() []DriverStats {
+	out := make([]DriverStats, 0, len(s.drivers))
+	for _, d := range s.drivers {
+		out = append(out, d.Stats())
+	}
+	return out
+}
+
+// WritePrometheus renders the per-device gauges in Prometheus text
+// exposition format. Wire it into an obs.Ops collector next to the serving
+// registry's exposition:
+//
+//	ops.AddCollector(func(w io.Writer) { runtimeSrv.WritePrometheus(w) })
+func (s *Server) WritePrometheus(w io.Writer) {
+	stats := s.Stats()
+	writeFam(w, "tpu_device_runs_total", "counter",
+		"Completed inference batches per device.")
+	for _, st := range stats {
+		fmt.Fprintf(w, "tpu_device_runs_total{device=%q} %d\n", st.Device, st.Runs)
+	}
+	writeFam(w, "tpu_device_cycles_total", "counter",
+		"Total simulated device cycles per device.")
+	for _, st := range stats {
+		fmt.Fprintf(w, "tpu_device_cycles_total{device=%q} %d\n", st.Device, st.Cycles)
+	}
+	writeFam(w, "tpu_device_busy_seconds_total", "counter",
+		"Accumulated simulated device time per device.")
+	for _, st := range stats {
+		fmt.Fprintf(w, "tpu_device_busy_seconds_total{device=%q} %g\n", st.Device, st.DeviceSeconds)
+	}
+	writeFam(w, "tpu_device_matrix_utilization", "gauge",
+		"Lifetime matrix-unit active cycles over total cycles (Table 3 row 1).")
+	for _, st := range stats {
+		fmt.Fprintf(w, "tpu_device_matrix_utilization{device=%q} %g\n", st.Device, st.MatrixUtilization())
+	}
+	writeFam(w, "tpu_device_compilations_total", "counter",
+		"Slow-path model compilations per device.")
+	for _, st := range stats {
+		fmt.Fprintf(w, "tpu_device_compilations_total{device=%q} %d\n", st.Device, st.Compilations)
+	}
+	writeFam(w, "tpu_device_models_resident", "gauge",
+		"Compiled models currently cached on the device's driver.")
+	for _, st := range stats {
+		fmt.Fprintf(w, "tpu_device_models_resident{device=%q} %d\n", st.Device, st.ModelsResident)
+	}
+	writeFam(w, "tpu_device_weight_bytes_reserved", "gauge",
+		"Weight Memory allocation high-water mark in bytes.")
+	for _, st := range stats {
+		fmt.Fprintf(w, "tpu_device_weight_bytes_reserved{device=%q} %d\n", st.Device, st.WeightBytesReserved)
+	}
+}
+
+// writeFam writes one metric family's HELP/TYPE header.
+func writeFam(w io.Writer, name, typ, help string) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+}

@@ -15,11 +15,14 @@
 package runtime
 
 import (
+	"context"
 	"fmt"
 	"sync"
+	"time"
 
 	"tpusim/internal/compiler"
 	"tpusim/internal/nn"
+	"tpusim/internal/obs"
 	"tpusim/internal/tensor"
 	"tpusim/internal/tpu"
 )
@@ -29,13 +32,26 @@ type region struct {
 	base, size uint64
 }
 
+// maxDeviceSpans caps how many device cycle events one traced run stitches
+// into a live trace, so a single giant program cannot evict every other
+// span from the tracer's bounded ring.
+const maxDeviceSpans = 1024
+
 // Driver is the User Space Driver: it owns a device per cached model and a
 // compilation cache keyed by model name.
 type Driver struct {
 	cfg tpu.Config
+	// label names the driver's device on telemetry tracks and in the
+	// per-device Prometheus gauges ("tpu0".."tpu3" on a server).
+	label string
 
 	mu    sync.Mutex
 	cache map[string]*entry
+	// Lifetime per-device accounting behind the /metrics device gauges.
+	runs          int64
+	cycles        int64
+	matrixActive  int64
+	deviceSeconds float64
 	// weightNext is the next free tile-aligned Weight Memory offset; each
 	// compiled model gets its own region so many stay resident at once
 	// ("8 GiB supports many simultaneously active models"). weightFree
@@ -73,7 +89,7 @@ func NewDriver(cfg tpu.Config) (*Driver, error) {
 	if _, err := tpu.New(cfg); err != nil {
 		return nil, err
 	}
-	return &Driver{cfg: cfg, cache: map[string]*entry{}}, nil
+	return &Driver{cfg: cfg, label: "tpu", cache: map[string]*entry{}}, nil
 }
 
 // InferenceResult is one batch's outcome.
@@ -127,8 +143,22 @@ func (d *Driver) releaseWeights(r region) {
 // compile is the single-flighted slow path: quantize, reserve a Weight
 // Memory region sized by the model's exact tile footprint, compile at that
 // base, and create the model's device. On any failure the region is
-// returned, so a failed compile never leaks Weight Memory.
-func (d *Driver) compile(e *entry, m *nn.Model, params *nn.Params, in *tensor.F32) error {
+// returned, so a failed compile never leaks Weight Memory. The caller that
+// wins the compile race donates its trace context, so the span lands in
+// the request that actually paid for the compile.
+func (d *Driver) compile(ctx context.Context, e *entry, m *nn.Model, params *nn.Params, in *tensor.F32) (err error) {
+	if obs.FromContext(ctx) != nil {
+		_, sp := obs.Start(ctx, "compile", d.label, obs.String("model", m.Name))
+		defer func() {
+			if err != nil {
+				sp.SetAttr(obs.String("error", err.Error()))
+			} else {
+				sp.SetAttr(obs.Int64("weight_bytes", int64(e.reg.size)),
+					obs.Int("instructions", len(e.art.Program.Instructions)))
+			}
+			sp.End()
+		}()
+	}
 	qm, err := nn.QuantizeModel(m, params, in)
 	if err != nil {
 		return fmt.Errorf("runtime: quantizing %s: %w", m.Name, err)
@@ -162,6 +192,17 @@ func (d *Driver) compile(e *entry, m *nn.Model, params *nn.Params, in *tensor.F3
 // evaluations compile exactly once, and runs of the same model serialize
 // on its device while different models proceed in parallel.
 func (d *Driver) Run(m *nn.Model, params *nn.Params, in *tensor.F32) (*InferenceResult, error) {
+	return d.RunCtx(context.Background(), m, params, in)
+}
+
+// RunCtx is Run with request-scoped telemetry: when ctx carries a
+// recording obs span, the driver emits a compile span for the slow path
+// and a run span for device execution, and — when the device was created
+// with Config.Trace — stitches the run's cycle-domain unit-occupancy
+// events into the run span as wall-clock child spans (cycle 0 anchored at
+// the run's start, scaled so the cycle timeline tiles the wall-clock run
+// exactly). With no span in ctx the cost over Run is one context lookup.
+func (d *Driver) RunCtx(ctx context.Context, m *nn.Model, params *nn.Params, in *tensor.F32) (*InferenceResult, error) {
 	if err := m.Validate(); err != nil {
 		return nil, err
 	}
@@ -174,7 +215,7 @@ func (d *Driver) Run(m *nn.Model, params *nn.Params, in *tensor.F32) (*Inference
 	d.mu.Unlock()
 	cached := ok
 
-	e.once.Do(func() { e.err = d.compile(e, m, params, in) })
+	e.once.Do(func() { e.err = d.compile(ctx, e, m, params, in) })
 	if e.err != nil {
 		err := e.err
 		// Drop the poisoned entry so a later evaluation can retry.
@@ -191,12 +232,54 @@ func (d *Driver) Run(m *nn.Model, params *nn.Params, in *tensor.F32) (*Inference
 	if err != nil {
 		return nil, err
 	}
+	var rsp *obs.Span
+	if obs.FromContext(ctx) != nil {
+		_, rsp = obs.Start(ctx, "run", d.label,
+			obs.String("model", m.Name), obs.Int("batch", e.art.Layout.Batch))
+	}
 	e.runMu.Lock()
+	wallStart := time.Now()
 	c, err := e.dev.Run(e.art.Program, host)
+	var devSpans []obs.SpanData
+	if err == nil && rsp.Recording() && d.cfg.Trace && c.Cycles > 0 {
+		// Stitch the cycle-domain device timeline into the wall-clock run
+		// span: cycle 0 at the run's start, scaled so total cycles span
+		// the wall duration (reading the trace still recovers true device
+		// time from the cycle_* attrs and the clock).
+		devSpans = tpu.TraceSpans(e.dev.Trace(), tpu.SpanMapping{
+			Base:            wallStart,
+			SecondsPerCycle: time.Since(wallStart).Seconds() / float64(c.Cycles),
+			Track:           d.label,
+			Trace:           rsp.TraceID(),
+			Parent:          rsp.ID(),
+			NextID:          rsp.Tracer().NextID,
+			MaxEvents:       maxDeviceSpans,
+		})
+	}
 	e.runMu.Unlock()
+	for _, sd := range devSpans {
+		rsp.Tracer().Emit(sd)
+	}
 	if err != nil {
+		if rsp.Recording() {
+			rsp.SetAttr(obs.String("error", err.Error()))
+			rsp.End()
+		}
 		return nil, fmt.Errorf("runtime: running %s: %w", m.Name, err)
 	}
+	devSeconds := c.Seconds(d.cfg.ClockMHz)
+	if rsp.Recording() {
+		rsp.SetAttr(obs.Int64("cycles", c.Cycles),
+			obs.Float("device_seconds", devSeconds),
+			obs.Float("clock_mhz", d.cfg.ClockMHz))
+		rsp.End()
+	}
+	d.mu.Lock()
+	d.runs++
+	d.cycles += c.Cycles
+	d.matrixActive += c.MatrixActive
+	d.deviceSeconds += devSeconds
+	d.mu.Unlock()
 	qout, err := compiler.UnpackOutput(e.art, host)
 	if err != nil {
 		return nil, err
@@ -204,7 +287,7 @@ func (d *Driver) Run(m *nn.Model, params *nn.Params, in *tensor.F32) (*Inference
 	return &InferenceResult{
 		Output:        e.qm.DequantizeOutput(qout),
 		Counters:      c,
-		DeviceSeconds: c.Seconds(d.cfg.ClockMHz),
+		DeviceSeconds: devSeconds,
 		Cached:        cached,
 	}, nil
 }
@@ -250,6 +333,7 @@ func NewServer(n int, cfg tpu.Config) (*Server, error) {
 		if err != nil {
 			return nil, err
 		}
+		dr.label = fmt.Sprintf("tpu%d", i)
 		s.drivers = append(s.drivers, dr)
 	}
 	return s, nil
@@ -260,11 +344,19 @@ func (s *Server) Devices() int { return len(s.drivers) }
 
 // Run dispatches a batch to the next device round robin.
 func (s *Server) Run(m *nn.Model, params *nn.Params, in *tensor.F32) (*InferenceResult, error) {
+	return s.RunCtx(context.Background(), m, params, in)
+}
+
+// RunCtx is Run with request-scoped telemetry: a device-pick span records
+// which TPU the round robin chose before delegating to the driver.
+func (s *Server) RunCtx(ctx context.Context, m *nn.Model, params *nn.Params, in *tensor.F32) (*InferenceResult, error) {
 	s.mu.Lock()
-	d := s.drivers[s.next]
+	i := s.next
+	d := s.drivers[i]
 	s.next = (s.next + 1) % len(s.drivers)
 	s.mu.Unlock()
-	return d.Run(m, params, in)
+	s.pickSpan(ctx, i, "round-robin")
+	return d.RunCtx(ctx, m, params, in)
 }
 
 // RunOn dispatches a batch to a specific device. The serving layer pins
@@ -272,10 +364,26 @@ func (s *Server) Run(m *nn.Model, params *nn.Params, in *tensor.F32) (*Inference
 // stay resident on that device's driver (maximizing the Section 2 cache
 // behaviour); different models pinned to different devices run in parallel.
 func (s *Server) RunOn(device int, m *nn.Model, params *nn.Params, in *tensor.F32) (*InferenceResult, error) {
+	return s.RunOnCtx(context.Background(), device, m, params, in)
+}
+
+// RunOnCtx is RunOn with request-scoped telemetry.
+func (s *Server) RunOnCtx(ctx context.Context, device int, m *nn.Model, params *nn.Params, in *tensor.F32) (*InferenceResult, error) {
 	if device < 0 || device >= len(s.drivers) {
 		return nil, fmt.Errorf("runtime: device %d out of range [0, %d)", device, len(s.drivers))
 	}
-	return s.drivers[device].Run(m, params, in)
+	s.pickSpan(ctx, device, "pinned")
+	return s.drivers[device].RunCtx(ctx, m, params, in)
+}
+
+// pickSpan records an instantaneous device-pick span when ctx is traced.
+func (s *Server) pickSpan(ctx context.Context, device int, policy string) {
+	if obs.FromContext(ctx) == nil {
+		return
+	}
+	_, sp := obs.Start(ctx, "device-pick", "runtime",
+		obs.Int("device", device), obs.String("policy", policy))
+	sp.End()
 }
 
 // Request is one inference batch for concurrent dispatch.

@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
@@ -15,6 +16,16 @@ import (
 // tensors; the backend returns exactly one output per request.
 type Backend interface {
 	Run(model string, inputs []*tensor.F32) ([]*tensor.F32, error)
+}
+
+// ContextBackend is a Backend that can propagate a request-scoped trace
+// context into its execution. The server's dispatcher prefers RunCtx when
+// the backend implements it, so backend-side telemetry (the runtime
+// driver's compile/device-pick/run spans and the device's cycle timeline)
+// lands in the same trace as the serving-side spans.
+type ContextBackend interface {
+	Backend
+	RunCtx(ctx context.Context, model string, inputs []*tensor.F32) ([]*tensor.F32, error)
 }
 
 // SimBackend is a service-model-driven backend for tests, examples, and
@@ -133,6 +144,13 @@ func (b *RuntimeBackend) AddModel(m *nn.Model, params *nn.Params) error {
 
 // Run implements Backend.
 func (b *RuntimeBackend) Run(model string, inputs []*tensor.F32) ([]*tensor.F32, error) {
+	return b.RunCtx(context.Background(), model, inputs)
+}
+
+// RunCtx implements ContextBackend: the trace context flows through to the
+// runtime server, so the pinned device's run (and, when device tracing is
+// enabled, its cycle-level unit occupancy) joins the request's trace.
+func (b *RuntimeBackend) RunCtx(ctx context.Context, model string, inputs []*tensor.F32) ([]*tensor.F32, error) {
 	b.mu.Lock()
 	sm, ok := b.models[model]
 	b.mu.Unlock()
@@ -155,7 +173,7 @@ func (b *RuntimeBackend) Run(model string, inputs []*tensor.F32) ([]*tensor.F32,
 		}
 		copy(in.Data[i*rowIn:(i+1)*rowIn], t.Data)
 	}
-	res, err := b.srv.RunOn(sm.dev, sm.m, sm.params, in)
+	res, err := b.srv.RunOnCtx(ctx, sm.dev, sm.m, sm.params, in)
 	if err != nil {
 		return nil, err
 	}

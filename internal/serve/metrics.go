@@ -126,7 +126,10 @@ func latBucket(s float64) int {
 		return 0
 	}
 	i := int(math.Log(s/latLo) / math.Log(latGrowth))
-	if i >= latBuckets {
+	// i < 0 catches float overflow: for huge s, s/latLo is +Inf, the log is
+	// +Inf, and the int conversion lands at the platform's min int — such a
+	// sample belongs in the overflow bucket, not bucket 0.
+	if i >= latBuckets || i < 0 {
 		i = latBuckets - 1
 	}
 	return i

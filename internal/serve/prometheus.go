@@ -1,0 +1,142 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// promView is one model's state copied under its lock so a scrape renders
+// a consistent snapshot per model.
+type promView struct {
+	name                 string
+	submitted, completed uint64
+	shedQueue, expired   uint64
+	errored, batches     uint64
+	inFlight             uint64
+	batchSum             uint64
+	queueDepth           int
+	maxQueueDepth        int
+	lat                  [latBuckets]uint64
+	latSum               float64
+}
+
+// promSnapshot copies every model's state, sorted by model name.
+func (m *Metrics) promSnapshot() (views []promView, uptime float64) {
+	m.mu.Lock()
+	mms := make([]*ModelMetrics, 0, len(m.models))
+	for _, mm := range m.models {
+		mms = append(mms, mm)
+	}
+	uptime = time.Since(m.start).Seconds()
+	m.mu.Unlock()
+	sort.Slice(mms, func(i, j int) bool { return mms[i].name < mms[j].name })
+	for _, mm := range mms {
+		mm.mu.Lock()
+		v := promView{
+			name:      mm.name,
+			submitted: mm.submitted, completed: mm.completed,
+			shedQueue: mm.shedQueue, expired: mm.expired,
+			errored: mm.errored, batches: mm.batches,
+			queueDepth: mm.queueDepth, maxQueueDepth: mm.maxQueueDepth,
+			lat: mm.lat, latSum: mm.latSum,
+		}
+		for size, count := range mm.batchDist {
+			v.batchSum += uint64(size) * count
+		}
+		if settled := mm.shedQueue + mm.expired + mm.errored + mm.completed; mm.submitted > settled {
+			v.inFlight = mm.submitted - settled
+		}
+		mm.mu.Unlock()
+		views = append(views, v)
+	}
+	return views, uptime
+}
+
+// WritePrometheus renders the registry in Prometheus text exposition
+// format (version 0.0.4): counters for every admission outcome, gauges for
+// queue depth and in-flight requests, a summary for batch sizes, and the
+// full request-latency histogram with the registry's geometric buckets.
+// Models render in sorted name order so the exposition is deterministic
+// for a given registry state (modulo the uptime gauge).
+func (m *Metrics) WritePrometheus(w io.Writer) {
+	views, uptime := m.promSnapshot()
+
+	writeFam(w, "tpuserve_up", "gauge", "Whether the serving registry is live (always 1 when scraped).")
+	fmt.Fprintf(w, "tpuserve_up 1\n")
+	writeFam(w, "tpuserve_uptime_seconds", "gauge", "Seconds since the metrics registry was created.")
+	fmt.Fprintf(w, "tpuserve_uptime_seconds %g\n", uptime)
+
+	writeFam(w, "tpuserve_requests_submitted_total", "counter", "Requests offered to admission control.")
+	for _, v := range views {
+		fmt.Fprintf(w, "tpuserve_requests_submitted_total{model=%q} %d\n", v.name, v.submitted)
+	}
+	writeFam(w, "tpuserve_requests_completed_total", "counter", "Requests served within the SLA.")
+	for _, v := range views {
+		fmt.Fprintf(w, "tpuserve_requests_completed_total{model=%q} %d\n", v.name, v.completed)
+	}
+	writeFam(w, "tpuserve_requests_shed_total", "counter",
+		"Requests shed, by reason: queue_full at admission, deadline at dispatch.")
+	for _, v := range views {
+		fmt.Fprintf(w, "tpuserve_requests_shed_total{model=%q,reason=\"queue_full\"} %d\n", v.name, v.shedQueue)
+		fmt.Fprintf(w, "tpuserve_requests_shed_total{model=%q,reason=\"deadline\"} %d\n", v.name, v.expired)
+	}
+	writeFam(w, "tpuserve_requests_errored_total", "counter", "Requests failed by the backend.")
+	for _, v := range views {
+		fmt.Fprintf(w, "tpuserve_requests_errored_total{model=%q} %d\n", v.name, v.errored)
+	}
+	writeFam(w, "tpuserve_requests_in_flight", "gauge", "Requests admitted but not yet settled.")
+	for _, v := range views {
+		fmt.Fprintf(w, "tpuserve_requests_in_flight{model=%q} %d\n", v.name, v.inFlight)
+	}
+	writeFam(w, "tpuserve_batches_total", "counter", "Batches dispatched to the backend.")
+	for _, v := range views {
+		fmt.Fprintf(w, "tpuserve_batches_total{model=%q} %d\n", v.name, v.batches)
+	}
+	writeFam(w, "tpuserve_batch_size", "summary", "Requests per dispatched batch.")
+	for _, v := range views {
+		fmt.Fprintf(w, "tpuserve_batch_size_sum{model=%q} %d\n", v.name, v.batchSum)
+		fmt.Fprintf(w, "tpuserve_batch_size_count{model=%q} %d\n", v.name, v.batches)
+	}
+	writeFam(w, "tpuserve_queue_depth", "gauge", "Current per-model queue depth.")
+	for _, v := range views {
+		fmt.Fprintf(w, "tpuserve_queue_depth{model=%q} %d\n", v.name, v.queueDepth)
+	}
+	writeFam(w, "tpuserve_queue_depth_max", "gauge", "High-water per-model queue depth.")
+	for _, v := range views {
+		fmt.Fprintf(w, "tpuserve_queue_depth_max{model=%q} %d\n", v.name, v.maxQueueDepth)
+	}
+	writeFam(w, "tpuserve_request_latency_seconds", "histogram",
+		"Served request latency (enqueue to completion), geometric buckets.")
+	for _, v := range views {
+		var cum uint64
+		for i, c := range v.lat {
+			cum += c
+			_, hi := latBucketBounds(i)
+			fmt.Fprintf(w, "tpuserve_request_latency_seconds_bucket{model=%q,le=%q} %d\n",
+				v.name, formatLe(hi), cum)
+		}
+		fmt.Fprintf(w, "tpuserve_request_latency_seconds_bucket{model=%q,le=\"+Inf\"} %d\n", v.name, cum)
+		fmt.Fprintf(w, "tpuserve_request_latency_seconds_sum{model=%q} %g\n", v.name, v.latSum)
+		fmt.Fprintf(w, "tpuserve_request_latency_seconds_count{model=%q} %d\n", v.name, v.completed)
+	}
+}
+
+// Prometheus renders the exposition as a string.
+func (m *Metrics) Prometheus() string {
+	var b strings.Builder
+	m.WritePrometheus(&b)
+	return b.String()
+}
+
+// formatLe renders a histogram bucket upper bound: shortest exact float
+// form, matching Prometheus convention.
+func formatLe(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// writeFam writes one metric family's HELP/TYPE header.
+func writeFam(w io.Writer, name, typ, help string) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+}

@@ -1,0 +1,167 @@
+package serve
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// update rewrites the Prometheus golden file:
+//
+//	go test ./internal/serve -run TestPrometheusGolden -update
+var update = flag.Bool("update", false, "rewrite golden files with current output")
+
+// sixApps is the paper's benchmark set; the exposition must carry all of
+// them (acceptance: counter/gauge/histogram lines for all six apps).
+var sixApps = []string{"MLP0", "MLP1", "LSTM0", "LSTM1", "CNN0", "CNN1"}
+
+// fixedRegistry builds a registry with deterministic, distinct per-app
+// state so the golden file exercises every metric family.
+func fixedRegistry() *Metrics {
+	m := NewMetrics()
+	for i, app := range sixApps {
+		mm := m.Model(app)
+		n := 10 * (i + 1)
+		for j := 0; j < n; j++ {
+			mm.Submitted()
+		}
+		for j := 0; j < n-i-3; j++ {
+			// Latencies spread across buckets: 0.2ms..~13ms.
+			mm.Completed(2e-4 * float64(j+1))
+		}
+		mm.ShedQueue()
+		if i%2 == 0 {
+			mm.Expired()
+		}
+		if i == 3 {
+			mm.Errored()
+		}
+		mm.Batch(i + 1)
+		mm.Batch(2 * (i + 1))
+		mm.SetQueueDepth(i)
+		mm.SetQueueDepth(i / 2)
+	}
+	return m
+}
+
+// uptimeRe normalizes the one wall-clock-dependent line.
+var uptimeRe = regexp.MustCompile(`(?m)^tpuserve_uptime_seconds .*$`)
+
+func normalize(exposition string) string {
+	return uptimeRe.ReplaceAllString(exposition, "tpuserve_uptime_seconds 0")
+}
+
+// TestPrometheusGolden pins the exposition format: metric names, labels,
+// HELP/TYPE lines, and ordering must not drift (dashboards and scrape
+// configs depend on them).
+func TestPrometheusGolden(t *testing.T) {
+	got := normalize(fixedRegistry().Prometheus())
+	path := filepath.Join("testdata", "prometheus.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update to create): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("Prometheus exposition drifted from golden file.\n--- got ---\n%s--- want ---\n%s(run with -update to accept)",
+			got, string(want))
+	}
+}
+
+// TestPrometheusCoversAllApps asserts the acceptance shape directly:
+// counter, gauge, and histogram lines present for each of the six apps,
+// with values matching the registry snapshot.
+func TestPrometheusCoversAllApps(t *testing.T) {
+	m := fixedRegistry()
+	text := m.Prometheus()
+	snap := m.Snapshot()
+	if len(snap.Models) != len(sixApps) {
+		t.Fatalf("snapshot has %d models, want %d", len(snap.Models), len(sixApps))
+	}
+	for _, s := range snap.Models {
+		for _, line := range []string{
+			fmt.Sprintf("tpuserve_requests_submitted_total{model=%q} %d", s.Model, s.Submitted),
+			fmt.Sprintf("tpuserve_requests_completed_total{model=%q} %d", s.Model, s.Completed),
+			fmt.Sprintf("tpuserve_requests_shed_total{model=%q,reason=\"queue_full\"} %d", s.Model, s.ShedQueue),
+			fmt.Sprintf("tpuserve_requests_shed_total{model=%q,reason=\"deadline\"} %d", s.Model, s.Expired),
+			fmt.Sprintf("tpuserve_requests_errored_total{model=%q} %d", s.Model, s.Errored),
+			fmt.Sprintf("tpuserve_queue_depth{model=%q} %d", s.Model, s.QueueDepth),
+			fmt.Sprintf("tpuserve_batches_total{model=%q} %d", s.Model, s.Batches),
+			fmt.Sprintf("tpuserve_request_latency_seconds_count{model=%q} %d", s.Model, s.Completed),
+			fmt.Sprintf("tpuserve_request_latency_seconds_bucket{model=%q,le=\"+Inf\"} %d", s.Model, s.Completed),
+		} {
+			if !strings.Contains(text, line+"\n") {
+				t.Errorf("exposition missing %q", line)
+			}
+		}
+	}
+	// Histogram buckets must be cumulative and end at the completed count.
+	if !strings.Contains(text, "# TYPE tpuserve_request_latency_seconds histogram") {
+		t.Error("latency histogram TYPE line missing")
+	}
+}
+
+// TestLatBucketBoundaries pins latBucket behaviour at exact bucket edges
+// and in the overflow bucket.
+func TestLatBucketBoundaries(t *testing.T) {
+	// At or below the smallest bound: bucket 0, including zero and
+	// negative (defensive) inputs.
+	for _, s := range []float64{latLo, 0, -1, math.Nextafter(latLo, 0)} {
+		if b := latBucket(s); b != 0 {
+			t.Errorf("latBucket(%g) = %d, want 0", s, b)
+		}
+	}
+	// Exact bucket lower bounds: float log rounding may land the sample
+	// one bucket low (the value sits exactly on the edge), but never
+	// further, and never high.
+	for i := 1; i < latBuckets; i++ {
+		lo, _ := latBucketBounds(i)
+		b := latBucket(lo)
+		if b != i && b != i-1 {
+			t.Errorf("latBucket(bound %d = %g) = %d, want %d or %d", i, lo, b, i-1, i)
+		}
+	}
+	// Strictly interior points land exactly.
+	for i := 0; i < latBuckets; i++ {
+		lo, hi := latBucketBounds(i)
+		if i == 0 {
+			lo = latLo
+		}
+		mid := math.Sqrt(lo * hi) // geometric midpoint of a geometric bucket
+		if b := latBucket(mid); b != i {
+			t.Errorf("latBucket(mid of %d = %g) = %d", i, mid, b)
+		}
+	}
+	// Bounds chain exactly: bucket i's hi is bucket i+1's lo.
+	for i := 0; i < latBuckets-1; i++ {
+		_, hi := latBucketBounds(i)
+		lo, _ := latBucketBounds(i + 1)
+		if hi != lo {
+			t.Errorf("bucket %d hi %g != bucket %d lo %g", i, hi, i+1, lo)
+		}
+	}
+	// Overflow: anything past the last bound clamps into the last bucket.
+	_, lastHi := latBucketBounds(latBuckets - 1)
+	for _, s := range []float64{lastHi, lastHi * 2, 1e6, math.MaxFloat64} {
+		if b := latBucket(s); b != latBuckets-1 {
+			t.Errorf("latBucket(%g) = %d, want overflow bucket %d", s, b, latBuckets-1)
+		}
+	}
+	// Bucket 0's reported range starts at 0 so the histogram covers every
+	// non-negative latency.
+	if lo, _ := latBucketBounds(0); lo != 0 {
+		t.Errorf("bucket 0 lower bound %g, want 0", lo)
+	}
+}

@@ -1,11 +1,15 @@
 package serve
 
 import (
+	"context"
 	"fmt"
+	"log/slog"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"tpusim/internal/latency"
+	"tpusim/internal/obs"
 	"tpusim/internal/tensor"
 )
 
@@ -36,6 +40,11 @@ type Server struct {
 	backend Backend
 	metrics *Metrics
 
+	// Telemetry (set via Observe before Register; both may stay nil).
+	tracer *obs.Tracer
+	logger *slog.Logger
+	reqSeq atomic.Uint64
+
 	mu     sync.Mutex
 	lanes  map[string]*lane
 	closed bool
@@ -48,6 +57,10 @@ type lane struct {
 	plan  Plan
 	sm    latency.ServiceModel
 	mm    *ModelMetrics
+	// Telemetry track names, precomputed so the per-request fast path does
+	// no string concatenation: request/queue spans render on reqTrack, the
+	// dispatcher's fill-wait/dispatch spans on laneTrack.
+	reqTrack, laneTrack string
 
 	mu     sync.Mutex
 	closed bool
@@ -56,6 +69,15 @@ type lane struct {
 
 // call is one in-flight request.
 type call struct {
+	// ctx carries the request's trace context into the dispatcher and
+	// backend; span is the request root, qspan the queue-residency span
+	// (ended by the dispatcher when it picks the call). Ownership of qspan
+	// transfers with the call over the lane channel.
+	ctx   context.Context
+	span  *obs.Span
+	qspan *obs.Span
+	id    uint64
+
 	input *tensor.F32
 	enq   time.Time
 	done  chan callDone
@@ -73,6 +95,21 @@ func NewServer(b Backend) *Server {
 
 // Metrics exposes the live registry.
 func (s *Server) Metrics() *Metrics { return s.metrics }
+
+// Observe attaches telemetry: a tracer records request-scoped spans
+// (admit, queue, fill-wait, dispatch, plus whatever the backend adds
+// underneath), and a logger gets structured admission/shed/expiry events
+// with request ids. Either may be nil; with both nil the serving path pays
+// only nil checks. Call Observe before Register — dispatcher goroutines
+// read these fields without locks, which is safe exactly because Register
+// starts them after Observe returns.
+func (s *Server) Observe(t *obs.Tracer, logger *slog.Logger) {
+	s.tracer = t
+	s.logger = logger
+}
+
+// Tracer returns the tracer set by Observe (nil if none).
+func (s *Server) Tracer() *obs.Tracer { return s.tracer }
 
 // Register adds a model lane. The policy is resolved against the latency
 // model immediately, so an SLA no operating point can meet fails loudly at
@@ -94,11 +131,13 @@ func (s *Server) Register(model string, cfg ModelConfig) (Plan, error) {
 		return Plan{}, fmt.Errorf("serve: model %s already registered", model)
 	}
 	l := &lane{
-		model: model,
-		plan:  plan,
-		sm:    cfg.Service,
-		mm:    s.metrics.Model(model),
-		ch:    make(chan *call, plan.QueueLimit),
+		model:     model,
+		plan:      plan,
+		sm:        cfg.Service,
+		mm:        s.metrics.Model(model),
+		reqTrack:  "serve/" + model,
+		laneTrack: "lane/" + model,
+		ch:        make(chan *call, plan.QueueLimit),
 	}
 	s.lanes[model] = l
 	s.wg.Add(1)
@@ -110,17 +149,44 @@ func (s *Server) Register(model string, cfg ModelConfig) (Plan, error) {
 // Admission control is immediate: a full queue sheds the request now
 // (ErrOverloaded) instead of letting it queue into certain SLA violation.
 func (s *Server) Submit(model string, input *tensor.F32) (Response, error) {
+	return s.SubmitCtx(context.Background(), model, input)
+}
+
+// SubmitCtx is Submit with request-scoped telemetry. When a tracer is
+// attached (Observe) and head sampling keeps the request, the whole
+// request becomes one trace: a root "request" span on the model's serve
+// track, an "admit" span around the admission decision, a "queue" span for
+// queue residency (ended by the dispatcher when it picks the call), the
+// dispatcher's "fill-wait"/"dispatch" spans on the lane track, and — with
+// a context-aware backend — the runtime's compile/device-pick/run spans
+// down to the device's cycle timeline.
+func (s *Server) SubmitCtx(ctx context.Context, model string, input *tensor.F32) (Response, error) {
 	s.mu.Lock()
 	l, ok := s.lanes[model]
 	s.mu.Unlock()
 	if !ok {
 		return Response{}, fmt.Errorf("%w: %s", ErrUnknownModel, model)
 	}
-	c := &call{input: input, enq: time.Now(), done: make(chan callDone, 1)}
+	reqID := s.reqSeq.Add(1)
+	var root *obs.Span
+	if s.tracer != nil {
+		ctx, root = s.tracer.StartRoot(ctx, "request", l.reqTrack,
+			obs.String("model", model), obs.String("request_id", obs.RequestID(reqID)))
+	}
+	c := &call{ctx: ctx, span: root, id: reqID, input: input, enq: time.Now(), done: make(chan callDone, 1)}
+
+	var admit *obs.Span
+	if root.Recording() {
+		_, admit = obs.Start(ctx, "admit", l.reqTrack)
+		// The queue span must exist before the call is published on the
+		// channel: after the send, the dispatcher owns it.
+		_, c.qspan = obs.Start(ctx, "queue", l.reqTrack)
+	}
 
 	l.mu.Lock()
 	if l.closed {
 		l.mu.Unlock()
+		s.finishRejected(admit, root, "closed")
 		return Response{}, ErrClosed
 	}
 	l.mm.Submitted()
@@ -129,13 +195,74 @@ func (s *Server) Submit(model string, input *tensor.F32) (Response, error) {
 	default:
 		l.mm.ShedQueue()
 		l.mu.Unlock()
+		s.finishRejected(admit, root, "shed_queue")
+		if s.logger != nil {
+			s.logger.Warn("request shed at admission",
+				"model", model, "request_id", obs.RequestID(reqID),
+				"reason", "queue_full", "queue_limit", cap(l.ch))
+		}
 		return Response{}, ErrOverloaded
 	}
-	l.mm.SetQueueDepth(len(l.ch))
+	depth := len(l.ch)
+	l.mm.SetQueueDepth(depth)
 	l.mu.Unlock()
+	if admit.Recording() {
+		admit.SetAttr(obs.String("outcome", "admitted"), obs.Int("queue_depth", depth))
+		admit.End()
+	}
 
 	d := <-c.done
+	if root.Recording() {
+		root.SetAttr(obs.String("outcome", outcomeOf(d.err)))
+		if d.err == nil {
+			root.SetAttr(obs.Int("batch", d.resp.BatchSize))
+		}
+		root.End()
+	}
+	if s.logger != nil {
+		switch d.err {
+		case nil:
+			s.logger.Debug("request served", "model", model,
+				"request_id", obs.RequestID(reqID),
+				"latency_ms", d.resp.Latency.Seconds()*1e3, "batch", d.resp.BatchSize)
+		case ErrDeadline:
+			s.logger.Warn("request shed at dispatch", "model", model,
+				"request_id", obs.RequestID(reqID), "reason", "deadline")
+		default:
+			s.logger.Error("request failed", "model", model,
+				"request_id", obs.RequestID(reqID), "error", d.err)
+		}
+	}
 	return d.resp, d.err
+}
+
+// finishRejected closes out the admit and root spans of a request rejected
+// at admission (its queue span is dropped unemitted).
+func (s *Server) finishRejected(admit, root *obs.Span, outcome string) {
+	if admit.Recording() {
+		admit.SetAttr(obs.String("outcome", outcome))
+		admit.End()
+	}
+	if root.Recording() {
+		root.SetAttr(obs.String("outcome", outcome))
+		root.End()
+	}
+}
+
+// outcomeOf maps a request's terminal error to its span outcome attr.
+func outcomeOf(err error) string {
+	switch err {
+	case nil:
+		return "ok"
+	case ErrDeadline:
+		return "expired"
+	case ErrOverloaded:
+		return "shed_queue"
+	case ErrClosed:
+		return "closed"
+	default:
+		return "error"
+	}
 }
 
 // dispatch is one lane's batching loop: block for the head request, fill
@@ -148,8 +275,16 @@ func (s *Server) dispatch(l *lane) {
 		if !ok {
 			return
 		}
+		picked(head)
 		batch := []*call{head}
 		if l.plan.SafeBatch > 1 {
+			// The fill-wait span belongs to the head request's trace: the
+			// head is what the batcher is holding while it waits for
+			// company.
+			var fw *obs.Span
+			if head.span.Recording() {
+				_, fw = obs.Start(head.ctx, "fill-wait", l.laneTrack)
+			}
 			wait := l.plan.MaxWaitSeconds - time.Since(head.enq).Seconds()
 			if wait > 0 {
 				timer := time.NewTimer(time.Duration(wait * float64(time.Second)))
@@ -160,6 +295,7 @@ func (s *Server) dispatch(l *lane) {
 						if !ok {
 							break fill
 						}
+						picked(c)
 						batch = append(batch, c)
 					case <-timer.C:
 						break fill
@@ -176,10 +312,15 @@ func (s *Server) dispatch(l *lane) {
 					if !ok {
 						break greedy
 					}
+					picked(c)
 					batch = append(batch, c)
 				default:
 					break greedy
 				}
+			}
+			if fw.Recording() {
+				fw.SetAttr(obs.Int("filled", len(batch)), obs.Int("safe_batch", l.plan.SafeBatch))
+				fw.End()
 			}
 		}
 		l.mm.SetQueueDepth(len(l.ch))
@@ -187,23 +328,51 @@ func (s *Server) dispatch(l *lane) {
 	}
 }
 
+// picked marks a call's exit from the queue: its queue-residency span ends
+// the moment the dispatcher takes ownership.
+func picked(c *call) {
+	c.qspan.End()
+}
+
 // runBatch sheds expired members, executes the rest, and delivers results.
+// The dispatch span rides the head request's trace and links every other
+// member's request span, so a batch reads as one fan-in in the exported
+// trace; the backend call runs under the dispatch span's context so a
+// context-aware backend (RuntimeBackend) extends the same trace down to
+// the device.
 func (s *Server) runBatch(l *lane, batch []*call) {
+	ctx := batch[0].ctx
+	var dsp *obs.Span
+	if batch[0].span.Recording() {
+		ctx, dsp = obs.Start(ctx, "dispatch", l.laneTrack, obs.Int("batch", len(batch)))
+		defer dsp.End()
+	}
 	svc, err := l.sm.BatchSeconds(len(batch))
 	if err != nil {
 		s.failBatch(l, batch, err)
 		return
 	}
 	now := time.Now()
+	expired := 0
 	kept := batch[:0]
 	for _, c := range batch {
 		age := now.Sub(c.enq).Seconds()
 		if l.plan.Expired(0, age, svc) { // arrived at 0, dispatching at age
 			l.mm.Expired()
+			expired++
 			c.done <- callDone{err: ErrDeadline}
 			continue
 		}
 		kept = append(kept, c)
+	}
+	if dsp.Recording() {
+		dsp.SetAttr(obs.Int("expired", expired), obs.Int("kept", len(kept)),
+			obs.Float("svc_seconds", svc))
+		for _, c := range kept {
+			if c != batch[0] {
+				dsp.Link(c.span.ID())
+			}
+		}
 	}
 	if len(kept) == 0 {
 		return
@@ -212,7 +381,7 @@ func (s *Server) runBatch(l *lane, batch []*call) {
 	for i, c := range kept {
 		inputs[i] = c.input
 	}
-	outputs, err := s.backend.Run(l.model, inputs)
+	outputs, err := s.runBackend(ctx, l.model, inputs)
 	if err != nil {
 		s.failBatch(l, kept, fmt.Errorf("serve: %s backend: %w", l.model, err))
 		return
@@ -229,6 +398,15 @@ func (s *Server) runBatch(l *lane, batch []*call) {
 		l.mm.Completed(lat.Seconds())
 		c.done <- callDone{resp: Response{Output: outputs[i], Latency: lat, BatchSize: len(kept)}}
 	}
+}
+
+// runBackend invokes the backend, propagating the trace context when the
+// backend supports it.
+func (s *Server) runBackend(ctx context.Context, model string, inputs []*tensor.F32) ([]*tensor.F32, error) {
+	if cb, ok := s.backend.(ContextBackend); ok {
+		return cb.RunCtx(ctx, model, inputs)
+	}
+	return s.backend.Run(model, inputs)
 }
 
 // failBatch errors out every request in a batch.

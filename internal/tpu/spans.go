@@ -1,0 +1,77 @@
+package tpu
+
+import (
+	"math"
+	"time"
+
+	"tpusim/internal/obs"
+)
+
+// SpanMapping maps the device's cycle domain onto wall-clock telemetry
+// spans, stitching a run's unit-occupancy timeline into its enclosing
+// trace. The cycle clock and the wall clock are different domains — the
+// simulator finishes a 10 ms-of-device-time batch in about a millisecond —
+// so the mapping scales cycles by SecondsPerCycle and anchors cycle 0 at
+// Base. Two useful choices:
+//
+//   - offline export (tpusim -trace-json): SecondsPerCycle = 1/(MHz*1e6),
+//     so the exported timeline reads in true device time;
+//   - live stitching (runtime.Driver): SecondsPerCycle = wall run
+//     duration / total cycles, so the device events tile exactly inside
+//     the wall-clock "run" span they belong to.
+type SpanMapping struct {
+	// Base is the wall-clock time of cycle 0.
+	Base time.Time
+	// SecondsPerCycle scales the cycle domain to wall time.
+	SecondsPerCycle float64
+	// Track is the device's track name ("tpu0"); each functional unit gets
+	// the sub-track Track+"/"+unit.
+	Track string
+	// Trace and Parent stitch the spans into an existing trace (0 for a
+	// standalone export).
+	Trace, Parent uint64
+	// NextID mints span ids (nil uses a local counter from 1).
+	NextID func() uint64
+	// MaxEvents caps how many events are converted (0 = all); live traces
+	// cap so one giant program cannot evict every other span from the ring.
+	MaxEvents int
+}
+
+// TraceSpans converts a traced run's unit-occupancy events into telemetry
+// spans under the given mapping. Each event becomes one span named after
+// its opcode on the unit's sub-track, annotated with the exact cycle
+// window and instruction index so the cycle-domain truth stays recoverable
+// from the wall-clock rendering.
+func TraceSpans(events []TraceEvent, m SpanMapping) []obs.SpanData {
+	if m.NextID == nil {
+		var seq uint64
+		m.NextID = func() uint64 { seq++; return seq }
+	}
+	n := len(events)
+	if m.MaxEvents > 0 && n > m.MaxEvents {
+		n = m.MaxEvents
+	}
+	cycles := func(c float64) time.Time {
+		// Round to the nearest nanosecond: truncation would make spans end a
+		// nanosecond short of the boundary the next span starts on.
+		return m.Base.Add(time.Duration(math.Round(c * m.SecondsPerCycle * float64(time.Second))))
+	}
+	out := make([]obs.SpanData, 0, n)
+	for _, e := range events[:n] {
+		out = append(out, obs.SpanData{
+			Trace:  m.Trace,
+			ID:     m.NextID(),
+			Parent: m.Parent,
+			Name:   e.Op.String(),
+			Track:  m.Track + "/" + e.Unit,
+			Start:  cycles(e.Start),
+			End:    cycles(e.End),
+			Attrs: []obs.Attr{
+				obs.Int("instr", e.Index),
+				obs.Float("cycle_start", e.Start),
+				obs.Float("cycle_end", e.End),
+			},
+		})
+	}
+	return out
+}

@@ -2,6 +2,7 @@ package tpu
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 
 	"tpusim/internal/isa"
@@ -61,4 +62,32 @@ func UnitOccupancy(events []TraceEvent) map[string]float64 {
 		out[e.Unit] += e.Duration()
 	}
 	return out
+}
+
+// RenderUnitOccupancy formats UnitOccupancy deterministically: units sorted
+// by descending busy cycles (ties broken by name), each with its share of
+// totalCycles. Callers rendering the raw map would iterate it in random
+// order; this is the one blessed rendering.
+func RenderUnitOccupancy(events []TraceEvent, totalCycles int64) string {
+	occ := UnitOccupancy(events)
+	units := make([]string, 0, len(occ))
+	for u := range occ {
+		units = append(units, u)
+	}
+	sort.Slice(units, func(i, j int) bool {
+		if occ[units[i]] != occ[units[j]] {
+			return occ[units[i]] > occ[units[j]]
+		}
+		return units[i] < units[j]
+	})
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-10s %14s %8s\n", "unit", "busy cycles", "share")
+	for _, u := range units {
+		share := 0.0
+		if totalCycles > 0 {
+			share = occ[u] / float64(totalCycles) * 100
+		}
+		fmt.Fprintf(&b, "%-10s %14.0f %7.1f%%\n", u, occ[u], share)
+	}
+	return b.String()
 }
