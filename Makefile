@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: ci vet vet-cmd build test race bench-smoke bench fuzz-smoke cover obs-smoke
+.PHONY: ci vet vet-cmd build test race bench-smoke bench fuzz-smoke cover obs-smoke chaos-smoke
 
-ci: vet vet-cmd build race fuzz-smoke cover bench-smoke obs-smoke
+ci: vet vet-cmd build race fuzz-smoke cover bench-smoke obs-smoke chaos-smoke
 
 vet:
 	$(GO) vet ./...
@@ -42,6 +42,17 @@ fuzz-smoke:
 obs-smoke:
 	$(GO) test -race -count=1 ./internal/obs -run 'TestOps'
 	$(GO) test -race -count=1 ./internal/serve -run 'TestSubmitSpanTree|TestOpsServesServeMetrics'
+
+# Chaos smoke, race-enabled and bounded: the seeded fault injector's
+# determinism contract, the runtime's failover/quarantine/hedging paths,
+# the serve layer's circuit breaker, and the end-to-end chaos sweep (1
+# dead + 1 throttled device of 4 under load; per-app error and p99
+# bounds).
+chaos-smoke:
+	$(GO) test -race -count=1 -timeout 300s ./internal/fault
+	$(GO) test -race -count=1 -timeout 300s ./internal/runtime -run 'TestFailover|TestQuarantine|TestTransientRetries|TestHedge|TestChaosDeterminism'
+	$(GO) test -race -count=1 -timeout 300s ./internal/serve -run 'TestBreaker|TestServerBreaker|TestServerBrownout|TestServerErroringBackend'
+	$(GO) test -race -count=1 -timeout 600s ./internal/experiments -run 'TestChaos'
 
 # Coverage floor: the tier-1 packages must keep at least 80% statement
 # coverage (examples are exercised separately by their smoke test).

@@ -12,6 +12,7 @@ import (
 
 	"tpusim/internal/compiler"
 	"tpusim/internal/experiments"
+	"tpusim/internal/fault"
 	"tpusim/internal/models"
 	"tpusim/internal/platform"
 	"tpusim/internal/tpu"
@@ -65,6 +66,64 @@ func BenchmarkTable3Serial(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := experiments.CompileAndRunAll(1); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable3ZeroRateFault is the six-app compile+simulate loop with
+// an *armed* zero-rate fault injector on every device: the hook runs on
+// every program execution (one mutex acquire, no PRNG draw, no fault ever
+// fires), pricing what a chaos-ready fleet pays when nothing is wrong.
+// BENCH_PR4.json records this against BenchmarkTable3; the acceptance
+// bound is <=2% overhead. The loop mirrors experiments.CompileAndRunAll
+// (serial under one worker, one goroutine per app otherwise) so the two
+// benchmarks differ only in the hook.
+func BenchmarkTable3ZeroRateFault(b *testing.B) {
+	names := models.Names()
+	injs := fault.Plan{Seed: 1}.Injectors(len(names)) // all rates zero
+	runApp := func(name string, inj *fault.Injector) error {
+		bm, err := models.ByName(name)
+		if err != nil {
+			return err
+		}
+		art, err := compiler.CompileShape(bm.Model, compiler.Options{Allocator: compiler.Reuse})
+		if err != nil {
+			return err
+		}
+		cfg := tpu.DefaultConfig()
+		cfg.Hook = inj.ArmedHook()
+		dev, err := tpu.New(cfg)
+		if err != nil {
+			return err
+		}
+		_, err = dev.Run(art.Program, nil)
+		return err
+	}
+	workers := runtime.GOMAXPROCS(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if workers <= 1 {
+			for j, name := range names {
+				if err := runApp(name, injs[j]); err != nil {
+					b.Fatal(err)
+				}
+			}
+			continue
+		}
+		var wg sync.WaitGroup
+		errs := make([]error, len(names))
+		for j, name := range names {
+			wg.Add(1)
+			go func(j int, name string) {
+				defer wg.Done()
+				errs[j] = runApp(name, injs[j])
+			}(j, name)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				b.Fatal(err)
+			}
 		}
 	}
 }

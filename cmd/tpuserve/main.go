@@ -3,6 +3,7 @@
 //	tpuserve                  # virtual-time load sweep: the Table 4 knee for all six apps
 //	tpuserve -mode live       # wall-clock demo: batcher + metrics over a simulated backend
 //	tpuserve -mode live -json # same, but dump the metrics registry as JSON
+//	tpuserve -mode chaos      # fault-injected fleet sweep: kill/throttle devices mid-load
 //
 // The sweep mode replays each app's deadline-aware batching policy against
 // open-loop Poisson arrivals at increasing rates and prints the
@@ -24,6 +25,15 @@
 //   - -metrics-every <dur> periodically flushes the live metrics registry
 //     to stdout while load runs, so the batcher's behaviour is visible
 //     before the final report.
+//
+// The chaos mode serves the six apps' tiny functional variants from a real
+// multi-device runtime fleet behind the serving layer, injects the faults
+// described by -chaos (see fault.ParsePlan: seed=7,rate=0.02,...), kills
+// the -kill devices and throttles the -slow devices by -slowx partway
+// through the stream, and prints per-app error rates and p99s against a
+// healthy baseline of the same workload:
+//
+//	tpuserve -mode chaos -chaos seed=7,rate=0.01 -kill 3 -slow 2 -slowx 8
 package main
 
 import (
@@ -33,10 +43,13 @@ import (
 	"log/slog"
 	"math/rand"
 	"os"
+	"strconv"
+	"strings"
 	"sync"
 	"time"
 
 	"tpusim/internal/experiments"
+	"tpusim/internal/fault"
 	"tpusim/internal/latency"
 	"tpusim/internal/models"
 	"tpusim/internal/obs"
@@ -55,6 +68,12 @@ func main() {
 	listen := flag.String("listen", "", "live mode: serve /metrics, /healthz, /trace, /debug/pprof on this address (e.g. :8080)")
 	metricsEvery := flag.Duration("metrics-every", 0, "live mode: flush the metrics registry to stdout at this interval (0 = off)")
 	sampleEvery := flag.Int("sample", 1, "live mode with -listen: record every Nth request's trace")
+	chaosSpec := flag.String("chaos", "seed=1", "chaos mode: fault plan spec (seed=7,rate=0.02,corrupt=0.01,...)")
+	devices := flag.Int("devices", 4, "chaos mode: fleet size")
+	killDevs := flag.String("kill", "", "chaos mode: devices to hard-kill mid-stream ('+'-separated, e.g. 3 or 0+3)")
+	slowDevs := flag.String("slow", "", "chaos mode: devices to throttle mid-stream ('+'-separated)")
+	slowX := flag.Float64("slowx", 8, "chaos mode: mid-stream throttle factor for -slow devices")
+	faultAt := flag.Float64("fault-at", 0.3, "chaos mode: fraction of the stream at which -kill/-slow strike")
 	flag.Parse()
 
 	switch *mode {
@@ -68,9 +87,61 @@ func main() {
 		if err := live(*duration, *timescale, *loadFrac, *asJSON, *listen, *metricsEvery, *sampleEvery); err != nil {
 			log.Fatal(err)
 		}
+	case "chaos":
+		if err := chaos(*chaosSpec, *devices, *killDevs, *slowDevs, *slowX, *faultAt, *duration, *loadFrac); err != nil {
+			log.Fatal(err)
+		}
 	default:
-		log.Fatalf("unknown -mode %q (want sweep or live)", *mode)
+		log.Fatalf("unknown -mode %q (want sweep, live or chaos)", *mode)
 	}
+}
+
+// chaos runs the fault-injected fleet sweep and prints the baseline/chaos
+// comparison.
+func chaos(spec string, devices int, killSpec, slowSpec string, slowX, faultAt float64,
+	duration time.Duration, loadFrac float64) error {
+	plan, err := fault.ParsePlan(spec)
+	if err != nil {
+		return err
+	}
+	parse := func(s string) ([]int, error) {
+		if strings.TrimSpace(s) == "" {
+			return nil, nil
+		}
+		var out []int
+		for _, part := range strings.Split(s, "+") {
+			n, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil {
+				return nil, fmt.Errorf("bad device list %q: %v", s, err)
+			}
+			out = append(out, n)
+		}
+		return out, nil
+	}
+	kill, err := parse(killSpec)
+	if err != nil {
+		return err
+	}
+	slow, err := parse(slowSpec)
+	if err != nil {
+		return err
+	}
+	res, err := experiments.RunChaos(experiments.ChaosConfig{
+		Devices:    devices,
+		Duration:   duration,
+		LoadFrac:   loadFrac,
+		Seed:       plan.Seed,
+		Plan:       plan,
+		Kill:       kill,
+		Slow:       slow,
+		SlowFactor: slowX,
+		FaultAt:    faultAt,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Print(experiments.RenderChaos(res))
+	return nil
 }
 
 // live drives the wall-clock server with Poisson arrivals for each app.

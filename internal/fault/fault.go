@@ -1,0 +1,575 @@
+// Package fault is the deterministic hardware-fault injector for the
+// simulated TPU fleet. It models the failure modes a production
+// accelerator card actually exhibits behind a datacenter serving stack —
+// the regime the paper's 99th-percentile SLA framing (Table 4) cares
+// about, where one wedged or slow device dominates tail latency:
+//
+//   - transient run errors (ECC hiccups, driver resets): the run fails,
+//     an immediate retry usually succeeds;
+//   - silent output corruption: the run "succeeds" but bits in the output
+//     activations flipped — only a cross-check catches it;
+//   - latency spikes (thermal throttle, degraded PCIe link): the run
+//     completes with an inflated effective cycle count and wall time;
+//   - hangs: the device stops answering for a while; only a context-aware
+//     caller with a per-attempt timeout escapes;
+//   - hard death: the card is gone until repaired (Revive).
+//
+// Everything is driven by a seeded PRNG per device, so a chaos run is
+// replayable: the same Plan seed yields the same injected-fault sequence
+// (kind-by-kind, pinned by TestInjectorDeterministic). The injector
+// attaches to a device via tpu.Config.Hook, which the runtime driver
+// installs on every device of a card, and the runtime's health state
+// machine, retry/failover and hedging layers are exercised against it.
+package fault
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"tpusim/internal/tpu"
+)
+
+// Kind is one injected failure mode.
+type Kind int
+
+const (
+	// KindNone means the run proceeded untouched.
+	KindNone Kind = iota
+	// KindDead is hard device death: this and every later run fails until
+	// Revive.
+	KindDead
+	// KindHang stalls the run for Plan.HangSeconds (or until the context
+	// is cancelled), then fails it.
+	KindHang
+	// KindTransient fails the run immediately without executing it.
+	KindTransient
+	// KindCorrupt executes the run and then flips bits in the host buffer
+	// (silent output corruption).
+	KindCorrupt
+	// KindSlow executes the run, inflates its cycle count by
+	// Plan.SlowFactor and stretches wall time to match.
+	KindSlow
+
+	kindCount
+)
+
+var kindNames = [...]string{"none", "dead", "hang", "transient", "corrupt", "slow"}
+
+// String names the kind ("transient", "slow", ...).
+func (k Kind) String() string {
+	if k < 0 || int(k) >= len(kindNames) {
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+	return kindNames[k]
+}
+
+// Injection errors. All wrap ErrInjected so callers can distinguish
+// injected chaos from real bugs with errors.Is(err, ErrInjected).
+var (
+	ErrInjected   = errors.New("fault: injected")
+	ErrTransient  = fmt.Errorf("%w: transient device error", ErrInjected)
+	ErrDeviceDead = fmt.Errorf("%w: device dead", ErrInjected)
+	ErrHang       = fmt.Errorf("%w: device hang", ErrInjected)
+	ErrCompile    = fmt.Errorf("%w: transient compile failure", ErrInjected)
+)
+
+// Injected reports whether err (or anything it wraps) was injected by this
+// package.
+func Injected(err error) bool { return errors.Is(err, ErrInjected) }
+
+// Plan is a seeded, rate-configurable chaos plan for a fleet. Rates are
+// per-run probabilities in [0, 1]; their sum must stay <= 1 (one draw per
+// run decides the fault kind). The zero Plan injects nothing.
+type Plan struct {
+	// Seed drives every injector derived from the plan. Device i mixes the
+	// seed with its index, so devices fail independently but reproducibly.
+	Seed int64
+
+	// TransientRate is the probability a run fails immediately.
+	TransientRate float64
+	// CorruptRate is the probability a run's output bytes are bit-flipped.
+	CorruptRate float64
+	// SlowRate is the probability a run is stretched by SlowFactor.
+	SlowRate float64
+	// HangRate is the probability a run stalls for HangSeconds.
+	HangRate float64
+	// DeathRate is the probability a run kills the device permanently.
+	DeathRate float64
+
+	// SlowFactor multiplies the cycle count and wall time of a slow run
+	// (and every run of a statically slow device). 0 means 8x.
+	SlowFactor float64
+	// HangSeconds is how long a hang stalls before failing; a cancelled
+	// context ends the stall early. 0 means 200 ms.
+	HangSeconds float64
+
+	// FailCompiles fails the first N slow-path compiles on each device's
+	// driver with ErrCompile (transient: compile N+1 succeeds). This is the
+	// deterministic probe for the compile-cache eviction path.
+	FailCompiles int
+
+	// DeadDevices are device indices dead from t=0.
+	DeadDevices []int
+	// SlowDevices are device indices where *every* run pays SlowFactor.
+	SlowDevices []int
+}
+
+// Enabled reports whether the plan can inject anything at all.
+func (p Plan) Enabled() bool {
+	return p.totalRate() > 0 || p.FailCompiles > 0 ||
+		len(p.DeadDevices) > 0 || len(p.SlowDevices) > 0
+}
+
+func (p Plan) totalRate() float64 {
+	return p.TransientRate + p.CorruptRate + p.SlowRate + p.HangRate + p.DeathRate
+}
+
+// Validate checks rates and factors.
+func (p Plan) Validate() error {
+	for _, r := range []struct {
+		name string
+		v    float64
+	}{
+		{"transient", p.TransientRate}, {"corrupt", p.CorruptRate},
+		{"slow", p.SlowRate}, {"hang", p.HangRate}, {"death", p.DeathRate},
+	} {
+		if r.v < 0 || r.v > 1 {
+			return fmt.Errorf("fault: %s rate %v outside [0, 1]", r.name, r.v)
+		}
+	}
+	if t := p.totalRate(); t > 1 {
+		return fmt.Errorf("fault: rates sum to %v > 1", t)
+	}
+	if p.SlowFactor < 0 || (p.SlowFactor > 0 && p.SlowFactor < 1) {
+		return fmt.Errorf("fault: slow factor %v must be >= 1 (or 0 for the default)", p.SlowFactor)
+	}
+	if p.HangSeconds < 0 {
+		return fmt.Errorf("fault: negative hang seconds %v", p.HangSeconds)
+	}
+	if p.FailCompiles < 0 {
+		return fmt.Errorf("fault: negative compile-failure count %d", p.FailCompiles)
+	}
+	return nil
+}
+
+func (p Plan) slowFactor() float64 {
+	if p.SlowFactor == 0 {
+		return 8
+	}
+	return p.SlowFactor
+}
+
+func (p Plan) hangSeconds() float64 {
+	if p.HangSeconds == 0 {
+		return 0.2
+	}
+	return p.HangSeconds
+}
+
+// String renders the plan in the -chaos flag's spec syntax.
+func (p Plan) String() string {
+	var parts []string
+	add := func(k string, v float64) {
+		if v != 0 {
+			parts = append(parts, k+"="+strconv.FormatFloat(v, 'g', -1, 64))
+		}
+	}
+	parts = append(parts, "seed="+strconv.FormatInt(p.Seed, 10))
+	add("transient", p.TransientRate)
+	add("corrupt", p.CorruptRate)
+	add("slow", p.SlowRate)
+	add("hang", p.HangRate)
+	add("death", p.DeathRate)
+	add("slowx", p.SlowFactor)
+	if p.HangSeconds != 0 {
+		add("hangms", p.HangSeconds*1e3)
+	}
+	if p.FailCompiles != 0 {
+		parts = append(parts, "compile="+strconv.Itoa(p.FailCompiles))
+	}
+	if len(p.DeadDevices) > 0 {
+		parts = append(parts, "dead="+joinInts(p.DeadDevices))
+	}
+	if len(p.SlowDevices) > 0 {
+		parts = append(parts, "slowdev="+joinInts(p.SlowDevices))
+	}
+	return strings.Join(parts, ",")
+}
+
+func joinInts(xs []int) string {
+	ss := make([]string, len(xs))
+	for i, x := range xs {
+		ss[i] = strconv.Itoa(x)
+	}
+	return strings.Join(ss, "+")
+}
+
+// ParsePlan parses the -chaos flag spec: comma-separated key=value pairs.
+//
+//	seed=7          PRNG seed (default 1)
+//	rate=0.05       shorthand for transient=0.05
+//	transient=0.05  per-run transient-error probability
+//	corrupt=0.01    per-run silent-output-corruption probability
+//	slow=0.02       per-run latency-spike probability
+//	hang=0.01       per-run hang probability
+//	death=0.001     per-run permanent-death probability
+//	slowx=8         slowdown multiplier for spikes and slow devices
+//	hangms=200      hang stall in milliseconds
+//	compile=2       fail the first N compiles per device
+//	dead=0+2        devices dead from t=0 ('+'-separated indices)
+//	slowdev=1       devices where every run is slow
+func ParsePlan(spec string) (Plan, error) {
+	p := Plan{Seed: 1}
+	if strings.TrimSpace(spec) == "" {
+		return p, nil
+	}
+	for _, kv := range strings.Split(spec, ",") {
+		kv = strings.TrimSpace(kv)
+		if kv == "" {
+			continue
+		}
+		k, v, ok := strings.Cut(kv, "=")
+		if !ok {
+			return Plan{}, fmt.Errorf("fault: spec %q: want key=value, got %q", spec, kv)
+		}
+		var err error
+		switch k {
+		case "seed":
+			p.Seed, err = strconv.ParseInt(v, 10, 64)
+		case "rate", "transient":
+			p.TransientRate, err = strconv.ParseFloat(v, 64)
+		case "corrupt":
+			p.CorruptRate, err = strconv.ParseFloat(v, 64)
+		case "slow":
+			p.SlowRate, err = strconv.ParseFloat(v, 64)
+		case "hang":
+			p.HangRate, err = strconv.ParseFloat(v, 64)
+		case "death":
+			p.DeathRate, err = strconv.ParseFloat(v, 64)
+		case "slowx":
+			p.SlowFactor, err = strconv.ParseFloat(v, 64)
+		case "hangms":
+			var ms float64
+			ms, err = strconv.ParseFloat(v, 64)
+			p.HangSeconds = ms / 1e3
+		case "compile":
+			p.FailCompiles, err = strconv.Atoi(v)
+		case "dead":
+			p.DeadDevices, err = parseInts(v)
+		case "slowdev":
+			p.SlowDevices, err = parseInts(v)
+		default:
+			return Plan{}, fmt.Errorf("fault: spec %q: unknown key %q", spec, k)
+		}
+		if err != nil {
+			return Plan{}, fmt.Errorf("fault: spec %q: bad value for %q: %v", spec, k, err)
+		}
+	}
+	if err := p.Validate(); err != nil {
+		return Plan{}, err
+	}
+	return p, nil
+}
+
+func parseInts(v string) ([]int, error) {
+	var out []int
+	for _, s := range strings.Split(v, "+") {
+		n, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+// Event is one injected fault, recorded in injection order.
+type Event struct {
+	// Seq is the run's sequence number on the device (0-based; every run
+	// advances it, faulted or not).
+	Seq int64
+	// Kind is the injected failure mode.
+	Kind Kind
+}
+
+// maxEvents bounds the per-injector event log.
+const maxEvents = 4096
+
+// Injector injects one device's faults. Create one per device with
+// Plan.Injector and install Hook on the device's tpu.Config; the runtime
+// server does both when given a Plan. Safe for concurrent use.
+type Injector struct {
+	plan   Plan
+	device int
+
+	mu         sync.Mutex
+	runRNG     *rand.Rand
+	dead       bool
+	staticSlow float64 // >= 1; > 1 makes every run slow
+	seq        int64
+	compiles   int
+	counts     [kindCount]int64
+	events     []Event
+}
+
+// Injector builds the injector for one device index, mixing the device
+// into the plan's seed so devices draw independent, reproducible streams.
+func (p Plan) Injector(device int) *Injector {
+	in := &Injector{
+		plan:       p,
+		device:     device,
+		runRNG:     rand.New(rand.NewSource(p.Seed*1000003 + int64(device) + 1)),
+		staticSlow: 1,
+	}
+	for _, d := range p.DeadDevices {
+		if d == device {
+			in.dead = true
+		}
+	}
+	for _, d := range p.SlowDevices {
+		if d == device {
+			in.staticSlow = p.slowFactor()
+		}
+	}
+	return in
+}
+
+// Injectors builds one injector per device for an n-device fleet.
+func (p Plan) Injectors(n int) []*Injector {
+	out := make([]*Injector, n)
+	for i := range out {
+		out[i] = p.Injector(i)
+	}
+	return out
+}
+
+// Device returns the injector's device index.
+func (in *Injector) Device() int { return in.device }
+
+// Kill hard-kills the device: every subsequent run fails with
+// ErrDeviceDead. Used by chaos scripts to take a device down mid-load.
+// The transition is logged as one KindDead event at the current run
+// sequence (subsequent failures of the dead device are not new events).
+func (in *Injector) Kill() {
+	in.mu.Lock()
+	if !in.dead {
+		in.dead = true
+		in.record(KindDead)
+	}
+	in.mu.Unlock()
+}
+
+// Revive repairs a dead device (models a swap/reset), letting quarantine
+// probes re-admit it.
+func (in *Injector) Revive() {
+	in.mu.Lock()
+	in.dead = false
+	in.mu.Unlock()
+}
+
+// SetStaticSlow makes every run pay the given factor (>= 1) from now on;
+// 1 restores full speed. Used to throttle a device mid-load.
+func (in *Injector) SetStaticSlow(factor float64) {
+	if factor < 1 {
+		factor = 1
+	}
+	in.mu.Lock()
+	in.staticSlow = factor
+	in.mu.Unlock()
+}
+
+// Dead reports whether the device is currently dead.
+func (in *Injector) Dead() bool {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.dead
+}
+
+// Counts returns injected-fault counts by kind name (kinds that never
+// fired are omitted).
+func (in *Injector) Counts() map[string]int64 {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	out := map[string]int64{}
+	for k, c := range in.counts {
+		if c > 0 {
+			out[Kind(k).String()] = c
+		}
+	}
+	return out
+}
+
+// Events returns the injected-fault log (at most maxEvents entries, in
+// injection order). Runs that proceeded untouched are not logged.
+func (in *Injector) Events() []Event {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return append([]Event(nil), in.events...)
+}
+
+// record logs one injected fault.
+func (in *Injector) record(k Kind) {
+	in.counts[k]++
+	if len(in.events) < maxEvents {
+		in.events = append(in.events, Event{Seq: in.seq, Kind: k})
+	}
+}
+
+// next draws the fault decision for one run. The cumulative order is fixed
+// — death, hang, transient, corrupt, slow — and is part of the
+// determinism contract: a plan's seed fully determines the kind sequence.
+func (in *Injector) next() (kind Kind, slowFactor float64, corruptOff int) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	defer func() { in.seq++ }()
+	slowFactor = in.staticSlow
+	if in.dead {
+		// Repeated failures of an already-dead device are not new events.
+		return KindDead, 1, 0
+	}
+	if in.plan.totalRate() > 0 {
+		u := in.runRNG.Float64()
+		switch {
+		case u < in.plan.DeathRate:
+			kind = KindDead
+		case u < in.plan.DeathRate+in.plan.HangRate:
+			kind = KindHang
+		case u < in.plan.DeathRate+in.plan.HangRate+in.plan.TransientRate:
+			kind = KindTransient
+		case u < in.plan.DeathRate+in.plan.HangRate+in.plan.TransientRate+in.plan.CorruptRate:
+			kind = KindCorrupt
+			corruptOff = in.runRNG.Intn(corruptStride)
+		case u < in.plan.totalRate():
+			kind = KindSlow
+			slowFactor *= in.plan.slowFactor()
+		}
+	}
+	switch kind {
+	case KindDead:
+		in.dead = true
+	case KindNone:
+		return KindNone, slowFactor, 0
+	}
+	in.record(kind)
+	return kind, slowFactor, corruptOff
+}
+
+// CompileErr fails the driver's first Plan.FailCompiles slow-path compiles
+// with ErrCompile; later compiles succeed. The runtime driver consults it
+// at the top of every compile.
+func (in *Injector) CompileErr() error {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.compiles++
+	if in.compiles <= in.plan.FailCompiles {
+		return fmt.Errorf("device %d compile %d: %w", in.device, in.compiles, ErrCompile)
+	}
+	return nil
+}
+
+// corruptStride: one bit flipped every corruptStride bytes guarantees any
+// output region of at least corruptStride bytes is hit.
+const corruptStride = 4
+
+// corrupt flips the low bit of every corruptStride-th byte starting at
+// off — sparse "bit flips in activations" that survive dequantization.
+func corrupt(host []int8, off int) {
+	for i := off; i < len(host); i += corruptStride {
+		host[i] ^= 1
+	}
+}
+
+// Hook returns the tpu.RunHook realizing the injector's faults, or nil
+// when the plan can never touch a run on this device (so a rate-0 chaos
+// flag costs nothing).
+func (in *Injector) Hook() tpu.RunHook {
+	if !in.plan.Enabled() {
+		return nil
+	}
+	return in.ArmedHook()
+}
+
+// ArmedHook is Hook but never nil: even a plan that currently injects
+// nothing keeps the injector attached, so a chaos script can Kill or
+// throttle the device mid-load. The runtime server installs armed hooks
+// whenever it is built with a plan.
+func (in *Injector) ArmedHook() tpu.RunHook {
+	return func(ctx context.Context, inv tpu.Invocation) (tpu.Counters, error) {
+		kind, factor, off := in.next()
+		switch kind {
+		case KindDead:
+			return tpu.Counters{}, fmt.Errorf("device %d: %w", in.device, ErrDeviceDead)
+		case KindTransient:
+			return tpu.Counters{}, fmt.Errorf("device %d: %w", in.device, ErrTransient)
+		case KindHang:
+			if !sleepCtx(ctx, time.Duration(in.plan.hangSeconds()*float64(time.Second))) {
+				return tpu.Counters{}, ctx.Err()
+			}
+			return tpu.Counters{}, fmt.Errorf("device %d: %w", in.device, ErrHang)
+		}
+		start := time.Now()
+		c, err := inv.Run()
+		if err != nil {
+			return c, err
+		}
+		if kind == KindCorrupt {
+			corrupt(inv.Host, off)
+		}
+		if factor > 1 {
+			// A throttled device does the same work in more effective
+			// cycles; stretch wall time to match so wall-clock callers see
+			// the spike too.
+			c.Cycles = int64(float64(c.Cycles) * factor)
+			if !sleepCtx(ctx, time.Duration(float64(time.Since(start))*(factor-1))) {
+				return c, ctx.Err()
+			}
+		}
+		return c, nil
+	}
+}
+
+// sleepCtx sleeps for d or until ctx is cancelled; it reports whether the
+// full duration elapsed.
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	if d <= 0 {
+		return true
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}
+
+// Summary renders fleet-wide injected-fault counts for a set of
+// injectors, sorted by device.
+func Summary(injs []*Injector) string {
+	var b strings.Builder
+	for _, in := range injs {
+		counts := in.Counts()
+		if len(counts) == 0 {
+			continue
+		}
+		keys := make([]string, 0, len(counts))
+		for k := range counts {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		fmt.Fprintf(&b, "device %d:", in.Device())
+		for _, k := range keys {
+			fmt.Fprintf(&b, " %s=%d", k, counts[k])
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}

@@ -1,0 +1,331 @@
+package fault
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"tpusim/internal/tpu"
+)
+
+// drive runs the injector's hook n times against a trivial always-succeeds
+// run and returns the per-run fault kinds (KindNone for untouched runs).
+func drive(t *testing.T, in *Injector, host []int8, n int) []Kind {
+	t.Helper()
+	hook := in.Hook()
+	if hook == nil {
+		t.Fatal("enabled plan returned a nil hook")
+	}
+	kinds := make([]Kind, 0, n)
+	for i := 0; i < n; i++ {
+		before := append([]int8(nil), host...)
+		c, err := hook(context.Background(), tpu.Invocation{
+			Host: host,
+			Run:  func() (tpu.Counters, error) { return tpu.Counters{Cycles: 1000}, nil },
+		})
+		switch {
+		case errors.Is(err, ErrDeviceDead):
+			kinds = append(kinds, KindDead)
+		case errors.Is(err, ErrHang):
+			kinds = append(kinds, KindHang)
+		case errors.Is(err, ErrTransient):
+			kinds = append(kinds, KindTransient)
+		case err != nil:
+			t.Fatalf("run %d: unexpected error %v", i, err)
+		case !reflect.DeepEqual(before, host):
+			kinds = append(kinds, KindCorrupt)
+			copy(host, before) // restore for the next run
+		case c.Cycles > 1000:
+			kinds = append(kinds, KindSlow)
+		default:
+			kinds = append(kinds, KindNone)
+		}
+	}
+	return kinds
+}
+
+// chaosPlan is the reference plan for the determinism tests: every random
+// mode enabled at once.
+func chaosPlan(seed int64) Plan {
+	return Plan{
+		Seed:          seed,
+		TransientRate: 0.15,
+		CorruptRate:   0.1,
+		SlowRate:      0.1,
+		HangRate:      0.05,
+		DeathRate:     0.02,
+		SlowFactor:    4,
+		HangSeconds:   1e-3,
+	}
+}
+
+// TestInjectorDeterministic pins the acceptance criterion: the same chaos
+// seed yields the same injected-fault sequence.
+func TestInjectorDeterministic(t *testing.T) {
+	const runs = 200
+	host := make([]int8, 64)
+	a := drive(t, chaosPlan(7).Injector(0), host, runs)
+	b := drive(t, chaosPlan(7).Injector(0), host, runs)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same seed diverged:\n a=%v\n b=%v", a, b)
+	}
+	// The observed kinds match the injector's own event log (modulo
+	// KindNone, which is not logged, and dead-run repeats).
+	in := chaosPlan(7).Injector(0)
+	got := drive(t, in, host, runs)
+	var fromLog []Kind
+	for _, e := range in.Events() {
+		fromLog = append(fromLog, e.Kind)
+	}
+	var observed []Kind
+	for _, k := range got {
+		if k != KindNone && k != KindDead {
+			observed = append(observed, k)
+		}
+	}
+	// Death appears in the log exactly once even though every later run
+	// observes KindDead.
+	deaths := 0
+	for _, k := range got {
+		if k == KindDead {
+			deaths++
+		}
+	}
+	var wantLog []Kind
+	dead := false
+	for _, k := range got {
+		if dead {
+			break
+		}
+		if k == KindDead {
+			wantLog = append(wantLog, KindDead)
+			dead = true
+		} else if k != KindNone {
+			wantLog = append(wantLog, k)
+		}
+	}
+	if !reflect.DeepEqual(fromLog, wantLog) {
+		t.Errorf("event log %v does not match observed sequence %v", fromLog, wantLog)
+	}
+	_ = observed
+	// Different seeds give different sequences; different devices of the
+	// same plan draw independent streams.
+	c := drive(t, chaosPlan(8).Injector(0), host, runs)
+	if reflect.DeepEqual(a, c) {
+		t.Error("different seeds produced identical fault sequences")
+	}
+	d := drive(t, chaosPlan(7).Injector(1), host, runs)
+	if reflect.DeepEqual(a, d) {
+		t.Error("different devices produced identical fault sequences")
+	}
+	// At these rates, 200 runs inject at least one of everything but death
+	// with overwhelming probability; assert the plumbing fired at all.
+	seen := map[Kind]bool{}
+	for _, k := range a {
+		seen[k] = true
+	}
+	for _, k := range []Kind{KindTransient, KindCorrupt, KindSlow} {
+		if !seen[k] {
+			t.Errorf("no %v injected in %d runs", k, runs)
+		}
+	}
+}
+
+func TestInjectorRates(t *testing.T) {
+	const runs = 4000
+	in := Plan{Seed: 3, TransientRate: 0.25}.Injector(0)
+	kinds := drive(t, in, make([]int8, 8), runs)
+	faults := 0
+	for _, k := range kinds {
+		if k == KindTransient {
+			faults++
+		}
+	}
+	frac := float64(faults) / runs
+	if frac < 0.2 || frac > 0.3 {
+		t.Errorf("transient rate 0.25 injected %.3f of runs", frac)
+	}
+	if got := in.Counts()["transient"]; got != int64(faults) {
+		t.Errorf("Counts()=%d, observed %d", got, faults)
+	}
+}
+
+func TestDeadDeviceAndRevive(t *testing.T) {
+	p := Plan{Seed: 1, DeadDevices: []int{2}}
+	in := p.Injector(2)
+	hook := in.Hook()
+	_, err := hook(context.Background(), tpu.Invocation{
+		Run: func() (tpu.Counters, error) { return tpu.Counters{}, nil },
+	})
+	if !errors.Is(err, ErrDeviceDead) || !Injected(err) {
+		t.Fatalf("dead device ran: err=%v", err)
+	}
+	in.Revive()
+	if _, err := hook(context.Background(), tpu.Invocation{
+		Run: func() (tpu.Counters, error) { return tpu.Counters{}, nil },
+	}); err != nil {
+		t.Fatalf("revived device still failing: %v", err)
+	}
+	// Other devices of the same plan are untouched (plan only marks dev 2
+	// dead); their hooks are non-nil because the plan is enabled.
+	other := p.Injector(0)
+	if _, err := other.Hook()(context.Background(), tpu.Invocation{
+		Run: func() (tpu.Counters, error) { return tpu.Counters{}, nil },
+	}); err != nil {
+		t.Fatalf("healthy device failed: %v", err)
+	}
+	// Kill mid-flight.
+	other.Kill()
+	if _, err := other.Hook()(context.Background(), tpu.Invocation{
+		Run: func() (tpu.Counters, error) { return tpu.Counters{}, nil },
+	}); !errors.Is(err, ErrDeviceDead) {
+		t.Fatalf("killed device kept running: err=%v", err)
+	}
+}
+
+func TestStaticSlowScalesCyclesAndWall(t *testing.T) {
+	in := Plan{Seed: 1, SlowDevices: []int{0}, SlowFactor: 3}.Injector(0)
+	hook := in.Hook()
+	c, err := hook(context.Background(), tpu.Invocation{
+		Run: func() (tpu.Counters, error) {
+			time.Sleep(time.Millisecond)
+			return tpu.Counters{Cycles: 700}, nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Cycles != 2100 {
+		t.Errorf("cycles %d, want 3x700", c.Cycles)
+	}
+}
+
+func TestHangHonoursContext(t *testing.T) {
+	in := Plan{Seed: 2, HangRate: 1, HangSeconds: 10}.Injector(0)
+	hook := in.Hook()
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := hook(ctx, tpu.Invocation{
+		Run: func() (tpu.Counters, error) { return tpu.Counters{}, nil },
+	})
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("hang ignored context: stalled %v", elapsed)
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("cancelled hang returned %v, want ctx error", err)
+	}
+}
+
+func TestCorruptFlipsOutputBytes(t *testing.T) {
+	in := Plan{Seed: 5, CorruptRate: 1}.Injector(0)
+	hook := in.Hook()
+	host := make([]int8, 32)
+	if _, err := hook(context.Background(), tpu.Invocation{
+		Host: host,
+		Run:  func() (tpu.Counters, error) { return tpu.Counters{}, nil },
+	}); err != nil {
+		t.Fatal(err)
+	}
+	flipped := 0
+	for _, b := range host {
+		if b != 0 {
+			flipped++
+		}
+	}
+	if want := len(host) / corruptStride; flipped < want {
+		t.Errorf("%d bytes flipped, want >= %d", flipped, want)
+	}
+}
+
+func TestCompileErrFailsFirstN(t *testing.T) {
+	in := Plan{Seed: 1, FailCompiles: 2}.Injector(0)
+	for i := 0; i < 2; i++ {
+		if err := in.CompileErr(); !errors.Is(err, ErrCompile) {
+			t.Fatalf("compile %d: err=%v, want ErrCompile", i, err)
+		}
+	}
+	if err := in.CompileErr(); err != nil {
+		t.Fatalf("compile 3 should succeed: %v", err)
+	}
+}
+
+func TestZeroPlanIsFree(t *testing.T) {
+	if (Plan{Seed: 9}).Enabled() {
+		t.Error("zero-rate plan reports enabled")
+	}
+	if hook := (Plan{Seed: 9}).Injector(0).Hook(); hook != nil {
+		t.Error("zero-rate plan built a hook")
+	}
+}
+
+func TestParsePlanRoundTrip(t *testing.T) {
+	spec := "seed=7,transient=0.05,corrupt=0.01,slow=0.02,hang=0.01,death=0.001,slowx=8,hangms=50,compile=2,dead=0+2,slowdev=1"
+	p, err := ParsePlan(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Plan{
+		Seed: 7, TransientRate: 0.05, CorruptRate: 0.01, SlowRate: 0.02,
+		HangRate: 0.01, DeathRate: 0.001, SlowFactor: 8, HangSeconds: 0.05,
+		FailCompiles: 2, DeadDevices: []int{0, 2}, SlowDevices: []int{1},
+	}
+	if !reflect.DeepEqual(p, want) {
+		t.Fatalf("parsed %+v, want %+v", p, want)
+	}
+	// String renders a spec that parses back to the same plan.
+	p2, err := ParsePlan(p.String())
+	if err != nil {
+		t.Fatalf("round trip parse: %v", err)
+	}
+	if !reflect.DeepEqual(p2, p) {
+		t.Fatalf("round trip %+v, want %+v", p2, p)
+	}
+	// rate= is shorthand for transient=.
+	p3, err := ParsePlan("rate=0.5")
+	if err != nil || p3.TransientRate != 0.5 {
+		t.Fatalf("rate shorthand: %+v, %v", p3, err)
+	}
+	// Empty spec is the default plan.
+	if p4, err := ParsePlan(""); err != nil || p4.Seed != 1 {
+		t.Fatalf("empty spec: %+v, %v", p4, err)
+	}
+	for _, bad := range []string{"nope", "wat=1", "transient=x", "transient=2", "slowx=0.5", "dead=a"} {
+		if _, err := ParsePlan(bad); err == nil {
+			t.Errorf("spec %q accepted", bad)
+		}
+	}
+}
+
+func TestPlanValidate(t *testing.T) {
+	if err := (Plan{TransientRate: 0.6, CorruptRate: 0.6}).Validate(); err == nil {
+		t.Error("rates summing past 1 accepted")
+	}
+	if err := (Plan{HangSeconds: -1}).Validate(); err == nil {
+		t.Error("negative hang accepted")
+	}
+	if err := (Plan{FailCompiles: -1}).Validate(); err == nil {
+		t.Error("negative compile count accepted")
+	}
+}
+
+func TestSummary(t *testing.T) {
+	injs := Plan{Seed: 1, TransientRate: 1}.Injectors(2)
+	drive(t, injs[1], make([]int8, 4), 3)
+	s := Summary(injs)
+	if !strings.Contains(s, "device 1: transient=3") {
+		t.Errorf("summary missing counts:\n%s", s)
+	}
+	if strings.Contains(s, "device 0") {
+		t.Errorf("summary includes fault-free device:\n%s", s)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if KindSlow.String() != "slow" || Kind(99).String() == "" {
+		t.Error("kind names broken")
+	}
+}

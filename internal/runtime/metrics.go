@@ -103,6 +103,87 @@ func (s *Server) WritePrometheus(w io.Writer) {
 	for _, st := range stats {
 		fmt.Fprintf(w, "tpu_device_weight_bytes_reserved{device=%q} %d\n", st.Device, st.WeightBytesReserved)
 	}
+
+	health := s.Health()
+	writeFam(w, "tpu_device_state", "gauge",
+		"Device health state: 0 healthy, 1 degraded, 2 quarantined.")
+	for _, h := range health {
+		fmt.Fprintf(w, "tpu_device_state{device=%q} %d\n", h.Device, int(h.State))
+	}
+	writeFam(w, "tpu_device_state_transitions_total", "counter",
+		"Health state transitions per device.")
+	for _, h := range health {
+		fmt.Fprintf(w, "tpu_device_state_transitions_total{device=%q} %d\n", h.Device, h.Transitions)
+	}
+	writeFam(w, "tpu_device_failures_total", "counter",
+		"Failed run attempts charged to the device (injected faults and timeouts).")
+	for _, h := range health {
+		fmt.Fprintf(w, "tpu_device_failures_total{device=%q} %d\n", h.Device, h.Failures)
+	}
+	writeFam(w, "tpu_device_probes_total", "counter",
+		"Background health probes sent to the device while quarantined.")
+	for _, h := range health {
+		fmt.Fprintf(w, "tpu_device_probes_total{device=%q} %d\n", h.Device, h.Probes)
+	}
+
+	rs := s.ResilienceStats()
+	writeFam(w, "tpu_retries_total", "counter",
+		"Run attempts retried after a failed attempt.")
+	fmt.Fprintf(w, "tpu_retries_total %d\n", rs.Retries)
+	writeFam(w, "tpu_failovers_total", "counter",
+		"Requests answered by a device other than the preferred one.")
+	fmt.Fprintf(w, "tpu_failovers_total %d\n", rs.Failovers)
+	writeFam(w, "tpu_hedges_total", "counter",
+		"Backup attempts launched after the p99-based hedge delay.")
+	fmt.Fprintf(w, "tpu_hedges_total %d\n", rs.Hedges)
+	writeFam(w, "tpu_hedge_wins_total", "counter",
+		"Hedged requests where the backup attempt answered first.")
+	fmt.Fprintf(w, "tpu_hedge_wins_total %d\n", rs.HedgeWins)
+	writeFam(w, "tpu_attempt_timeouts_total", "counter",
+		"Attempts cancelled by the per-attempt timeout.")
+	fmt.Fprintf(w, "tpu_attempt_timeouts_total %d\n", rs.AttemptTimeouts)
+	writeFam(w, "tpu_crosscheck_mismatches_total", "counter",
+		"Output cross-checks whose two devices disagreed.")
+	fmt.Fprintf(w, "tpu_crosscheck_mismatches_total %d\n", rs.CrossCheckMismatches)
+}
+
+// DeviceHealth is one device's health snapshot for the ops endpoint.
+type DeviceHealth struct {
+	// Device is the telemetry label ("tpu0".."tpu3").
+	Device string
+	// State is the current health state.
+	State HealthState
+	// ConsecutiveFailures is the current failure streak.
+	ConsecutiveFailures int
+	// Transitions counts state changes since creation.
+	Transitions int64
+	// Failures and Successes count run attempts charged to the device.
+	Failures, Successes int64
+	// Probes and ProbeFailures count quarantine probes.
+	Probes, ProbeFailures int64
+	// LastError is the most recent failure message, "" when none.
+	LastError string
+}
+
+// Health snapshots every device's health record, in device order.
+func (s *Server) Health() []DeviceHealth {
+	out := make([]DeviceHealth, 0, len(s.health))
+	for i, h := range s.health {
+		h.mu.Lock()
+		out = append(out, DeviceHealth{
+			Device:              s.drivers[i].label,
+			State:               h.state,
+			ConsecutiveFailures: h.consecFail,
+			Transitions:         h.transitions,
+			Failures:            h.failures,
+			Successes:           h.successes,
+			Probes:              h.probes,
+			ProbeFailures:       h.probeFails,
+			LastError:           h.lastErr,
+		})
+		h.mu.Unlock()
+	}
+	return out
 }
 
 // writeFam writes one metric family's HELP/TYPE header.

@@ -1,0 +1,478 @@
+// The resilient run path: per-attempt timeouts derived from the timing
+// model, capped-exponential-backoff retries with failover to a different
+// device, hedged requests after a p99-based delay, and an optional output
+// cross-check that catches silent corruption by running twice on distinct
+// devices. All of it sits behind Server.RunCtx/RunOnCtx when a Resilience
+// policy is installed; without one the raw dispatch path is untouched.
+package runtime
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"tpusim/internal/fault"
+	"tpusim/internal/nn"
+	"tpusim/internal/obs"
+	"tpusim/internal/tensor"
+)
+
+// Resilient-path errors.
+var (
+	// ErrNoDevice means every device was excluded or quarantined.
+	ErrNoDevice = errors.New("runtime: no eligible device")
+	// ErrCorrupt means a cross-check mismatch could not be settled by a
+	// majority vote (fewer than three devices, or three distinct outputs).
+	ErrCorrupt = errors.New("runtime: output cross-check mismatch")
+)
+
+// resilienceCounters is the server-wide event accounting behind the
+// Prometheus resilience series.
+type resilienceCounters struct {
+	mu         sync.Mutex
+	retries    int64
+	failovers  int64
+	hedges     int64
+	hedgeWins  int64
+	timeouts   int64
+	crossRuns  int64
+	mismatches int64
+}
+
+// ResilienceStats is a snapshot of the recovery machinery's event counts.
+type ResilienceStats struct {
+	// Retries counts re-attempts after a failed attempt (first tries are
+	// not retries).
+	Retries int64
+	// Failovers counts requests answered by a different device than the
+	// preferred (pinned) one.
+	Failovers int64
+	// Hedges counts backup attempts launched after the hedge delay.
+	Hedges int64
+	// HedgeWins counts hedged requests where the backup answered first.
+	HedgeWins int64
+	// AttemptTimeouts counts attempts cancelled by the per-attempt timeout.
+	AttemptTimeouts int64
+	// CrossChecks counts verification reruns; CrossCheckMismatches counts
+	// the ones whose outputs disagreed.
+	CrossChecks          int64
+	CrossCheckMismatches int64
+}
+
+// ResilienceStats returns the current event counts.
+func (s *Server) ResilienceStats() ResilienceStats {
+	s.stats.mu.Lock()
+	defer s.stats.mu.Unlock()
+	return ResilienceStats{
+		Retries:              s.stats.retries,
+		Failovers:            s.stats.failovers,
+		Hedges:               s.stats.hedges,
+		HedgeWins:            s.stats.hedgeWins,
+		AttemptTimeouts:      s.stats.timeouts,
+		CrossChecks:          s.stats.crossRuns,
+		CrossCheckMismatches: s.stats.mismatches,
+	}
+}
+
+func (s *Server) count(f func(c *resilienceCounters)) {
+	s.stats.mu.Lock()
+	f(&s.stats)
+	s.stats.mu.Unlock()
+}
+
+// wallStats is one model's observed wall-latency record: an EWMA for the
+// timeout estimate and a small ring for an approximate p99 (the hedge
+// trigger).
+type wallStats struct {
+	ewma   float64
+	window [32]float64
+	n      int
+}
+
+func (w *wallStats) observe(sec float64) {
+	if w.ewma == 0 {
+		w.ewma = sec
+	} else {
+		w.ewma += 0.2 * (sec - w.ewma)
+	}
+	w.window[w.n%len(w.window)] = sec
+	w.n++
+}
+
+// p99 approximates the 99th percentile of the recent window; with few
+// samples it degrades toward the max, which is the conservative direction
+// for a hedge trigger.
+func (w *wallStats) p99() float64 {
+	n := w.n
+	if n > len(w.window) {
+		n = len(w.window)
+	}
+	if n == 0 {
+		return 0
+	}
+	xs := make([]float64, n)
+	copy(xs, w.window[:n])
+	sort.Float64s(xs)
+	idx := (n * 99) / 100
+	if idx >= n {
+		idx = n - 1
+	}
+	return xs[idx]
+}
+
+// observeWall records a successful run's wall latency against its model and
+// updates the server-wide seconds-per-cycle estimate.
+func (s *Server) observeWall(model string, r *InferenceResult) {
+	sec := r.DeviceSeconds
+	if r.WallSeconds > 0 {
+		sec = r.WallSeconds
+	}
+	if sec <= 0 {
+		return
+	}
+	s.wallMu.Lock()
+	ws := s.modelWall[model]
+	if ws == nil {
+		ws = &wallStats{}
+		s.modelWall[model] = ws
+	}
+	ws.observe(sec)
+	if r.Counters.Cycles > 0 {
+		spc := sec / float64(r.Counters.Cycles)
+		if s.wallPerCycle == 0 {
+			s.wallPerCycle = spc
+		} else {
+			s.wallPerCycle += 0.2 * (spc - s.wallPerCycle)
+		}
+	}
+	s.wallMu.Unlock()
+}
+
+// attemptTimeout derives the per-attempt timeout for a model: the fixed
+// policy timeout if set, otherwise TimeoutFactor x the model's expected
+// wall latency (observed EWMA, falling back to the timing model's cycle
+// count scaled by the learned wall-per-cycle rate), floored at
+// TimeoutFloor so a cold cache never yields a hair-trigger timeout.
+func (s *Server) attemptTimeout(dev int, model string) time.Duration {
+	if s.res.AttemptTimeout > 0 {
+		return s.res.AttemptTimeout
+	}
+	s.wallMu.Lock()
+	var expected float64
+	if ws := s.modelWall[model]; ws != nil {
+		expected = ws.ewma
+	}
+	spc := s.wallPerCycle
+	s.wallMu.Unlock()
+	if expected == 0 {
+		if cyc := s.drivers[dev].ExpectedCycles(model); cyc > 0 {
+			if spc > 0 {
+				// Learned wall seconds per cycle x the timing model's
+				// cycle count for this program.
+				expected = spc * float64(cyc)
+			} else {
+				// Nothing observed yet: fall back to simulated device time.
+				expected = float64(cyc) / (s.drivers[dev].cfg.ClockMHz * 1e6)
+			}
+		}
+	}
+	to := time.Duration(s.res.timeoutFactor() * expected * float64(time.Second))
+	if floor := s.res.timeoutFloor(); to < floor {
+		to = floor
+	}
+	return to
+}
+
+// hedgeDelay returns the hedge trigger delay for a model, or 0 when
+// hedging is disabled or no p99 is known yet.
+func (s *Server) hedgeDelay(model string) time.Duration {
+	f := s.res.hedgeFactor()
+	if f <= 0 || len(s.drivers) < 2 {
+		return 0
+	}
+	s.wallMu.Lock()
+	ws := s.modelWall[model]
+	var p float64
+	if ws != nil {
+		p = ws.p99()
+	}
+	s.wallMu.Unlock()
+	if p <= 0 {
+		return 0
+	}
+	return time.Duration(f * p * float64(time.Second))
+}
+
+// attemptOut is one attempt's outcome.
+type attemptOut struct {
+	dev int
+	res *InferenceResult
+	err error
+}
+
+// launchAttempt runs one attempt on dev under the per-attempt timeout,
+// records the outcome against the device's health, and delivers it to out.
+func (s *Server) launchAttempt(ctx context.Context, dev int, m *nn.Model, params *nn.Params, in *tensor.F32, out chan<- attemptOut) {
+	go func() {
+		actx, cancel := context.WithTimeout(ctx, s.attemptTimeout(dev, m.Name))
+		defer cancel()
+		start := time.Now()
+		r, err := s.drivers[dev].RunCtx(actx, m, params, in)
+		switch {
+		case err == nil:
+			if r != nil {
+				r.WallSeconds = time.Since(start).Seconds()
+				r.Device = dev
+			}
+			s.recordOutcome(dev, m.Name, r, nil)
+		case ctx.Err() != nil:
+			// The request itself was cancelled; not the device's fault.
+		case actx.Err() != nil && errors.Is(err, actx.Err()):
+			err = fmt.Errorf("runtime: device %d attempt timed out after %v: %w",
+				dev, s.attemptTimeout(dev, m.Name), err)
+			s.count(func(c *resilienceCounters) { c.timeouts++ })
+			s.recordFailure(dev, err)
+		default:
+			s.recordFailure(dev, err)
+		}
+		out <- attemptOut{dev: dev, res: r, err: err}
+	}()
+}
+
+// runResilient is the recovery-path dispatcher: pick a device (preferred
+// first, health-aware otherwise), run under a per-attempt timeout, hedge to
+// a second device when the first attempt outlives the p99-based delay,
+// retry with capped exponential backoff and the failed devices excluded,
+// and optionally cross-check the winning output on a distinct device.
+func (s *Server) runResilient(ctx context.Context, preferred int, m *nn.Model, params *nn.Params, in *tensor.F32) (*InferenceResult, error) {
+	excluded := map[int]bool{}
+	backoff := s.res.baseBackoff()
+	var lastErr error
+
+	var sp *obs.Span
+	if obs.FromContext(ctx) != nil {
+		var spCtx context.Context
+		spCtx, sp = obs.Start(ctx, "resilient-run", "runtime",
+			obs.String("model", m.Name), obs.Int("preferred", preferred))
+		defer sp.End()
+		ctx = spCtx
+	}
+
+	for attempt := 0; attempt < s.res.maxAttempts(); attempt++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		dev, ok := s.pickDevice(preferred, excluded)
+		if !ok {
+			if len(excluded) == 0 {
+				break // no devices at all
+			}
+			// Every device failed once this request. The backoff between
+			// rounds gives transient conditions time to clear, so start a
+			// fresh round rather than giving up with attempts left.
+			excluded = map[int]bool{}
+			dev, ok = s.pickDevice(preferred, excluded)
+			if !ok {
+				break
+			}
+		}
+		if attempt > 0 {
+			s.count(func(c *resilienceCounters) { c.retries++ })
+		}
+		s.pickSpan(ctx, dev, pickPolicy(preferred, attempt))
+
+		out := make(chan attemptOut, 2)
+		inFlight := map[int]bool{dev: true}
+		s.launchAttempt(ctx, dev, m, params, in, out)
+
+		var hedgeC <-chan time.Time
+		if attempt == 0 {
+			if d := s.hedgeDelay(m.Name); d > 0 {
+				t := time.NewTimer(d)
+				defer t.Stop()
+				hedgeC = t.C
+			}
+		}
+
+		pending := 1
+		for pending > 0 {
+			select {
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			case <-hedgeC:
+				hedgeC = nil
+				hdev, hok := s.pickDevice(-1, merged(excluded, inFlight))
+				if !hok {
+					continue
+				}
+				s.count(func(c *resilienceCounters) { c.hedges++ })
+				if sp.Recording() {
+					sp.SetAttr(obs.Int("hedge_device", hdev))
+				}
+				inFlight[hdev] = true
+				s.launchAttempt(ctx, hdev, m, params, in, out)
+				pending++
+			case o := <-out:
+				pending--
+				if o.err != nil {
+					lastErr = o.err
+					excluded[o.dev] = true
+					continue
+				}
+				// Winner. Account hedging and failover, then verify.
+				if len(inFlight) > 1 && o.dev != dev {
+					s.count(func(c *resilienceCounters) { c.hedgeWins++ })
+				}
+				if preferred >= 0 && o.dev != preferred {
+					s.count(func(c *resilienceCounters) { c.failovers++ })
+				}
+				if sp.Recording() {
+					sp.SetAttr(obs.Int("device", o.dev), obs.Int("attempts", attempt+1))
+				}
+				if s.res.CrossCheck {
+					return s.crossCheck(ctx, o, m, params, in)
+				}
+				return o.res, nil
+			}
+		}
+		// Every in-flight attempt failed; back off and go around with the
+		// failed devices excluded.
+		if !fault.Injected(lastErr) && !isTimeout(lastErr) {
+			// A real (non-injected, non-timeout) error — e.g. a model
+			// validation failure — will fail identically everywhere;
+			// surface it instead of burning the fleet.
+			return nil, lastErr
+		}
+		if !sleepCtx(ctx, backoff) {
+			return nil, ctx.Err()
+		}
+		backoff *= 2
+		if max := s.res.maxBackoff(); backoff > max {
+			backoff = max
+		}
+	}
+	if lastErr != nil {
+		return nil, fmt.Errorf("runtime: all attempts failed: %w", lastErr)
+	}
+	return nil, ErrNoDevice
+}
+
+func pickPolicy(preferred, attempt int) string {
+	switch {
+	case attempt > 0:
+		return "failover"
+	case preferred >= 0:
+		return "pinned"
+	default:
+		return "health-aware"
+	}
+}
+
+func isTimeout(err error) bool {
+	return errors.Is(err, context.DeadlineExceeded)
+}
+
+func merged(a, b map[int]bool) map[int]bool {
+	out := make(map[int]bool, len(a)+len(b))
+	for k := range a {
+		out[k] = true
+	}
+	for k := range b {
+		out[k] = true
+	}
+	return out
+}
+
+// crossCheck reruns the request on a device distinct from the winner and
+// compares outputs exactly (the simulator is bit-deterministic, so any
+// difference is corruption). On mismatch a third device votes: the
+// minority device is recorded as failing and the majority output wins.
+// With no distinct device available the first result is returned unchecked.
+func (s *Server) crossCheck(ctx context.Context, first attemptOut, m *nn.Model, params *nn.Params, in *tensor.F32) (*InferenceResult, error) {
+	dev2, ok := s.pickDevice(-1, map[int]bool{first.dev: true})
+	if !ok {
+		return first.res, nil
+	}
+	s.count(func(c *resilienceCounters) { c.crossRuns++ })
+	out := make(chan attemptOut, 1)
+	s.launchAttempt(ctx, dev2, m, params, in, out)
+	var second attemptOut
+	select {
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	case second = <-out:
+	}
+	if second.err != nil {
+		// Verification run failed outright; the primary result stands
+		// (the failure is already in dev2's health record).
+		return first.res, nil
+	}
+	if equalOutputs(first.res.Output, second.res.Output) {
+		return first.res, nil
+	}
+	s.count(func(c *resilienceCounters) { c.mismatches++ })
+	// Majority vote on a third device.
+	dev3, ok := s.pickDevice(-1, map[int]bool{first.dev: true, second.dev: true})
+	if !ok {
+		return nil, fmt.Errorf("%w: devices %d and %d disagree on %s",
+			ErrCorrupt, first.dev, second.dev, m.Name)
+	}
+	out3 := make(chan attemptOut, 1)
+	s.launchAttempt(ctx, dev3, m, params, in, out3)
+	var third attemptOut
+	select {
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	case third = <-out3:
+	}
+	if third.err != nil {
+		return nil, fmt.Errorf("%w: devices %d and %d disagree on %s and tiebreak failed: %v",
+			ErrCorrupt, first.dev, second.dev, m.Name, third.err)
+	}
+	switch {
+	case equalOutputs(third.res.Output, first.res.Output):
+		s.recordFailure(second.dev, fmt.Errorf("runtime: device %d outvoted on %s output", second.dev, m.Name))
+		return first.res, nil
+	case equalOutputs(third.res.Output, second.res.Output):
+		s.recordFailure(first.dev, fmt.Errorf("runtime: device %d outvoted on %s output", first.dev, m.Name))
+		return second.res, nil
+	default:
+		return nil, fmt.Errorf("%w: three-way disagreement on %s across devices %d/%d/%d",
+			ErrCorrupt, m.Name, first.dev, second.dev, dev3)
+	}
+}
+
+// equalOutputs compares two output tensors exactly.
+func equalOutputs(a, b *tensor.F32) bool {
+	if a == nil || b == nil {
+		return a == b
+	}
+	if len(a.Data) != len(b.Data) {
+		return false
+	}
+	for i := range a.Data {
+		if a.Data[i] != b.Data[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// sleepCtx sleeps for d or until ctx is cancelled; it reports whether the
+// full duration elapsed.
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	if d <= 0 {
+		return true
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}

@@ -17,10 +17,13 @@ package runtime
 import (
 	"context"
 	"fmt"
+	"log/slog"
 	"sync"
 	"time"
 
 	"tpusim/internal/compiler"
+	"tpusim/internal/fault"
+	"tpusim/internal/isa"
 	"tpusim/internal/nn"
 	"tpusim/internal/obs"
 	"tpusim/internal/tensor"
@@ -44,6 +47,11 @@ type Driver struct {
 	// label names the driver's device on telemetry tracks and in the
 	// per-device Prometheus gauges ("tpu0".."tpu3" on a server).
 	label string
+	// inj is the driver's fault injector when the server was built with a
+	// chaos plan; nil in production. The injector's Hook is already wired
+	// into cfg — inj is kept only for the deterministic compile-failure
+	// probe (CompileErr) and for chaos scripts reaching the injector.
+	inj *fault.Injector
 
 	mu    sync.Mutex
 	cache map[string]*entry
@@ -59,6 +67,9 @@ type Driver struct {
 	// first-fit so a compile failure never leaks Weight Memory.
 	weightNext uint64
 	weightFree []region
+	// expCycles maps model name to the timing model's cycle count for one
+	// batch, recorded at compile time for timeout derivation.
+	expCycles map[string]int64
 	// Compilations counts slow-path compiles (for observing the caching
 	// behaviour the paper describes).
 	Compilations int
@@ -67,8 +78,11 @@ type Driver struct {
 // entry is one cached model. once single-flights the slow path: the first
 // goroutine to evaluate the model compiles inside once.Do while every
 // concurrent caller blocks on the same Do and then reuses the artifact.
-// runMu serializes access to the entry's device (the functional simulator
+// runSem serializes access to the entry's device (the functional simulator
 // is stateful); distinct models run concurrently on their own devices.
+// Unlike a mutex, the semaphore is context-aware: a caller whose context is
+// cancelled while queued behind a long run returns ctx.Err() promptly
+// instead of waiting its turn for a device it no longer wants.
 type entry struct {
 	once sync.Once
 	err  error
@@ -78,8 +92,25 @@ type entry struct {
 	qm  *nn.QuantizedModel
 	dev *tpu.Device
 
-	runMu sync.Mutex
+	runSem chan struct{} // cap 1
 }
+
+// acquire takes the entry's device, or gives up when ctx is cancelled.
+func (e *entry) acquire(ctx context.Context) error {
+	select {
+	case e.runSem <- struct{}{}:
+		return nil
+	default:
+	}
+	select {
+	case e.runSem <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (e *entry) release() { <-e.runSem }
 
 // NewDriver creates a driver for devices with the given configuration;
 // functional execution is forced on because the driver's purpose is to run
@@ -89,7 +120,8 @@ func NewDriver(cfg tpu.Config) (*Driver, error) {
 	if _, err := tpu.New(cfg); err != nil {
 		return nil, err
 	}
-	return &Driver{cfg: cfg, label: "tpu", cache: map[string]*entry{}}, nil
+	return &Driver{cfg: cfg, label: "tpu", cache: map[string]*entry{},
+		expCycles: map[string]int64{}}, nil
 }
 
 // InferenceResult is one batch's outcome.
@@ -101,6 +133,13 @@ type InferenceResult struct {
 	// DeviceSeconds is simulated device time; it is the latency a real
 	// deployment would observe from the accelerator.
 	DeviceSeconds float64
+	// WallSeconds is host wall-clock time for the attempt that produced
+	// this result; the resilient path fills it in to feed the latency
+	// learner behind timeouts and hedge delays. 0 on the raw path.
+	WallSeconds float64
+	// Device is the device index that produced the result (set by the
+	// server's resilient path; 0 on a bare driver).
+	Device int
 	// Cached reports whether the compiled program image was reused.
 	Cached bool
 }
@@ -159,6 +198,11 @@ func (d *Driver) compile(ctx context.Context, e *entry, m *nn.Model, params *nn.
 			sp.End()
 		}()
 	}
+	if d.inj != nil {
+		if err := d.inj.CompileErr(); err != nil {
+			return fmt.Errorf("runtime: compiling %s: %w", m.Name, err)
+		}
+	}
 	qm, err := nn.QuantizeModel(m, params, in)
 	if err != nil {
 		return fmt.Errorf("runtime: quantizing %s: %w", m.Name, err)
@@ -181,9 +225,30 @@ func (d *Driver) compile(ctx context.Context, e *entry, m *nn.Model, params *nn.
 	}
 	e.art, e.qm, e.dev, e.reg = art, qm, dev, reg
 	d.mu.Lock()
+	d.expCycles[m.Name] = expectedCycles(d.cfg, art.Program)
 	d.Compilations++
 	d.mu.Unlock()
 	return nil
+}
+
+// expectedCycles runs the program once on a hook-free, timing-only device
+// and returns the timing model's cycle count — what a healthy device should
+// take for one batch. The resilience layer multiplies it into per-attempt
+// timeouts, so injected hangs and stragglers are detected relative to the
+// model's real cost rather than a fleet-wide constant.
+func expectedCycles(cfg tpu.Config, p *isa.Program) int64 {
+	cfg.Functional = false
+	cfg.Hook = nil
+	cfg.Trace = false
+	dev, err := tpu.New(cfg)
+	if err != nil {
+		return 0
+	}
+	c, err := dev.Run(p, nil)
+	if err != nil {
+		return 0
+	}
+	return c.Cycles
 }
 
 // Run evaluates one batch of a model. The first evaluation quantizes and
@@ -209,7 +274,7 @@ func (d *Driver) RunCtx(ctx context.Context, m *nn.Model, params *nn.Params, in 
 	d.mu.Lock()
 	e, ok := d.cache[m.Name]
 	if !ok {
-		e = &entry{}
+		e = &entry{runSem: make(chan struct{}, 1)}
 		d.cache[m.Name] = e
 	}
 	d.mu.Unlock()
@@ -237,9 +302,15 @@ func (d *Driver) RunCtx(ctx context.Context, m *nn.Model, params *nn.Params, in 
 		_, rsp = obs.Start(ctx, "run", d.label,
 			obs.String("model", m.Name), obs.Int("batch", e.art.Layout.Batch))
 	}
-	e.runMu.Lock()
+	if err := e.acquire(ctx); err != nil {
+		if rsp.Recording() {
+			rsp.SetAttr(obs.String("error", err.Error()))
+			rsp.End()
+		}
+		return nil, err
+	}
 	wallStart := time.Now()
-	c, err := e.dev.Run(e.art.Program, host)
+	c, err := e.dev.RunCtx(ctx, e.art.Program, host)
 	var devSpans []obs.SpanData
 	if err == nil && rsp.Recording() && d.cfg.Trace && c.Cycles > 0 {
 		// Stitch the cycle-domain device timeline into the wall-clock run
@@ -256,7 +327,7 @@ func (d *Driver) RunCtx(ctx context.Context, m *nn.Model, params *nn.Params, in 
 			MaxEvents:       maxDeviceSpans,
 		})
 	}
-	e.runMu.Unlock()
+	e.release()
 	for _, sd := range devSpans {
 		rsp.Tracer().Emit(sd)
 	}
@@ -314,30 +385,148 @@ func (d *Driver) Invalidate(modelName string) {
 	}
 }
 
+// probeProgram is the health probe: the cheapest valid program (a Nop and a
+// Halt). It exercises the full run path — including the fault hook, so a
+// dead or hung device fails its probes — without touching model state.
+var probeProgram = &isa.Program{
+	Name:         "health-probe",
+	Instructions: []isa.Instruction{{Op: isa.OpNop}, {Op: isa.OpHalt}},
+}
+
+// Probe runs the trivial health-probe program on a fresh timing-only device
+// built from the driver's config (fault hook included). A healthy device
+// answers in microseconds; a dead one fails and a hung one stalls until ctx
+// expires. The quarantine loop uses it to decide re-admission.
+func (d *Driver) Probe(ctx context.Context) error {
+	cfg := d.cfg
+	cfg.Functional = false
+	cfg.Trace = false
+	dev, err := tpu.New(cfg)
+	if err != nil {
+		return err
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := dev.RunCtx(ctx, probeProgram, nil)
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		return err
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// ExpectedCycles returns the timing model's cycle count for one batch of a
+// cached model, or 0 when the model has not compiled on this driver yet.
+func (d *Driver) ExpectedCycles(modelName string) int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.expCycles[modelName]
+}
+
 // Server is one datacenter server: a host plus several TPUs behind it (4
-// in the benchmarked configuration), dispatching batches round robin.
+// in the benchmarked configuration), dispatching batches round robin. Built
+// with a fault plan and a Resilience policy (NewServerWith), it adds the
+// fleet-management layer: per-device health states, per-attempt timeouts,
+// retries with failover, hedged requests and output cross-checking.
 type Server struct {
 	drivers []*Driver
 	next    int
 	mu      sync.Mutex
+
+	// Resilience state (nil res means the PR-3 fast path: no retries, no
+	// health tracking overhead on the run path beyond a success record).
+	res    *Resilience
+	injs   []*fault.Injector
+	health []*deviceHealth
+	stats  resilienceCounters
+
+	tracer *obs.Tracer
+	logger *slog.Logger
+
+	closed    chan struct{}
+	closeOnce sync.Once
+
+	// Wall-latency learning for timeouts and hedging: a server-wide
+	// seconds-per-cycle EWMA (cold-start estimate for never-run models) and
+	// a per-model wall-latency window (EWMA + approximate p99).
+	wallMu       sync.Mutex
+	wallPerCycle float64
+	modelWall    map[string]*wallStats
 }
 
-// NewServer builds a server with n TPUs.
+// ServerOptions configures the fault-tolerance layer of a server.
+type ServerOptions struct {
+	// Faults installs a chaos plan: each device gets its own seeded
+	// injector wired into the device's run hook. nil injects nothing.
+	Faults *fault.Plan
+	// Resilience enables the recovery machinery (health states, retries,
+	// failover, hedging, cross-check). nil keeps the raw dispatch path.
+	Resilience *Resilience
+}
+
+// NewServer builds a server with n TPUs and no fault layer.
 func NewServer(n int, cfg tpu.Config) (*Server, error) {
+	return NewServerWith(n, cfg, ServerOptions{})
+}
+
+// NewServerWith builds a server with n TPUs, optionally injecting faults
+// and/or enabling the resilience layer.
+func NewServerWith(n int, cfg tpu.Config, opts ServerOptions) (*Server, error) {
 	if n <= 0 {
 		return nil, fmt.Errorf("runtime: server needs at least one TPU, got %d", n)
 	}
-	s := &Server{}
+	if opts.Faults != nil {
+		if err := opts.Faults.Validate(); err != nil {
+			return nil, err
+		}
+	}
+	s := &Server{
+		res:       opts.Resilience,
+		closed:    make(chan struct{}),
+		logger:    slog.Default(),
+		modelWall: map[string]*wallStats{},
+	}
 	for i := 0; i < n; i++ {
-		dr, err := NewDriver(cfg)
+		dcfg := cfg
+		var inj *fault.Injector
+		if opts.Faults != nil {
+			inj = opts.Faults.Injector(i)
+			dcfg.Hook = inj.ArmedHook()
+		}
+		dr, err := NewDriver(dcfg)
 		if err != nil {
 			return nil, err
 		}
 		dr.label = fmt.Sprintf("tpu%d", i)
+		dr.inj = inj
 		s.drivers = append(s.drivers, dr)
+		s.injs = append(s.injs, inj)
+		s.health = append(s.health, &deviceHealth{})
 	}
 	return s, nil
 }
+
+// Observe points the server's health transitions and resilience events at a
+// tracer and logger. Either may be nil.
+func (s *Server) Observe(tracer *obs.Tracer, logger *slog.Logger) {
+	s.mu.Lock()
+	s.tracer = tracer
+	if logger != nil {
+		s.logger = logger
+	}
+	s.mu.Unlock()
+}
+
+// Injectors returns the per-device fault injectors (entries are nil when the
+// server was built without a chaos plan). Chaos scripts use them to kill or
+// throttle devices mid-load.
+func (s *Server) Injectors() []*fault.Injector { return s.injs }
+
+// Close stops background health probes. Safe to call more than once.
+func (s *Server) Close() { s.closeOnce.Do(func() { close(s.closed) }) }
 
 // Devices returns the TPU count.
 func (s *Server) Devices() int { return len(s.drivers) }
@@ -348,15 +537,27 @@ func (s *Server) Run(m *nn.Model, params *nn.Params, in *tensor.F32) (*Inference
 }
 
 // RunCtx is Run with request-scoped telemetry: a device-pick span records
-// which TPU the round robin chose before delegating to the driver.
+// which TPU the round robin chose before delegating to the driver. With a
+// Resilience policy installed the run goes through the full recovery path
+// (health-aware pick, per-attempt timeout, retry/failover, hedging). The
+// pick honours ctx: a cancelled request fails fast instead of consuming a
+// device turn.
 func (s *Server) RunCtx(ctx context.Context, m *nn.Model, params *nn.Params, in *tensor.F32) (*InferenceResult, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if s.res != nil {
+		return s.runResilient(ctx, -1, m, params, in)
+	}
 	s.mu.Lock()
 	i := s.next
 	d := s.drivers[i]
 	s.next = (s.next + 1) % len(s.drivers)
 	s.mu.Unlock()
 	s.pickSpan(ctx, i, "round-robin")
-	return d.RunCtx(ctx, m, params, in)
+	r, err := d.RunCtx(ctx, m, params, in)
+	s.recordOutcome(i, m.Name, r, err)
+	return r, err
 }
 
 // RunOn dispatches a batch to a specific device. The serving layer pins
@@ -367,13 +568,23 @@ func (s *Server) RunOn(device int, m *nn.Model, params *nn.Params, in *tensor.F3
 	return s.RunOnCtx(context.Background(), device, m, params, in)
 }
 
-// RunOnCtx is RunOn with request-scoped telemetry.
+// RunOnCtx is RunOn with request-scoped telemetry. With a Resilience policy
+// the pinned device is only a preference: if it is quarantined or the
+// attempt fails, the run fails over to another device.
 func (s *Server) RunOnCtx(ctx context.Context, device int, m *nn.Model, params *nn.Params, in *tensor.F32) (*InferenceResult, error) {
 	if device < 0 || device >= len(s.drivers) {
 		return nil, fmt.Errorf("runtime: device %d out of range [0, %d)", device, len(s.drivers))
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if s.res != nil {
+		return s.runResilient(ctx, device, m, params, in)
+	}
 	s.pickSpan(ctx, device, "pinned")
-	return s.drivers[device].RunCtx(ctx, m, params, in)
+	r, err := s.drivers[device].RunCtx(ctx, m, params, in)
+	s.recordOutcome(device, m.Name, r, err)
+	return r, err
 }
 
 // pickSpan records an instantaneous device-pick span when ctx is traced.

@@ -1,0 +1,244 @@
+package serve
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// BreakerConfig tunes a model lane's circuit breaker and brownout policy.
+// The breaker watches the lane's recent backend outcomes over a sliding
+// window and degrades service in two steps instead of letting a sick fleet
+// drown in retried work:
+//
+//   - Brownout: at a moderate failure fraction the lane keeps serving but
+//     sheds load early — the dispatch batch target shrinks (smaller blast
+//     radius per backend call, faster feedback) and admission tightens to a
+//     fraction of the queue (arrivals that would have queued deep are shed
+//     with a distinct "brownout" reason).
+//   - Open: at a high failure fraction the lane stops taking traffic
+//     entirely; one trial request per OpenFor interval probes the backend,
+//     and a trial success steps the breaker back down to brownout.
+//
+// The zero value of every field selects a sensible default, so
+// &BreakerConfig{} enables the breaker with stock tuning.
+type BreakerConfig struct {
+	// Window is the outcome window length in batches. 0 means 16.
+	Window int
+	// MinSamples gates state changes until the window has at least this
+	// many outcomes. 0 means half the window.
+	MinSamples int
+	// BrownoutFrac is the failure fraction that triggers brownout.
+	// 0 means 0.3.
+	BrownoutFrac float64
+	// OpenFrac is the failure fraction that opens the breaker. 0 means 0.7.
+	OpenFrac float64
+	// OpenFor is the interval between trial requests while open.
+	// 0 means 250ms.
+	OpenFor time.Duration
+	// BrownoutBatchFrac scales the deadline-safe batch target during
+	// brownout (minimum 1). 0 means 0.5.
+	BrownoutBatchFrac float64
+	// BrownoutQueueFrac scales the admission queue bound during brownout
+	// (minimum 1). 0 means 0.5.
+	BrownoutQueueFrac float64
+}
+
+func (c BreakerConfig) window() int {
+	if c.Window <= 0 {
+		return 16
+	}
+	return c.Window
+}
+
+func (c BreakerConfig) minSamples() int {
+	if c.MinSamples <= 0 {
+		return (c.window() + 1) / 2
+	}
+	return c.MinSamples
+}
+
+func (c BreakerConfig) brownoutFrac() float64 {
+	if c.BrownoutFrac <= 0 {
+		return 0.3
+	}
+	return c.BrownoutFrac
+}
+
+func (c BreakerConfig) openFrac() float64 {
+	if c.OpenFrac <= 0 {
+		return 0.7
+	}
+	return c.OpenFrac
+}
+
+func (c BreakerConfig) openFor() time.Duration {
+	if c.OpenFor <= 0 {
+		return 250 * time.Millisecond
+	}
+	return c.OpenFor
+}
+
+func (c BreakerConfig) brownoutBatchFrac() float64 {
+	if c.BrownoutBatchFrac <= 0 {
+		return 0.5
+	}
+	return c.BrownoutBatchFrac
+}
+
+func (c BreakerConfig) brownoutQueueFrac() float64 {
+	if c.BrownoutQueueFrac <= 0 {
+		return 0.5
+	}
+	return c.BrownoutQueueFrac
+}
+
+// BreakerState is a lane breaker's position.
+type BreakerState int32
+
+const (
+	// BreakerClosed is normal service.
+	BreakerClosed BreakerState = iota
+	// BreakerBrownout is degraded service: shrunken batch target and a
+	// tightened admission queue.
+	BreakerBrownout
+	// BreakerOpen sheds everything except one periodic trial request.
+	BreakerOpen
+)
+
+var breakerNames = [...]string{"closed", "brownout", "open"}
+
+// String names the state ("closed", "brownout", "open").
+func (b BreakerState) String() string {
+	if b < 0 || int(b) >= len(breakerNames) {
+		return fmt.Sprintf("state(%d)", int(b))
+	}
+	return breakerNames[b]
+}
+
+// breaker is one lane's failure-fraction state machine. All methods are
+// nil-safe: a lane without a breaker pays one nil check.
+type breaker struct {
+	cfg BreakerConfig
+
+	mu        sync.Mutex
+	ring      []bool // true = batch failed
+	n, idx    int
+	state     BreakerState
+	lastTrial time.Time
+}
+
+func newBreaker(cfg BreakerConfig) *breaker {
+	return &breaker{cfg: cfg, ring: make([]bool, cfg.window())}
+}
+
+// State returns the breaker's current position.
+func (b *breaker) State() BreakerState {
+	if b == nil {
+		return BreakerClosed
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// record feeds one batch outcome into the window and walks the state
+// machine; it reports the transition (from == to when nothing changed).
+func (b *breaker) record(failed bool) (from, to BreakerState) {
+	if b == nil {
+		return BreakerClosed, BreakerClosed
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	from, to = b.state, b.state
+
+	if b.state == BreakerOpen {
+		// Outcomes while open are trial results: success steps down to
+		// brownout with a cleared window, failure keeps it open.
+		if !failed {
+			to = BreakerBrownout
+			b.state = to
+			b.clearLocked()
+		}
+		return from, to
+	}
+
+	b.ring[b.idx] = failed
+	b.idx = (b.idx + 1) % len(b.ring)
+	if b.n < len(b.ring) {
+		b.n++
+	}
+	if b.n < b.cfg.minSamples() {
+		return from, to
+	}
+	fails := 0
+	for i := 0; i < b.n; i++ {
+		if b.ring[i] {
+			fails++
+		}
+	}
+	frac := float64(fails) / float64(b.n)
+	switch {
+	case frac >= b.cfg.openFrac():
+		to = BreakerOpen
+		b.lastTrial = time.Time{} // first trial is immediate after OpenFor
+	case frac >= b.cfg.brownoutFrac():
+		to = BreakerBrownout
+	default:
+		to = BreakerClosed
+	}
+	b.state = to
+	return from, to
+}
+
+func (b *breaker) clearLocked() {
+	for i := range b.ring {
+		b.ring[i] = false
+	}
+	b.n, b.idx = 0, 0
+}
+
+// admit decides whether a new request may enter a queue currently at depth
+// (capacity cap). shedReason is non-empty when the request must be shed.
+func (b *breaker) admit(depth, capacity int) (ok bool, shedReason string) {
+	if b == nil {
+		return true, ""
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerOpen:
+		now := time.Now()
+		if now.Sub(b.lastTrial) >= b.cfg.openFor() {
+			b.lastTrial = now
+			return true, "" // the periodic trial request
+		}
+		return false, "breaker_open"
+	case BreakerBrownout:
+		limit := int(float64(capacity) * b.cfg.brownoutQueueFrac())
+		if limit < 1 {
+			limit = 1
+		}
+		if depth >= limit {
+			return false, "brownout"
+		}
+	}
+	return true, ""
+}
+
+// batchLimit scales the lane's deadline-safe batch target by the breaker's
+// state: full size closed, shrunken in brownout, 1 while open (trials ride
+// alone).
+func (b *breaker) batchLimit(safe int) int {
+	switch b.State() {
+	case BreakerOpen:
+		return 1
+	case BreakerBrownout:
+		limit := int(float64(safe) * b.cfg.brownoutBatchFrac())
+		if limit < 1 {
+			limit = 1
+		}
+		return limit
+	}
+	return safe
+}

@@ -1,0 +1,346 @@
+package serve
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"tpusim/internal/tensor"
+)
+
+// flakyBackend fails batches while broken is set.
+type flakyBackend struct {
+	mu     sync.Mutex
+	broken bool
+	runs   int
+	fails  int
+}
+
+func (f *flakyBackend) setBroken(b bool) {
+	f.mu.Lock()
+	f.broken = b
+	f.mu.Unlock()
+}
+
+func (f *flakyBackend) Run(_ string, in []*tensor.F32) ([]*tensor.F32, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.runs++
+	if f.broken {
+		f.fails++
+		return nil, errors.New("backend down")
+	}
+	return in, nil
+}
+
+// TestBreakerStateMachine drives the breaker directly through its
+// transitions: closed -> brownout -> open -> (trial success) -> brownout
+// -> closed.
+func TestBreakerStateMachine(t *testing.T) {
+	br := newBreaker(BreakerConfig{Window: 10, MinSamples: 4, OpenFor: time.Millisecond})
+	if br.State() != BreakerClosed {
+		t.Fatal("new breaker not closed")
+	}
+	// 40% failures over 10 outcomes: brownout (>= 0.3, < 0.7).
+	for i := 0; i < 10; i++ {
+		br.record(i%5 < 2)
+	}
+	if br.State() != BreakerBrownout {
+		t.Fatalf("state after 40%% failures = %v, want brownout", br.State())
+	}
+	// All failures: open.
+	for i := 0; i < 10; i++ {
+		br.record(true)
+	}
+	if br.State() != BreakerOpen {
+		t.Fatalf("state after 100%% failures = %v, want open", br.State())
+	}
+	// While open, admission sheds except one trial per interval.
+	ok, reason := br.admit(0, 8)
+	if !ok {
+		// First trial fires after OpenFor from lastTrial (zeroed on open),
+		// so it is admitted immediately.
+		t.Fatalf("first trial rejected: %s", reason)
+	}
+	if ok, reason := br.admit(0, 8); ok || reason != "breaker_open" {
+		t.Fatalf("second request inside trial interval admitted (reason %q)", reason)
+	}
+	// Trial success steps down to brownout with a cleared window.
+	if from, to := br.record(false); from != BreakerOpen || to != BreakerBrownout {
+		t.Fatalf("trial success moved %v->%v, want open->brownout", from, to)
+	}
+	// Sustained successes close it.
+	for i := 0; i < 10; i++ {
+		br.record(false)
+	}
+	if br.State() != BreakerClosed {
+		t.Fatalf("state after recovery = %v, want closed", br.State())
+	}
+	// Batch limits per state.
+	if got := br.batchLimit(8); got != 8 {
+		t.Errorf("closed batch limit = %d, want 8", got)
+	}
+}
+
+// TestBreakerBatchAndQueueLimits pins the brownout degradations.
+func TestBreakerBatchAndQueueLimits(t *testing.T) {
+	br := newBreaker(BreakerConfig{Window: 4, MinSamples: 2})
+	br.record(true)
+	br.record(true)
+	if br.State() != BreakerOpen {
+		t.Fatalf("state = %v, want open", br.State())
+	}
+	if got := br.batchLimit(8); got != 1 {
+		t.Errorf("open batch limit = %d, want 1 (trials ride alone)", got)
+	}
+	br.record(false) // trial success -> brownout
+	if got := br.batchLimit(8); got != 4 {
+		t.Errorf("brownout batch limit = %d, want 4", got)
+	}
+	if got := br.batchLimit(1); got != 1 {
+		t.Errorf("brownout batch limit floor = %d, want 1", got)
+	}
+	// Brownout queue bound: capacity 8 x 0.5 = 4.
+	if ok, _ := br.admit(3, 8); !ok {
+		t.Error("depth 3 of 8 shed in brownout (limit should be 4)")
+	}
+	if ok, reason := br.admit(4, 8); ok || reason != "brownout" {
+		t.Errorf("depth 4 of 8 admitted in brownout (ok=%v reason=%q)", ok, reason)
+	}
+	// Nil breaker is a no-op.
+	var nb *breaker
+	if ok, _ := nb.admit(100, 1); !ok {
+		t.Error("nil breaker shed")
+	}
+	if nb.batchLimit(8) != 8 || nb.State() != BreakerClosed {
+		t.Error("nil breaker not transparent")
+	}
+}
+
+// TestServerBreakerTripAndRecover is the end-to-end breaker test: a
+// backend outage trips the lane open (requests shed with ErrBreakerOpen),
+// recovery is discovered by a trial request, and the lane walks back to
+// closed while serving normally.
+func TestServerBreakerTripAndRecover(t *testing.T) {
+	fb := &flakyBackend{}
+	s := NewServer(fb)
+	_, err := s.Register("m", ModelConfig{
+		Policy:  Policy{MaxBatch: 4, SLASeconds: 1, MaxWaitSeconds: 1e-4},
+		Service: linearService(1e-4, 0),
+		Breaker: &BreakerConfig{Window: 4, MinSamples: 2, OpenFor: 2 * time.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	// Healthy service.
+	if _, err := s.Submit("m", row()); err != nil {
+		t.Fatal(err)
+	}
+
+	// Outage: enough failed batches trip the breaker open.
+	fb.setBroken(true)
+	for i := 0; i < 10; i++ {
+		_, err := s.Submit("m", row())
+		if err == nil {
+			t.Fatalf("request %d served during outage", i)
+		}
+		if errors.Is(err, ErrBreakerOpen) {
+			break
+		}
+		if i == 9 {
+			t.Fatalf("breaker never opened; last err %v", err)
+		}
+	}
+	mm := s.Metrics().Model("m")
+	if mm.snapshot().BreakerState != "open" {
+		t.Fatalf("breaker state %q, want open", mm.snapshot().BreakerState)
+	}
+
+	// Shed accounting: at least one request must carry the distinct reason.
+	sawOpenShed := false
+	for i := 0; i < 20 && !sawOpenShed; i++ {
+		_, err := s.Submit("m", row())
+		sawOpenShed = errors.Is(err, ErrBreakerOpen)
+		time.Sleep(200 * time.Microsecond)
+	}
+	if !sawOpenShed {
+		t.Fatal("no request shed with ErrBreakerOpen while open")
+	}
+
+	// Recovery: trials discover the healthy backend and the lane recloses.
+	fb.setBroken(false)
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if time.Now().After(deadline) {
+			t.Fatalf("lane never re-closed; state %s", mm.snapshot().BreakerState)
+		}
+		if _, err := s.Submit("m", row()); err == nil &&
+			mm.snapshot().BreakerState == "closed" {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	snap := mm.snapshot()
+	if snap.ShedBreaker == 0 {
+		t.Error("shed_breaker counter never moved")
+	}
+	if !strings.Contains(s.Metrics().Prometheus(), `tpuserve_breaker_state{model="m"}`) {
+		t.Error("breaker state gauge missing from exposition")
+	}
+}
+
+// TestServerBrownoutShrinksBatches pins the brownout degradation through
+// the server: a lane held in brownout dispatches batches no larger than
+// the shrunken target.
+func TestServerBrownoutShrinksBatches(t *testing.T) {
+	g := newGateBackend()
+	s := NewServer(g)
+	_, err := s.Register("m", ModelConfig{
+		Policy:  Policy{MaxBatch: 8, SLASeconds: 1, MaxWaitSeconds: 5e-3, QueueLimit: 16},
+		Service: linearService(1e-4, 0),
+		// A huge window keeps the manually-seeded brownout state stable for
+		// the whole test.
+		Breaker: &BreakerConfig{Window: 1024, MinSamples: 8, BrownoutBatchFrac: 0.25},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, _ := s.Plan("m")
+	if plan.SafeBatch != 8 {
+		t.Fatalf("safe batch = %d, want 8", plan.SafeBatch)
+	}
+
+	// Seed the window to 50% failures: brownout, and with 1024 slots the
+	// successes recorded below cannot dilute it back under 30%.
+	s.mu.Lock()
+	l := s.lanes["m"]
+	s.mu.Unlock()
+	for i := 0; i < 8; i++ {
+		l.br.record(i%2 == 0)
+	}
+	if l.br.State() != BreakerBrownout {
+		t.Fatalf("seeded state = %v, want brownout", l.br.State())
+	}
+
+	// Fire 8 concurrent submits; the brownout target is 8/4 = 2, so no
+	// dispatched batch may exceed 2 even though all 8 queue together.
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, err := s.Submit("m", row())
+			if err != nil && !errors.Is(err, ErrBrownout) {
+				t.Errorf("submit: %v", err)
+			}
+		}()
+	}
+	go func() {
+		for range g.started { // release each batch as it arrives
+		}
+	}()
+	close(g.release)
+	wg.Wait()
+	s.Close()
+	close(g.started)
+
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if len(g.batches) == 0 {
+		t.Fatal("no batches dispatched")
+	}
+	for _, size := range g.batches {
+		if size > 2 {
+			t.Errorf("brownout dispatched a batch of %d, limit 2 (all: %v)", size, g.batches)
+		}
+	}
+}
+
+// erraticBackend fails every third batch and stalls briefly so expiry,
+// error, and success paths all fire under concurrent load.
+type erraticBackend struct {
+	mu    sync.Mutex
+	calls int
+}
+
+func (e *erraticBackend) Run(_ string, in []*tensor.F32) ([]*tensor.F32, error) {
+	e.mu.Lock()
+	e.calls++
+	n := e.calls
+	e.mu.Unlock()
+	time.Sleep(200 * time.Microsecond)
+	if n%3 == 0 {
+		return nil, errors.New("erratic backend failure")
+	}
+	return in, nil
+}
+
+// TestServerErroringBackendAccounting drives a lane with an
+// intermittently-failing, slow backend under concurrent load and checks
+// the admission ledger balances: every submitted request settles exactly
+// once as completed, errored, expired, or shed — no loss, no double
+// counting. Run under -race this also exercises the metrics and breaker
+// paths for data races.
+func TestServerErroringBackendAccounting(t *testing.T) {
+	s := NewServer(&erraticBackend{})
+	_, err := s.Register("m", ModelConfig{
+		// Tight SLA + tiny queue force some expiry and queue shedding
+		// alongside the backend errors.
+		Policy:  Policy{MaxBatch: 4, SLASeconds: 2e-3, MaxWaitSeconds: 2e-4, QueueLimit: 8},
+		Service: linearService(1e-4, 1e-5),
+		Breaker: &BreakerConfig{Window: 32, MinSamples: 8, OpenFor: time.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const n = 200
+	var wg sync.WaitGroup
+	var completed, failed uint64
+	var cmu sync.Mutex
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, err := s.Submit("m", row())
+			cmu.Lock()
+			if err == nil {
+				completed++
+			} else {
+				failed++
+			}
+			cmu.Unlock()
+		}()
+		if i%10 == 0 {
+			time.Sleep(100 * time.Microsecond)
+		}
+	}
+	wg.Wait()
+	s.Close()
+
+	snap := s.Metrics().Model("m").snapshot()
+	if snap.Submitted != n {
+		t.Fatalf("submitted = %d, want %d", snap.Submitted, n)
+	}
+	settled := snap.Completed + snap.Errored + snap.Expired +
+		snap.ShedQueue + snap.ShedBrownout + snap.ShedBreaker
+	if settled != n {
+		t.Errorf("ledger does not balance: settled %d of %d (%+v)", settled, n, snap)
+	}
+	if snap.InFlight != 0 {
+		t.Errorf("in-flight %d after drain, want 0", snap.InFlight)
+	}
+	if snap.Completed != completed {
+		t.Errorf("caller saw %d successes, metrics say %d", completed, snap.Completed)
+	}
+	if snap.Errored == 0 {
+		t.Error("backend errors never surfaced in metrics")
+	}
+	if completed+failed != n {
+		t.Fatalf("caller accounting broken: %d+%d != %d", completed, failed, n)
+	}
+}

@@ -49,18 +49,20 @@ type ModelMetrics struct {
 	mu sync.Mutex
 
 	name string
-	// Counter semantics: submitted = shedQueue + expired + errored +
-	// completed + (still in flight). After a drain the in-flight term is
-	// zero and the equation balances exactly.
-	submitted, completed uint64
-	shedQueue, expired   uint64
-	errored              uint64
-	batches              uint64
-	queueDepth           int
-	maxQueueDepth        int
-	batchDist            map[int]uint64
-	lat                  [latBuckets]uint64
-	latSum, latMax       float64
+	// Counter semantics: submitted = shedQueue + shedBrownout + shedBreaker
+	// + expired + errored + completed + (still in flight). After a drain
+	// the in-flight term is zero and the equation balances exactly.
+	submitted, completed      uint64
+	shedQueue, expired        uint64
+	shedBrownout, shedBreaker uint64
+	errored                   uint64
+	batches                   uint64
+	queueDepth                int
+	maxQueueDepth             int
+	breakerState              int
+	batchDist                 map[int]uint64
+	lat                       [latBuckets]uint64
+	latSum, latMax            float64
 }
 
 // Submitted records an admission attempt.
@@ -74,6 +76,26 @@ func (mm *ModelMetrics) Submitted() {
 func (mm *ModelMetrics) ShedQueue() {
 	mm.mu.Lock()
 	mm.shedQueue++
+	mm.mu.Unlock()
+}
+
+// ShedBreaker records a request shed by the breaker: reason "brownout"
+// (tightened queue) or "breaker_open" (lane taking trials only).
+func (mm *ModelMetrics) ShedBreaker(reason string) {
+	mm.mu.Lock()
+	if reason == "breaker_open" {
+		mm.shedBreaker++
+	} else {
+		mm.shedBrownout++
+	}
+	mm.mu.Unlock()
+}
+
+// SetBreakerState records the lane breaker's state gauge (0 closed,
+// 1 brownout, 2 open).
+func (mm *ModelMetrics) SetBreakerState(state int) {
+	mm.mu.Lock()
+	mm.breakerState = state
 	mm.mu.Unlock()
 }
 
@@ -180,6 +202,9 @@ type ModelSnapshot struct {
 	Submitted     uint64         `json:"submitted"`
 	Completed     uint64         `json:"completed"`
 	ShedQueue     uint64         `json:"shed_queue"`
+	ShedBrownout  uint64         `json:"shed_brownout"`
+	ShedBreaker   uint64         `json:"shed_breaker"`
+	BreakerState  string         `json:"breaker_state"`
 	Expired       uint64         `json:"expired"`
 	Errored       uint64         `json:"errored"`
 	InFlight      uint64         `json:"in_flight"`
@@ -208,14 +233,16 @@ func (mm *ModelMetrics) snapshot() ModelSnapshot {
 		Model:     mm.name,
 		Submitted: mm.submitted, Completed: mm.completed,
 		ShedQueue: mm.shedQueue, Expired: mm.expired, Errored: mm.errored,
-		Batches:    mm.batches,
-		BatchDist:  make(map[int]uint64, len(mm.batchDist)),
-		QueueDepth: mm.queueDepth, MaxQueueDepth: mm.maxQueueDepth,
+		ShedBrownout: mm.shedBrownout, ShedBreaker: mm.shedBreaker,
+		BreakerState: BreakerState(mm.breakerState).String(),
+		Batches:      mm.batches,
+		BatchDist:    make(map[int]uint64, len(mm.batchDist)),
+		QueueDepth:   mm.queueDepth, MaxQueueDepth: mm.maxQueueDepth,
 		P50Ms: mm.quantile(0.50) * 1e3,
 		P99Ms: mm.quantile(0.99) * 1e3,
 		MaxMs: mm.latMax * 1e3,
 	}
-	settled := mm.shedQueue + mm.expired + mm.errored + mm.completed
+	settled := mm.shedQueue + mm.shedBrownout + mm.shedBreaker + mm.expired + mm.errored + mm.completed
 	if mm.submitted > settled {
 		s.InFlight = mm.submitted - settled
 	}

@@ -12,16 +12,18 @@ import (
 // promView is one model's state copied under its lock so a scrape renders
 // a consistent snapshot per model.
 type promView struct {
-	name                 string
-	submitted, completed uint64
-	shedQueue, expired   uint64
-	errored, batches     uint64
-	inFlight             uint64
-	batchSum             uint64
-	queueDepth           int
-	maxQueueDepth        int
-	lat                  [latBuckets]uint64
-	latSum               float64
+	name                      string
+	submitted, completed      uint64
+	shedQueue, expired        uint64
+	shedBrownout, shedBreaker uint64
+	errored, batches          uint64
+	inFlight                  uint64
+	batchSum                  uint64
+	queueDepth                int
+	maxQueueDepth             int
+	breakerState              int
+	lat                       [latBuckets]uint64
+	latSum                    float64
 }
 
 // promSnapshot copies every model's state, sorted by model name.
@@ -40,14 +42,17 @@ func (m *Metrics) promSnapshot() (views []promView, uptime float64) {
 			name:      mm.name,
 			submitted: mm.submitted, completed: mm.completed,
 			shedQueue: mm.shedQueue, expired: mm.expired,
+			shedBrownout: mm.shedBrownout, shedBreaker: mm.shedBreaker,
 			errored: mm.errored, batches: mm.batches,
 			queueDepth: mm.queueDepth, maxQueueDepth: mm.maxQueueDepth,
-			lat: mm.lat, latSum: mm.latSum,
+			breakerState: mm.breakerState,
+			lat:          mm.lat, latSum: mm.latSum,
 		}
 		for size, count := range mm.batchDist {
 			v.batchSum += uint64(size) * count
 		}
-		if settled := mm.shedQueue + mm.expired + mm.errored + mm.completed; mm.submitted > settled {
+		settled := mm.shedQueue + mm.shedBrownout + mm.shedBreaker + mm.expired + mm.errored + mm.completed
+		if mm.submitted > settled {
 			v.inFlight = mm.submitted - settled
 		}
 		mm.mu.Unlock()
@@ -79,10 +84,17 @@ func (m *Metrics) WritePrometheus(w io.Writer) {
 		fmt.Fprintf(w, "tpuserve_requests_completed_total{model=%q} %d\n", v.name, v.completed)
 	}
 	writeFam(w, "tpuserve_requests_shed_total", "counter",
-		"Requests shed, by reason: queue_full at admission, deadline at dispatch.")
+		"Requests shed, by reason: queue_full at admission, deadline at dispatch, brownout/breaker_open from the circuit breaker.")
 	for _, v := range views {
 		fmt.Fprintf(w, "tpuserve_requests_shed_total{model=%q,reason=\"queue_full\"} %d\n", v.name, v.shedQueue)
 		fmt.Fprintf(w, "tpuserve_requests_shed_total{model=%q,reason=\"deadline\"} %d\n", v.name, v.expired)
+		fmt.Fprintf(w, "tpuserve_requests_shed_total{model=%q,reason=\"brownout\"} %d\n", v.name, v.shedBrownout)
+		fmt.Fprintf(w, "tpuserve_requests_shed_total{model=%q,reason=\"breaker_open\"} %d\n", v.name, v.shedBreaker)
+	}
+	writeFam(w, "tpuserve_breaker_state", "gauge",
+		"Per-model circuit breaker state: 0 closed, 1 brownout, 2 open.")
+	for _, v := range views {
+		fmt.Fprintf(w, "tpuserve_breaker_state{model=%q} %d\n", v.name, v.breakerState)
 	}
 	writeFam(w, "tpuserve_requests_errored_total", "counter", "Requests failed by the backend.")
 	for _, v := range views {

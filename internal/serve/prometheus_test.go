@@ -41,6 +41,15 @@ func fixedRegistry() *Metrics {
 		if i == 3 {
 			mm.Errored()
 		}
+		if i == 4 {
+			mm.ShedBreaker("brownout")
+			mm.SetBreakerState(int(BreakerBrownout))
+		}
+		if i == 5 {
+			mm.ShedBreaker("breaker_open")
+			mm.ShedBreaker("breaker_open")
+			mm.SetBreakerState(int(BreakerOpen))
+		}
 		mm.Batch(i + 1)
 		mm.Batch(2 * (i + 1))
 		mm.SetQueueDepth(i)
@@ -96,6 +105,8 @@ func TestPrometheusCoversAllApps(t *testing.T) {
 			fmt.Sprintf("tpuserve_requests_completed_total{model=%q} %d", s.Model, s.Completed),
 			fmt.Sprintf("tpuserve_requests_shed_total{model=%q,reason=\"queue_full\"} %d", s.Model, s.ShedQueue),
 			fmt.Sprintf("tpuserve_requests_shed_total{model=%q,reason=\"deadline\"} %d", s.Model, s.Expired),
+			fmt.Sprintf("tpuserve_requests_shed_total{model=%q,reason=\"brownout\"} %d", s.Model, s.ShedBrownout),
+			fmt.Sprintf("tpuserve_requests_shed_total{model=%q,reason=\"breaker_open\"} %d", s.Model, s.ShedBreaker),
 			fmt.Sprintf("tpuserve_requests_errored_total{model=%q} %d", s.Model, s.Errored),
 			fmt.Sprintf("tpuserve_queue_depth{model=%q} %d", s.Model, s.QueueDepth),
 			fmt.Sprintf("tpuserve_batches_total{model=%q} %d", s.Model, s.Batches),

@@ -44,4 +44,11 @@ var (
 	ErrClosed = errors.New("serve: server closed")
 	// ErrUnknownModel reports a Submit for a model never registered.
 	ErrUnknownModel = errors.New("serve: unknown model")
+	// ErrBrownout reports a request shed by the brownout policy: the
+	// model's breaker is in brownout and the tightened queue bound was
+	// reached.
+	ErrBrownout = errors.New("serve: brownout, request shed early")
+	// ErrBreakerOpen reports a request shed because the model's circuit
+	// breaker is open (only periodic trial requests pass).
+	ErrBreakerOpen = errors.New("serve: circuit breaker open, request shed")
 )

@@ -21,6 +21,9 @@ type ModelConfig struct {
 	// drives shed-at-dispatch decisions. For the TPU this is the analytic
 	// batch-time model of experiments.TPUBatchSeconds.
 	Service latency.ServiceModel
+	// Breaker enables the model's circuit breaker and brownout policy;
+	// nil (the default) serves without one.
+	Breaker *BreakerConfig
 }
 
 // Response is one served request's outcome.
@@ -61,6 +64,10 @@ type lane struct {
 	// no string concatenation: request/queue spans render on reqTrack, the
 	// dispatcher's fill-wait/dispatch spans on laneTrack.
 	reqTrack, laneTrack string
+
+	// br is the lane's circuit breaker; nil when the model registered
+	// without one (all breaker methods are nil-safe).
+	br *breaker
 
 	mu     sync.Mutex
 	closed bool
@@ -139,6 +146,9 @@ func (s *Server) Register(model string, cfg ModelConfig) (Plan, error) {
 		laneTrack: "lane/" + model,
 		ch:        make(chan *call, plan.QueueLimit),
 	}
+	if cfg.Breaker != nil {
+		l.br = newBreaker(*cfg.Breaker)
+	}
 	s.lanes[model] = l
 	s.wg.Add(1)
 	go s.dispatch(l)
@@ -190,6 +200,20 @@ func (s *Server) SubmitCtx(ctx context.Context, model string, input *tensor.F32)
 		return Response{}, ErrClosed
 	}
 	l.mm.Submitted()
+	if ok, reason := l.br.admit(len(l.ch), cap(l.ch)); !ok {
+		l.mm.ShedBreaker(reason)
+		l.mu.Unlock()
+		s.finishRejected(admit, root, reason)
+		if s.logger != nil {
+			s.logger.Warn("request shed at admission",
+				"model", model, "request_id", obs.RequestID(reqID),
+				"reason", reason, "breaker", l.br.State().String())
+		}
+		if reason == "breaker_open" {
+			return Response{}, ErrBreakerOpen
+		}
+		return Response{}, ErrBrownout
+	}
 	select {
 	case l.ch <- c:
 	default:
@@ -277,7 +301,10 @@ func (s *Server) dispatch(l *lane) {
 		}
 		picked(head)
 		batch := []*call{head}
-		if l.plan.SafeBatch > 1 {
+		// The breaker can shrink the batch target mid-flight (brownout) or
+		// pin it to 1 (open: trials ride alone), so resolve it per batch.
+		target := l.br.batchLimit(l.plan.SafeBatch)
+		if target > 1 {
 			// The fill-wait span belongs to the head request's trace: the
 			// head is what the batcher is holding while it waits for
 			// company.
@@ -289,7 +316,7 @@ func (s *Server) dispatch(l *lane) {
 			if wait > 0 {
 				timer := time.NewTimer(time.Duration(wait * float64(time.Second)))
 			fill:
-				for len(batch) < l.plan.SafeBatch {
+				for len(batch) < target {
 					select {
 					case c, ok := <-l.ch:
 						if !ok {
@@ -306,7 +333,7 @@ func (s *Server) dispatch(l *lane) {
 			// Greedily drain anything already queued up to the safe batch:
 			// the wait budget is spent, but a fuller batch is free.
 		greedy:
-			for len(batch) < l.plan.SafeBatch {
+			for len(batch) < target {
 				select {
 				case c, ok := <-l.ch:
 					if !ok {
@@ -319,7 +346,7 @@ func (s *Server) dispatch(l *lane) {
 				}
 			}
 			if fw.Recording() {
-				fw.SetAttr(obs.Int("filled", len(batch)), obs.Int("safe_batch", l.plan.SafeBatch))
+				fw.SetAttr(obs.Int("filled", len(batch)), obs.Int("safe_batch", target))
 				fw.End()
 			}
 		}
@@ -383,20 +410,46 @@ func (s *Server) runBatch(l *lane, batch []*call) {
 	}
 	outputs, err := s.runBackend(ctx, l.model, inputs)
 	if err != nil {
+		s.recordBreaker(l, true)
 		s.failBatch(l, kept, fmt.Errorf("serve: %s backend: %w", l.model, err))
 		return
 	}
 	if len(outputs) != len(kept) {
+		s.recordBreaker(l, true)
 		s.failBatch(l, kept, fmt.Errorf("serve: %s backend returned %d outputs for %d requests",
 			l.model, len(outputs), len(kept)))
 		return
 	}
+	s.recordBreaker(l, false)
 	done := time.Now()
 	l.mm.Batch(len(kept))
 	for i, c := range kept {
 		lat := done.Sub(c.enq)
 		l.mm.Completed(lat.Seconds())
 		c.done <- callDone{resp: Response{Output: outputs[i], Latency: lat, BatchSize: len(kept)}}
+	}
+}
+
+// recordBreaker feeds one backend outcome into the lane's breaker, keeping
+// the exported gauge current and logging/tracing every state transition.
+func (s *Server) recordBreaker(l *lane, failed bool) {
+	if l.br == nil {
+		return
+	}
+	from, to := l.br.record(failed)
+	l.mm.SetBreakerState(int(to))
+	if from == to {
+		return
+	}
+	if s.logger != nil {
+		s.logger.Warn("breaker transition", "model", l.model,
+			"from", from.String(), "to", to.String())
+	}
+	if s.tracer != nil {
+		_, sp := s.tracer.StartRoot(context.Background(), "breaker-transition",
+			l.laneTrack, obs.String("model", l.model),
+			obs.String("from", from.String()), obs.String("to", to.String()))
+		sp.End()
 	}
 }
 

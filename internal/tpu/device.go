@@ -22,6 +22,7 @@
 package tpu
 
 import (
+	"context"
 	"fmt"
 	"math"
 	goruntime "runtime"
@@ -63,6 +64,9 @@ type Config struct {
 	// bit-identical for every value, and the timing counters are computed
 	// from the instruction stream alone, so they never depend on it.
 	Parallelism int
+	// Hook intercepts every program execution for fault injection (see
+	// RunHook). nil — the production configuration — runs directly.
+	Hook RunHook
 }
 
 // parallelism returns the effective functional worker count.
@@ -149,8 +153,15 @@ func New(cfg Config) (*Device, error) {
 
 // Run executes a program against a host memory buffer (DMA source and
 // destination) and returns the performance counters. The host slice is
-// mutated in place by Write_Host_Memory.
+// mutated in place by Write_Host_Memory. Runs pass through the device's
+// RunHook when one is configured (fault injection); RunCtx is the variant
+// that also threads a context into the hook.
 func (d *Device) Run(p *isa.Program, host []int8) (Counters, error) {
+	return d.RunCtx(context.Background(), p, host)
+}
+
+// run is the real, hook-free execution path.
+func (d *Device) run(p *isa.Program, host []int8) (Counters, error) {
 	if err := p.Validate(); err != nil {
 		return Counters{}, err
 	}

@@ -1,0 +1,47 @@
+package tpu
+
+import (
+	"context"
+
+	"tpusim/internal/isa"
+)
+
+// Invocation is one intercepted program execution: what the device was
+// asked to run, the host DMA buffer it will read inputs from and write
+// outputs into, and the real execution as a closure. A hook may call Run
+// zero times (fail without running), once (the normal case), and may mutate
+// Host after Run returns (to model silent output corruption).
+type Invocation struct {
+	// Program is the compiled instruction stream about to execute.
+	Program *isa.Program
+	// Host is the run's host memory buffer (DMA source and destination).
+	Host []int8
+	// Run performs the real device execution exactly once.
+	Run func() (Counters, error)
+}
+
+// RunHook intercepts every program execution on a device created with a
+// Config carrying it. It is the hardware-fault injection point: a hook can
+// fail the run, stall it (honouring ctx for context-aware hangs), inflate
+// its cycle count (thermal throttle / slow PCIe), or corrupt the output
+// bytes after a successful run. A nil hook costs one nil check per run.
+//
+// Hooks must be safe for concurrent use: one driver installs the same hook
+// on every device it creates (a TPU card fails as a unit, however many
+// model contexts run on it).
+type RunHook func(ctx context.Context, inv Invocation) (Counters, error)
+
+// RunCtx executes a program like Run, threading a context through the
+// device's RunHook (if any). The context is only consulted by the hook —
+// the cycle simulator itself is not interruptible — so with a nil hook
+// RunCtx is Run plus one nil check.
+func (d *Device) RunCtx(ctx context.Context, p *isa.Program, host []int8) (Counters, error) {
+	if d.cfg.Hook == nil {
+		return d.run(p, host)
+	}
+	return d.cfg.Hook(ctx, Invocation{
+		Program: p,
+		Host:    host,
+		Run:     func() (Counters, error) { return d.run(p, host) },
+	})
+}
