@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: ci vet vet-cmd build test race bench-smoke bench fuzz-smoke cover obs-smoke chaos-smoke
+.PHONY: ci vet vet-cmd build test race bench-smoke bench fuzz-smoke cover obs-smoke chaos-smoke integrity-smoke
 
-ci: vet vet-cmd build race fuzz-smoke cover bench-smoke obs-smoke chaos-smoke
+ci: vet vet-cmd build race fuzz-smoke cover bench-smoke obs-smoke chaos-smoke integrity-smoke
 
 vet:
 	$(GO) vet ./...
@@ -53,6 +53,23 @@ chaos-smoke:
 	$(GO) test -race -count=1 -timeout 300s ./internal/runtime -run 'TestFailover|TestQuarantine|TestTransientRetries|TestHedge|TestChaosDeterminism'
 	$(GO) test -race -count=1 -timeout 300s ./internal/serve -run 'TestBreaker|TestServerBreaker|TestServerBrownout|TestServerErroringBackend'
 	$(GO) test -race -count=1 -timeout 600s ./internal/experiments -run 'TestChaos'
+
+# Integrity smoke, race-enabled: the ABFT algebra (clean/single/double
+# flip properties and the fuzz seed corpus), the CRC/parity guard units
+# (UB, accumulators, weight DRAM, PCIe frames), the new flip fault kinds'
+# determinism and parsing, the runtime's SDC recovery ladder
+# (detect/scrub/retry, in-place correction, health-machine walk, patrol
+# scrubber), the serve layer's graceful drain, and the end-to-end SDC
+# campaign over the six apps (>=99% of output-affecting flips detected,
+# detect+correct bit-exact).
+integrity-smoke:
+	$(GO) test -race -count=1 -timeout 300s ./internal/integrity ./internal/pcie
+	$(GO) test -race -count=1 -timeout 300s ./internal/systolic -run 'TestABFT|FuzzChecksumVerify'
+	$(GO) test -race -count=1 -timeout 300s ./internal/memory -run 'TestSidecar|TestUBGuard|TestAccumulatorParity|TestGuardedWeights'
+	$(GO) test -race -count=1 -timeout 300s ./internal/fault -run 'TestFlip|TestParsePlanFlipKinds'
+	$(GO) test -race -count=1 -timeout 300s ./internal/runtime -run 'TestDetectTier|TestCorrectTier|TestRepeatedSDC|TestParanoidTier|TestBackgroundScrubber|TestIntegrityTier'
+	$(GO) test -race -count=1 -timeout 300s ./internal/serve -run 'TestCloseDrainsQueuedRequests'
+	$(GO) test -race -count=1 -timeout 600s ./internal/experiments -run 'TestSDC'
 
 # Coverage floor: the tier-1 packages must keep at least 80% statement
 # coverage (examples are exercised separately by their smoke test).

@@ -128,6 +128,89 @@ func BenchmarkTable3ZeroRateFault(b *testing.B) {
 	}
 }
 
+// table3IntegrityLoop is the six-app compile+simulate loop at a given
+// device integrity level, with `dup` devices executing every program (1 =
+// normal, 2 = cross-check duplication). It mirrors CompileAndRunAll's
+// fan-out so the Table 3 benchmarks differ only in the integrity knob.
+func table3IntegrityLoop(b *testing.B, level tpu.IntegrityLevel, dup int) {
+	b.Helper()
+	names := models.Names()
+	runApp := func(name string) error {
+		bm, err := models.ByName(name)
+		if err != nil {
+			return err
+		}
+		art, err := compiler.CompileShape(bm.Model, compiler.Options{Allocator: compiler.Reuse})
+		if err != nil {
+			return err
+		}
+		for d := 0; d < dup; d++ {
+			cfg := tpu.DefaultConfig()
+			cfg.Integrity = level
+			dev, err := tpu.New(cfg)
+			if err != nil {
+				return err
+			}
+			if _, err := dev.Run(art.Program, nil); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	workers := runtime.GOMAXPROCS(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if workers <= 1 {
+			for _, name := range names {
+				if err := runApp(name); err != nil {
+					b.Fatal(err)
+				}
+			}
+			continue
+		}
+		var wg sync.WaitGroup
+		errs := make([]error, len(names))
+		for j, name := range names {
+			wg.Add(1)
+			go func(j int, name string) {
+				defer wg.Done()
+				errs[j] = runApp(name)
+			}(j, name)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkTable3IntegrityOff is the integrity loop's own baseline: the
+// same code shape as the Detect/CrossCheck variants with every check off,
+// so the three integrity benchmarks are directly comparable.
+func BenchmarkTable3IntegrityOff(b *testing.B) {
+	table3IntegrityLoop(b, tpu.IntegrityOff, 1)
+}
+
+// BenchmarkTable3IntegrityDetect prices the detect tier end to end: ABFT
+// checksum columns on every matmul row, CRC over weight DRAM/FIFO and the
+// consumed UB spans, accumulator parity, and the 2/256 ABFT timing charge.
+// BENCH_PR5.json pins this against the Off baseline; the acceptance bound
+// is <10% added latency.
+func BenchmarkTable3IntegrityDetect(b *testing.B) {
+	table3IntegrityLoop(b, tpu.IntegrityDetect, 1)
+}
+
+// BenchmarkTable3CrossCheck prices what SDC coverage costs without ABFT:
+// full duplication, every program executed twice (the paranoid tier's
+// cross-check on a second device). BENCH_PR5.json pins the ratio of this
+// added cost against the detect tier's — the bound is ABFT at least 2x
+// cheaper than duplication.
+func BenchmarkTable3CrossCheck(b *testing.B) {
+	table3IntegrityLoop(b, tpu.IntegrityOff, 2)
+}
+
 func BenchmarkTable4(b *testing.B) {
 	var rows []experiments.Table4Row
 	var err error

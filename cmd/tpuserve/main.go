@@ -4,6 +4,7 @@
 //	tpuserve -mode live       # wall-clock demo: batcher + metrics over a simulated backend
 //	tpuserve -mode live -json # same, but dump the metrics registry as JSON
 //	tpuserve -mode chaos      # fault-injected fleet sweep: kill/throttle devices mid-load
+//	tpuserve -mode sdc        # silent-data-corruption campaign: bit flips vs integrity tiers
 //
 // The sweep mode replays each app's deadline-aware batching policy against
 // open-loop Poisson arrivals at increasing rates and prints the
@@ -34,6 +35,14 @@
 // healthy baseline of the same workload:
 //
 //	tpuserve -mode chaos -chaos seed=7,rate=0.01 -kill 3 -slow 2 -slowx 8
+//
+// The sdc mode runs the silent-data-corruption campaign: every app sees
+// the same seeded sequence of single-bit upsets (Unified Buffer, weight
+// DRAM, accumulators, PE partial sums) on an integrity-off, a detect and
+// a detect+correct fleet, and the report gives the detection rate over
+// output-affecting flips plus the detect+correct bit-exactness rate:
+//
+//	tpuserve -mode sdc -seed 11 -flips 16
 package main
 
 import (
@@ -74,6 +83,8 @@ func main() {
 	slowDevs := flag.String("slow", "", "chaos mode: devices to throttle mid-stream ('+'-separated)")
 	slowX := flag.Float64("slowx", 8, "chaos mode: mid-stream throttle factor for -slow devices")
 	faultAt := flag.Float64("fault-at", 0.3, "chaos mode: fraction of the stream at which -kill/-slow strike")
+	sdcSeed := flag.Int64("seed", 11, "sdc mode: campaign seed (flip addresses, bits, weight init)")
+	sdcFlips := flag.Int("flips", 16, "sdc mode: injected flips per app")
 	flag.Parse()
 
 	switch *mode {
@@ -91,8 +102,16 @@ func main() {
 		if err := chaos(*chaosSpec, *devices, *killDevs, *slowDevs, *slowX, *faultAt, *duration, *loadFrac); err != nil {
 			log.Fatal(err)
 		}
+	case "sdc":
+		r, err := experiments.RunSDC(experiments.SDCConfig{
+			Seed: *sdcSeed, FlipsPerApp: *sdcFlips,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(experiments.RenderSDC(r))
 	default:
-		log.Fatalf("unknown -mode %q (want sweep, live or chaos)", *mode)
+		log.Fatalf("unknown -mode %q (want sweep, live, chaos or sdc)", *mode)
 	}
 }
 

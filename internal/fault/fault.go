@@ -56,11 +56,41 @@ const (
 	// KindSlow executes the run, inflates its cycle count by
 	// Plan.SlowFactor and stretches wall time to match.
 	KindSlow
+	// KindFlipUB flips one Unified Buffer SRAM bit during the run (an
+	// activation upset). The run itself proceeds; whether the corruption is
+	// caught depends on the device's IntegrityLevel.
+	KindFlipUB
+	// KindFlipWeights flips one bit of the live weight DRAM; it persists
+	// across runs until a scrub repairs it from the golden image.
+	KindFlipWeights
+	// KindFlipAcc flips one accumulator SRAM bit in a freshly written
+	// register.
+	KindFlipAcc
+	// KindFlipPE flips one bit of a matmul partial sum between the array
+	// and the accumulators (a processing-element logic upset).
+	KindFlipPE
 
 	kindCount
 )
 
-var kindNames = [...]string{"none", "dead", "hang", "transient", "corrupt", "slow"}
+var kindNames = [...]string{"none", "dead", "hang", "transient", "corrupt", "slow",
+	"flip-ub", "flip-weights", "flip-acc", "flip-pe"}
+
+// FlipTargetFor maps a bit-flip kind to the device seam it lands in,
+// reporting false for non-flip kinds.
+func FlipTargetFor(k Kind) (tpu.FlipTarget, bool) {
+	switch k {
+	case KindFlipUB:
+		return tpu.FlipUB, true
+	case KindFlipWeights:
+		return tpu.FlipWeights, true
+	case KindFlipAcc:
+		return tpu.FlipAcc, true
+	case KindFlipPE:
+		return tpu.FlipPE, true
+	}
+	return 0, false
+}
 
 // String names the kind ("transient", "slow", ...).
 func (k Kind) String() string {
@@ -102,6 +132,12 @@ type Plan struct {
 	HangRate float64
 	// DeathRate is the probability a run kills the device permanently.
 	DeathRate float64
+	// FlipUBRate / FlipWeightsRate / FlipAccRate / FlipPERate are the
+	// per-run probabilities of one bit flip in the corresponding structure
+	// (see the KindFlip* kinds). The flip's address and bit are drawn from
+	// the same seeded stream and logged as (Seq, Kind, Addr), so a campaign
+	// replays exactly.
+	FlipUBRate, FlipWeightsRate, FlipAccRate, FlipPERate float64
 
 	// SlowFactor multiplies the cycle count and wall time of a slow run
 	// (and every run of a statically slow device). 0 means 8x.
@@ -119,16 +155,44 @@ type Plan struct {
 	DeadDevices []int
 	// SlowDevices are device indices where *every* run pays SlowFactor.
 	SlowDevices []int
+
+	// TargetedFlips are deterministic bit flips injected into the first
+	// executing run on every device — the spec syntax is
+	// flip=kind@addr.bit (e.g. flip=ub@0x4d2.3+weights@65536.7).
+	TargetedFlips []TargetedFlip
+}
+
+// TargetedFlip is one planned deterministic bit flip.
+type TargetedFlip struct {
+	// Kind is one of the KindFlip* kinds.
+	Kind Kind
+	// Addr is the raw address draw; the device maps it into the target
+	// structure's live extent at the flip's application point.
+	Addr uint64
+	// Bit selects the bit (masked to the structure's word width).
+	Bit uint8
+}
+
+// String renders the flip in the spec syntax (kind@addr.bit).
+func (f TargetedFlip) String() string {
+	name := strings.TrimPrefix(f.Kind.String(), "flip-")
+	return fmt.Sprintf("%s@%#x.%d", name, f.Addr, f.Bit)
 }
 
 // Enabled reports whether the plan can inject anything at all.
 func (p Plan) Enabled() bool {
 	return p.totalRate() > 0 || p.FailCompiles > 0 ||
-		len(p.DeadDevices) > 0 || len(p.SlowDevices) > 0
+		len(p.DeadDevices) > 0 || len(p.SlowDevices) > 0 ||
+		len(p.TargetedFlips) > 0
 }
 
 func (p Plan) totalRate() float64 {
-	return p.TransientRate + p.CorruptRate + p.SlowRate + p.HangRate + p.DeathRate
+	return p.TransientRate + p.CorruptRate + p.SlowRate + p.HangRate + p.DeathRate +
+		p.flipRate()
+}
+
+func (p Plan) flipRate() float64 {
+	return p.FlipUBRate + p.FlipWeightsRate + p.FlipAccRate + p.FlipPERate
 }
 
 // Validate checks rates and factors.
@@ -139,6 +203,8 @@ func (p Plan) Validate() error {
 	}{
 		{"transient", p.TransientRate}, {"corrupt", p.CorruptRate},
 		{"slow", p.SlowRate}, {"hang", p.HangRate}, {"death", p.DeathRate},
+		{"flip-ub", p.FlipUBRate}, {"flip-weights", p.FlipWeightsRate},
+		{"flip-acc", p.FlipAccRate}, {"flip-pe", p.FlipPERate},
 	} {
 		if r.v < 0 || r.v > 1 {
 			return fmt.Errorf("fault: %s rate %v outside [0, 1]", r.name, r.v)
@@ -155,6 +221,14 @@ func (p Plan) Validate() error {
 	}
 	if p.FailCompiles < 0 {
 		return fmt.Errorf("fault: negative compile-failure count %d", p.FailCompiles)
+	}
+	for _, f := range p.TargetedFlips {
+		if _, ok := FlipTargetFor(f.Kind); !ok {
+			return fmt.Errorf("fault: targeted flip kind %v is not a flip kind", f.Kind)
+		}
+		if f.Bit > 31 {
+			return fmt.Errorf("fault: targeted flip %s: bit %d outside [0, 31]", f, f.Bit)
+		}
 	}
 	return nil
 }
@@ -187,6 +261,10 @@ func (p Plan) String() string {
 	add("slow", p.SlowRate)
 	add("hang", p.HangRate)
 	add("death", p.DeathRate)
+	add("flip-ub", p.FlipUBRate)
+	add("flip-weights", p.FlipWeightsRate)
+	add("flip-acc", p.FlipAccRate)
+	add("flip-pe", p.FlipPERate)
 	add("slowx", p.SlowFactor)
 	if p.HangSeconds != 0 {
 		add("hangms", p.HangSeconds*1e3)
@@ -199,6 +277,13 @@ func (p Plan) String() string {
 	}
 	if len(p.SlowDevices) > 0 {
 		parts = append(parts, "slowdev="+joinInts(p.SlowDevices))
+	}
+	if len(p.TargetedFlips) > 0 {
+		ss := make([]string, len(p.TargetedFlips))
+		for i, f := range p.TargetedFlips {
+			ss[i] = f.String()
+		}
+		parts = append(parts, "flip="+strings.Join(ss, "+"))
 	}
 	return strings.Join(parts, ",")
 }
@@ -225,6 +310,13 @@ func joinInts(xs []int) string {
 //	compile=2       fail the first N compiles per device
 //	dead=0+2        devices dead from t=0 ('+'-separated indices)
 //	slowdev=1       devices where every run is slow
+//	flip-ub=0.01    per-run Unified Buffer bit-flip probability
+//	flip-weights=…  per-run weight-DRAM bit-flip probability (persistent)
+//	flip-acc=…      per-run accumulator bit-flip probability
+//	flip-pe=…       per-run partial-sum (PE) bit-flip probability
+//	flip=ub@0x4d2.3 deterministic flips for each device's first run,
+//	                '+'-separated kind@addr.bit entries (kinds: ub,
+//	                weights, acc, pe; addr decimal or 0x hex; bit 0-31)
 func ParsePlan(spec string) (Plan, error) {
 	p := Plan{Seed: 1}
 	if strings.TrimSpace(spec) == "" {
@@ -265,6 +357,16 @@ func ParsePlan(spec string) (Plan, error) {
 			p.DeadDevices, err = parseInts(v)
 		case "slowdev":
 			p.SlowDevices, err = parseInts(v)
+		case "flip-ub":
+			p.FlipUBRate, err = strconv.ParseFloat(v, 64)
+		case "flip-weights":
+			p.FlipWeightsRate, err = strconv.ParseFloat(v, 64)
+		case "flip-acc":
+			p.FlipAccRate, err = strconv.ParseFloat(v, 64)
+		case "flip-pe":
+			p.FlipPERate, err = strconv.ParseFloat(v, 64)
+		case "flip":
+			p.TargetedFlips, err = parseTargetedFlips(v)
 		default:
 			return Plan{}, fmt.Errorf("fault: spec %q: unknown key %q", spec, k)
 		}
@@ -276,6 +378,41 @@ func ParsePlan(spec string) (Plan, error) {
 		return Plan{}, err
 	}
 	return p, nil
+}
+
+// flipKindByName maps the spec's short target names to kinds.
+var flipKindByName = map[string]Kind{
+	"ub": KindFlipUB, "weights": KindFlipWeights, "acc": KindFlipAcc, "pe": KindFlipPE,
+}
+
+// parseTargetedFlips parses '+'-separated kind@addr.bit entries.
+func parseTargetedFlips(v string) ([]TargetedFlip, error) {
+	var out []TargetedFlip
+	for _, s := range strings.Split(v, "+") {
+		s = strings.TrimSpace(s)
+		kindStr, rest, ok := strings.Cut(s, "@")
+		if !ok {
+			return nil, fmt.Errorf("flip %q: want kind@addr.bit (e.g. ub@0x4d2.3)", s)
+		}
+		k, ok := flipKindByName[kindStr]
+		if !ok {
+			return nil, fmt.Errorf("flip %q: unknown target %q (want ub, weights, acc or pe)", s, kindStr)
+		}
+		addrStr, bitStr, ok := strings.Cut(rest, ".")
+		if !ok {
+			return nil, fmt.Errorf("flip %q: missing .bit suffix (want kind@addr.bit)", s)
+		}
+		addr, err := strconv.ParseUint(addrStr, 0, 64)
+		if err != nil {
+			return nil, fmt.Errorf("flip %q: bad address %q: want a decimal or 0x-prefixed byte offset", s, addrStr)
+		}
+		bit, err := strconv.ParseUint(bitStr, 10, 8)
+		if err != nil || bit > 31 {
+			return nil, fmt.Errorf("flip %q: bad bit %q: want an integer in [0, 31]", s, bitStr)
+		}
+		out = append(out, TargetedFlip{Kind: k, Addr: addr, Bit: uint8(bit)})
+	}
+	return out, nil
 }
 
 func parseInts(v string) ([]int, error) {
@@ -290,13 +427,19 @@ func parseInts(v string) ([]int, error) {
 	return out, nil
 }
 
-// Event is one injected fault, recorded in injection order.
+// Event is one injected fault, recorded in injection order. The
+// (Seq, Kind, Addr) triple is the replay key: re-running a plan with the
+// same seed reproduces the identical event log, and a single event can be
+// replayed in isolation via a targeted flip at the logged address.
 type Event struct {
 	// Seq is the run's sequence number on the device (0-based; every run
 	// advances it, faulted or not).
 	Seq int64
 	// Kind is the injected failure mode.
 	Kind Kind
+	// Addr is the raw address draw of a bit-flip event (the device maps it
+	// into the target structure); 0 for non-flip kinds.
+	Addr uint64
 }
 
 // maxEvents bounds the per-injector event log.
@@ -317,6 +460,11 @@ type Injector struct {
 	compiles   int
 	counts     [kindCount]int64
 	events     []Event
+
+	// targetedDone latches once the plan's TargetedFlips have been handed
+	// to an executing run; pending holds FlipOnce injections awaiting one.
+	targetedDone bool
+	pending      []TargetedFlip
 }
 
 // Injector builds the injector for one device index, mixing the device
@@ -361,9 +509,26 @@ func (in *Injector) Kill() {
 	in.mu.Lock()
 	if !in.dead {
 		in.dead = true
-		in.record(KindDead)
+		in.record(KindDead, 0)
 	}
 	in.mu.Unlock()
+}
+
+// FlipOnce queues one deterministic bit flip for this device's next
+// executing run — the SDC campaign's injection primitive (no plan rebuild,
+// no RNG draw). The flip is logged as a (Seq, Kind, Addr) event when the
+// run consumes it.
+func (in *Injector) FlipOnce(k Kind, addr uint64, bit uint8) error {
+	if _, ok := FlipTargetFor(k); !ok {
+		return fmt.Errorf("fault: %v is not a flip kind", k)
+	}
+	if bit > 31 {
+		return fmt.Errorf("fault: bit %d outside [0, 31]", bit)
+	}
+	in.mu.Lock()
+	in.pending = append(in.pending, TargetedFlip{Kind: k, Addr: addr, Bit: bit})
+	in.mu.Unlock()
+	return nil
 }
 
 // Revive repairs a dead device (models a swap/reset), letting quarantine
@@ -415,27 +580,32 @@ func (in *Injector) Events() []Event {
 }
 
 // record logs one injected fault.
-func (in *Injector) record(k Kind) {
+func (in *Injector) record(k Kind, addr uint64) {
 	in.counts[k]++
 	if len(in.events) < maxEvents {
-		in.events = append(in.events, Event{Seq: in.seq, Kind: k})
+		in.events = append(in.events, Event{Seq: in.seq, Kind: k, Addr: addr})
 	}
 }
 
 // next draws the fault decision for one run. The cumulative order is fixed
-// — death, hang, transient, corrupt, slow — and is part of the
-// determinism contract: a plan's seed fully determines the kind sequence.
-func (in *Injector) next() (kind Kind, slowFactor float64, corruptOff int) {
+// — death, hang, transient, corrupt, slow, then the four flip kinds
+// (ub, weights, acc, pe) — and is part of the determinism contract: a
+// plan's seed fully determines the (kind, addr) sequence. flips carries
+// the bit flips for an executing run: the plan's targeted flips (first
+// executing run only), any FlipOnce injections, and the rate-drawn flip.
+func (in *Injector) next() (kind Kind, slowFactor float64, corruptOff int, flips []tpu.Flip) {
 	in.mu.Lock()
 	defer in.mu.Unlock()
 	defer func() { in.seq++ }()
 	slowFactor = in.staticSlow
 	if in.dead {
 		// Repeated failures of an already-dead device are not new events.
-		return KindDead, 1, 0
+		return KindDead, 1, 0, nil
 	}
 	if in.plan.totalRate() > 0 {
 		u := in.runRNG.Float64()
+		base := in.plan.DeathRate + in.plan.HangRate + in.plan.TransientRate +
+			in.plan.CorruptRate + in.plan.SlowRate
 		switch {
 		case u < in.plan.DeathRate:
 			kind = KindDead
@@ -443,22 +613,64 @@ func (in *Injector) next() (kind Kind, slowFactor float64, corruptOff int) {
 			kind = KindHang
 		case u < in.plan.DeathRate+in.plan.HangRate+in.plan.TransientRate:
 			kind = KindTransient
-		case u < in.plan.DeathRate+in.plan.HangRate+in.plan.TransientRate+in.plan.CorruptRate:
+		case u < base-in.plan.SlowRate:
 			kind = KindCorrupt
 			corruptOff = in.runRNG.Intn(corruptStride)
-		case u < in.plan.totalRate():
+		case u < base:
 			kind = KindSlow
 			slowFactor *= in.plan.slowFactor()
+		case u < base+in.plan.FlipUBRate:
+			kind = KindFlipUB
+		case u < base+in.plan.FlipUBRate+in.plan.FlipWeightsRate:
+			kind = KindFlipWeights
+		case u < base+in.plan.FlipUBRate+in.plan.FlipWeightsRate+in.plan.FlipAccRate:
+			kind = KindFlipAcc
+		case u < in.plan.totalRate():
+			kind = KindFlipPE
 		}
 	}
-	switch kind {
-	case KindDead:
+	if kind == KindDead {
 		in.dead = true
-	case KindNone:
-		return KindNone, slowFactor, 0
 	}
-	in.record(kind)
-	return kind, slowFactor, corruptOff
+	if kind == KindDead || kind == KindHang || kind == KindTransient {
+		// The run will not execute: targeted/pending flips stay queued for
+		// the next executing run.
+		in.record(kind, 0)
+		return kind, slowFactor, corruptOff, nil
+	}
+	// This run executes: hand it the deterministic flips first.
+	if !in.targetedDone && len(in.plan.TargetedFlips) > 0 {
+		in.targetedDone = true
+		for _, f := range in.plan.TargetedFlips {
+			flips = in.appendFlip(flips, f)
+		}
+	}
+	for _, f := range in.pending {
+		flips = in.appendFlip(flips, f)
+	}
+	in.pending = in.pending[:0]
+	if tgt, ok := FlipTargetFor(kind); ok {
+		// Rate-drawn flip: address and bit come from the same seeded stream.
+		f := tpu.Flip{Target: tgt, Addr: uint64(in.runRNG.Int63()), Bit: uint8(in.runRNG.Intn(32))}
+		in.counts[kind]++
+		if len(in.events) < maxEvents {
+			in.events = append(in.events, Event{Seq: in.seq, Kind: kind, Addr: f.Addr})
+		}
+		flips = append(flips, f)
+	} else if kind != KindNone {
+		in.record(kind, 0)
+	}
+	return kind, slowFactor, corruptOff, flips
+}
+
+// appendFlip converts a targeted flip, records its event, and appends it.
+func (in *Injector) appendFlip(flips []tpu.Flip, f TargetedFlip) []tpu.Flip {
+	tgt, ok := FlipTargetFor(f.Kind)
+	if !ok {
+		return flips
+	}
+	in.record(f.Kind, f.Addr)
+	return append(flips, tpu.Flip{Target: tgt, Addr: f.Addr, Bit: f.Bit})
 }
 
 // CompileErr fails the driver's first Plan.FailCompiles slow-path compiles
@@ -502,7 +714,7 @@ func (in *Injector) Hook() tpu.RunHook {
 // whenever it is built with a plan.
 func (in *Injector) ArmedHook() tpu.RunHook {
 	return func(ctx context.Context, inv tpu.Invocation) (tpu.Counters, error) {
-		kind, factor, off := in.next()
+		kind, factor, off, flips := in.next()
 		switch kind {
 		case KindDead:
 			return tpu.Counters{}, fmt.Errorf("device %d: %w", in.device, ErrDeviceDead)
@@ -513,6 +725,11 @@ func (in *Injector) ArmedHook() tpu.RunHook {
 				return tpu.Counters{}, ctx.Err()
 			}
 			return tpu.Counters{}, fmt.Errorf("device %d: %w", in.device, ErrHang)
+		}
+		if inv.Inject != nil {
+			for _, f := range flips {
+				inv.Inject(f)
+			}
 		}
 		start := time.Now()
 		c, err := inv.Run()

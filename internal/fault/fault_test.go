@@ -329,3 +329,139 @@ func TestKindString(t *testing.T) {
 		t.Error("kind names broken")
 	}
 }
+
+// flipDrive runs n invocations against an injector, collecting every flip
+// the hook injects through the Invocation.Inject seam.
+func flipDrive(t *testing.T, in *Injector, n int) []tpu.Flip {
+	t.Helper()
+	hook := in.ArmedHook()
+	var flips []tpu.Flip
+	for i := 0; i < n; i++ {
+		_, err := hook(context.Background(), tpu.Invocation{
+			Host:   make([]int8, 8),
+			Run:    func() (tpu.Counters, error) { return tpu.Counters{Cycles: 1}, nil },
+			Inject: func(f tpu.Flip) { flips = append(flips, f) },
+		})
+		if err != nil && !errors.Is(err, ErrTransient) && !errors.Is(err, ErrHang) && !errors.Is(err, ErrDeviceDead) {
+			t.Fatalf("run %d: %v", i, err)
+		}
+	}
+	return flips
+}
+
+func TestParsePlanFlipKinds(t *testing.T) {
+	spec := "seed=5,flip-ub=0.01,flip-weights=0.02,flip-acc=0.03,flip-pe=0.04,flip=ub@0x4d2.3+weights@65536.7"
+	p, err := ParsePlan(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Plan{
+		Seed: 5, FlipUBRate: 0.01, FlipWeightsRate: 0.02,
+		FlipAccRate: 0.03, FlipPERate: 0.04,
+		TargetedFlips: []TargetedFlip{
+			{Kind: KindFlipUB, Addr: 0x4d2, Bit: 3},
+			{Kind: KindFlipWeights, Addr: 65536, Bit: 7},
+		},
+	}
+	if !reflect.DeepEqual(p, want) {
+		t.Fatalf("parsed %+v, want %+v", p, want)
+	}
+	if !p.Enabled() {
+		t.Error("flip-only plan reports disabled")
+	}
+	// String renders a spec that parses back to the same plan.
+	p2, err := ParsePlan(p.String())
+	if err != nil {
+		t.Fatalf("round trip parse of %q: %v", p.String(), err)
+	}
+	if !reflect.DeepEqual(p2, p) {
+		t.Fatalf("round trip %+v, want %+v", p2, p)
+	}
+	// Malformed targeted flips fail with useful errors.
+	for spec, wantSub := range map[string]string{
+		"flip=ub":          "want kind@addr.bit",
+		"flip=xyz@1.2":     "unknown target",
+		"flip=ub@1":        "missing .bit",
+		"flip=ub@zz.3":     "bad address",
+		"flip=ub@1.99":     "bad bit",
+		"flip=ub@-4.2":     "bad address",
+		"flip-ub=2":        "outside [0, 1]",
+		"flip=acc@1.2+bad": "want kind@addr.bit",
+	} {
+		_, err := ParsePlan(spec)
+		if err == nil {
+			t.Errorf("spec %q accepted", spec)
+		} else if !strings.Contains(err.Error(), wantSub) {
+			t.Errorf("spec %q: error %q does not mention %q", spec, err, wantSub)
+		}
+	}
+}
+
+// TestFlipSeedReproducible pins satellite 2: the same seed reproduces the
+// identical (Seq, Kind, Addr) event log and the identical injected flips.
+func TestFlipSeedReproducible(t *testing.T) {
+	plan := Plan{
+		Seed: 11, FlipUBRate: 0.1, FlipWeightsRate: 0.1,
+		FlipAccRate: 0.1, FlipPERate: 0.1,
+		TargetedFlips: []TargetedFlip{{Kind: KindFlipPE, Addr: 42, Bit: 9}},
+	}
+	const runs = 100
+	a, b := plan.Injector(0), plan.Injector(0)
+	fa, fb := flipDrive(t, a, runs), flipDrive(t, b, runs)
+	if !reflect.DeepEqual(fa, fb) {
+		t.Fatalf("same seed injected different flips:\n a=%v\n b=%v", fa, fb)
+	}
+	if len(fa) == 0 {
+		t.Fatal("no flips injected in 100 runs at these rates")
+	}
+	if fa[0] != (tpu.Flip{Target: tpu.FlipPE, Addr: 42, Bit: 9}) {
+		t.Fatalf("targeted flip not injected first: %v", fa[0])
+	}
+	ea, eb := a.Events(), b.Events()
+	if !reflect.DeepEqual(ea, eb) {
+		t.Fatalf("same seed produced different event logs:\n a=%v\n b=%v", ea, eb)
+	}
+	// Every flip event carries the raw address draw; replaying it as a
+	// targeted flip reproduces the same device-visible flip.
+	if ea[0].Kind != KindFlipPE || ea[0].Addr != 42 {
+		t.Fatalf("event 0 = %+v, want the targeted pe@42 flip", ea[0])
+	}
+	flipEvents := 0
+	for _, e := range ea {
+		if _, ok := FlipTargetFor(e.Kind); ok {
+			flipEvents++
+		}
+	}
+	if flipEvents != len(fa) {
+		t.Fatalf("%d flip events logged, %d flips injected", flipEvents, len(fa))
+	}
+	// A different seed draws a different sequence.
+	c := plan
+	c.Seed = 12
+	if fc := flipDrive(t, c.Injector(0), runs); reflect.DeepEqual(fa, fc) {
+		t.Error("different seeds injected identical flip sequences")
+	}
+}
+
+// TestFlipOnce pins the chaos-script primitive: a queued flip lands on the
+// next executing run exactly once, and is logged.
+func TestFlipOnce(t *testing.T) {
+	in := (Plan{Seed: 3}).Injector(0)
+	if err := in.FlipOnce(KindFlipWeights, 4096, 7); err != nil {
+		t.Fatal(err)
+	}
+	if err := in.FlipOnce(KindSlow, 0, 0); err == nil {
+		t.Error("FlipOnce accepted a non-flip kind")
+	}
+	if err := in.FlipOnce(KindFlipUB, 1, 40); err == nil {
+		t.Error("FlipOnce accepted bit 40")
+	}
+	flips := flipDrive(t, in, 3)
+	want := []tpu.Flip{{Target: tpu.FlipWeights, Addr: 4096, Bit: 7}}
+	if !reflect.DeepEqual(flips, want) {
+		t.Fatalf("flips = %v, want %v", flips, want)
+	}
+	if got := in.Counts()["flip-weights"]; got != 1 {
+		t.Fatalf("Counts()[flip-weights] = %d, want 1", got)
+	}
+}

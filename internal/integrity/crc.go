@@ -1,0 +1,56 @@
+// Package integrity holds the shared data-integrity primitives of the
+// simulated fleet: a CRC-32C (Castagnoli) checksum over the int8 byte
+// domain every storage structure and link in this codebase traffics in.
+// The memory package builds per-region sidecars from it, the pcie package
+// frames host<->device transfers with it, and the device verifies Weight
+// FIFO tiles with it — one polynomial end to end, so a value checked where
+// it lives can be re-checked where it moves.
+//
+// It is a leaf package (stdlib only) so every layer of the stack can
+// depend on it without cycles.
+package integrity
+
+// Castagnoli is the CRC-32C polynomial (reversed representation), the one
+// iSCSI/ext4 use and the one hardware CRC instructions implement.
+const Castagnoli = 0x82F63B78
+
+// table is the byte-at-a-time lookup table for CRC-32C.
+var table [256]uint32
+
+func init() {
+	for i := range table {
+		crc := uint32(i)
+		for k := 0; k < 8; k++ {
+			if crc&1 != 0 {
+				crc = crc>>1 ^ Castagnoli
+			} else {
+				crc >>= 1
+			}
+		}
+		table[i] = crc
+	}
+}
+
+// CRC returns the CRC-32C of data.
+func CRC(data []int8) uint32 {
+	return Update(0, data)
+}
+
+// Update continues a CRC-32C over more data; Update(0, a+b) ==
+// Update(Update(0, a), b).
+func Update(crc uint32, data []int8) uint32 {
+	crc = ^crc
+	for _, b := range data {
+		crc = table[byte(crc)^byte(b)] ^ crc>>8
+	}
+	return ^crc
+}
+
+// CRCBytes is CRC over the native byte domain (host-side buffers).
+func CRCBytes(data []byte) uint32 {
+	crc := ^uint32(0)
+	for _, b := range data {
+		crc = table[byte(crc)^b] ^ crc>>8
+	}
+	return ^crc
+}

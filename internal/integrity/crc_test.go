@@ -1,0 +1,39 @@
+package integrity
+
+import (
+	"hash/crc32"
+	"testing"
+)
+
+// TestCRCMatchesStdlib pins the int8-domain CRC to the stdlib Castagnoli
+// implementation over the same bytes.
+func TestCRCMatchesStdlib(t *testing.T) {
+	data := make([]int8, 1000)
+	raw := make([]byte, 1000)
+	for i := range data {
+		data[i] = int8(i*31 + 7)
+		raw[i] = byte(data[i])
+	}
+	want := crc32.Checksum(raw, crc32.MakeTable(crc32.Castagnoli))
+	if got := CRC(data); got != want {
+		t.Fatalf("CRC = %#08x, stdlib %#08x", got, want)
+	}
+	if got := CRCBytes(raw); got != want {
+		t.Fatalf("CRCBytes = %#08x, stdlib %#08x", got, want)
+	}
+}
+
+// TestUpdateIsIncremental: Update(0, a+b) == Update(Update(0, a), b) for
+// every split point.
+func TestUpdateIsIncremental(t *testing.T) {
+	data := make([]int8, 64)
+	for i := range data {
+		data[i] = int8(i * 13)
+	}
+	whole := CRC(data)
+	for split := 0; split <= len(data); split++ {
+		if got := Update(Update(0, data[:split]), data[split:]); got != whole {
+			t.Fatalf("split %d: %#08x != %#08x", split, got, whole)
+		}
+	}
+}

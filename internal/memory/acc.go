@@ -13,6 +13,9 @@ import (
 // unit runs at peak (Section 2).
 type Accumulators struct {
 	regs [][isa.MatrixDim]int32
+	// parity is the optional per-register XOR parity sidecar (EnableGuard);
+	// nil costs one nil check per store.
+	parity []uint32
 }
 
 // NewAccumulators allocates the full 4096-register file.
@@ -32,12 +35,14 @@ func (a *Accumulators) Store(idx int, row *[isa.MatrixDim]int32, accumulate bool
 	}
 	if !accumulate {
 		a.regs[idx] = *row
+		a.updateParity(idx, 1)
 		return nil
 	}
 	dst := &a.regs[idx]
 	for i := range dst {
 		dst[i] = fixed.SatAdd32(dst[i], row[i])
 	}
+	a.updateParity(idx, 1)
 	return nil
 }
 
@@ -51,6 +56,7 @@ func (a *Accumulators) StoreRows(idx int, rows [][isa.MatrixDim]int32, accumulat
 	}
 	if !accumulate {
 		copy(a.regs[idx:], rows)
+		a.updateParity(idx, len(rows))
 		return nil
 	}
 	for i := range rows {
@@ -60,6 +66,7 @@ func (a *Accumulators) StoreRows(idx int, rows [][isa.MatrixDim]int32, accumulat
 			dst[j] = fixed.SatAdd32(dst[j], src[j])
 		}
 	}
+	a.updateParity(idx, len(rows))
 	return nil
 }
 
@@ -79,5 +86,6 @@ func (a *Accumulators) Clear(idx, n int) error {
 	for i := idx; i < idx+n; i++ {
 		a.regs[i] = [isa.MatrixDim]int32{}
 	}
+	a.updateParity(idx, n)
 	return nil
 }

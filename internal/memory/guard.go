@@ -1,0 +1,237 @@
+// Integrity sidecars for the storage hierarchy. Real DRAM and SRAM ship
+// with ECC or parity beside the data; the simulator models the *checking*
+// side of that machinery — per-block CRC-32C sidecars whose codewords are
+// updated on every legitimate write, so any bit that changes outside a
+// write (an injected fault, a real bug) is caught the next time the block
+// is read, scrubbed, or shipped across a link. The sidecars never look at
+// payload semantics: they guard bytes where they live, the ABFT checksums
+// in internal/systolic guard values where they are computed.
+package memory
+
+import (
+	"fmt"
+
+	"tpusim/internal/integrity"
+	"tpusim/internal/isa"
+)
+
+// Sidecar is a per-block CRC-32C shadow of one memory region. Blocks are
+// fixed-size; the last block may be short. The zero Sidecar is invalid —
+// use NewSidecar.
+type Sidecar struct {
+	region string
+	block  int
+	sums   []uint32
+}
+
+// NewSidecar builds a sidecar for a size-byte region with the given block
+// granularity, seeded over data (which may be nil for an all-zero region of
+// the right size — CRC of zeros is still computed from a zero slice, so
+// callers seed explicitly with Seed when data exists).
+func NewSidecar(region string, size, block int) (*Sidecar, error) {
+	if size < 0 || block <= 0 {
+		return nil, fmt.Errorf("memory: sidecar %s: size %d / block %d invalid", region, size, block)
+	}
+	n := (size + block - 1) / block
+	return &Sidecar{region: region, block: block, sums: make([]uint32, n)}, nil
+}
+
+// Region returns the sidecar's region name (for error messages and logs).
+func (s *Sidecar) Region() string { return s.region }
+
+// BlockBytes returns the block granularity.
+func (s *Sidecar) BlockBytes() int { return s.block }
+
+// Blocks returns the number of guarded blocks.
+func (s *Sidecar) Blocks() int { return len(s.sums) }
+
+// blockRange returns the block index range [lo, hi) covering [addr,
+// addr+n) of the region.
+func (s *Sidecar) blockRange(addr, n int) (lo, hi int) {
+	if n <= 0 {
+		return 0, 0
+	}
+	lo = addr / s.block
+	hi = (addr + n + s.block - 1) / s.block
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > len(s.sums) {
+		hi = len(s.sums)
+	}
+	return lo, hi
+}
+
+// Seed recomputes every codeword from data — the install-time pass.
+func (s *Sidecar) Seed(data []int8) {
+	s.Update(data, 0, len(data))
+}
+
+// Update recomputes the codewords of every block touched by a write of n
+// bytes at addr. data is the full region backing store.
+func (s *Sidecar) Update(data []int8, addr, n int) {
+	lo, hi := s.blockRange(addr, n)
+	for b := lo; b < hi; b++ {
+		s.sums[b] = integrity.CRC(s.blockData(data, b))
+	}
+}
+
+// VerifyRange checks every block covered by [addr, addr+n) against its
+// codeword and returns the indices of corrupted blocks (nil when clean).
+func (s *Sidecar) VerifyRange(data []int8, addr, n int) []int {
+	lo, hi := s.blockRange(addr, n)
+	var bad []int
+	for b := lo; b < hi; b++ {
+		if integrity.CRC(s.blockData(data, b)) != s.sums[b] {
+			bad = append(bad, b)
+		}
+	}
+	return bad
+}
+
+// Verify checks the whole region.
+func (s *Sidecar) Verify(data []int8) []int {
+	return s.VerifyRange(data, 0, len(data))
+}
+
+// Resync accepts a block's current contents as authoritative, recomputing
+// its codeword. Used after a repair writes golden data back.
+func (s *Sidecar) Resync(data []int8, block int) {
+	if block >= 0 && block < len(s.sums) {
+		s.sums[block] = integrity.CRC(s.blockData(data, block))
+	}
+}
+
+// blockData slices block b out of the region.
+func (s *Sidecar) blockData(data []int8, b int) []int8 {
+	lo := b * s.block
+	hi := lo + s.block
+	if hi > len(data) {
+		hi = len(data)
+	}
+	if lo >= hi {
+		return nil
+	}
+	return data[lo:hi]
+}
+
+// ubGuardBlock is the Unified Buffer guard granularity: one 256-byte UB
+// row per codeword, so the write-path amplification of keeping codewords
+// current is ~1x (a row-sized write recomputes exactly its own row).
+const ubGuardBlock = 256
+
+// EnableGuard attaches a per-row CRC sidecar to the buffer, seeded over
+// its current (zeroed) contents. Idempotent.
+func (u *UnifiedBuffer) EnableGuard() {
+	if u.guard != nil {
+		return
+	}
+	g, err := NewSidecar("unified-buffer", len(u.data), ubGuardBlock)
+	if err != nil {
+		panic(err) // static sizes; cannot happen
+	}
+	g.Seed(u.data)
+	u.guard = g
+}
+
+// Guarded reports whether the buffer carries a sidecar.
+func (u *UnifiedBuffer) Guarded() bool { return u.guard != nil }
+
+// VerifyGuard checks the guarded blocks covering [addr, addr+n) and
+// returns corrupted block indices (block size 256 B). Nil when clean or
+// unguarded.
+func (u *UnifiedBuffer) VerifyGuard(addr uint32, n int) []int {
+	if u.guard == nil {
+		return nil
+	}
+	return u.guard.VerifyRange(u.data, int(addr), n)
+}
+
+// ResyncGuard re-accepts the blocks covering [addr, addr+n) — used after
+// a caller has rewritten them with known-good data outside Write.
+func (u *UnifiedBuffer) ResyncGuard(addr uint32, n int) {
+	if u.guard == nil {
+		return
+	}
+	lo, hi := u.guard.blockRange(int(addr), n)
+	for b := lo; b < hi; b++ {
+		u.guard.Resync(u.data, b)
+	}
+}
+
+// FlipBit flips one bit in the buffer *without* updating the guard — the
+// fault-injection seam modeling an SRAM upset. Out-of-range addresses are
+// ignored.
+func (u *UnifiedBuffer) FlipBit(addr uint32, bit uint8) {
+	if int(addr) >= len(u.data) {
+		return
+	}
+	u.data[addr] ^= 1 << (bit % 8)
+}
+
+// HighWater returns the highest byte offset ever written (exclusive) — the
+// live extent fault injection maps addresses into so flips land in bytes a
+// program actually uses.
+func (u *UnifiedBuffer) HighWater() int { return u.highWater }
+
+// EnableGuard attaches per-register XOR parity to the accumulator file:
+// one 32-bit parity word per 256-lane register, updated on every store.
+// Any single bit flip in a lane flips the same bit of the parity word, so
+// upsets are detected (localization to the lane is the recompute path's
+// job). Idempotent.
+func (a *Accumulators) EnableGuard() {
+	if a.parity == nil {
+		a.parity = make([]uint32, len(a.regs))
+	}
+}
+
+// Guarded reports whether the file carries parity.
+func (a *Accumulators) Guarded() bool { return a.parity != nil }
+
+// parityOf folds a register into its parity word.
+func parityOf(reg *[isa.MatrixDim]int32) uint32 {
+	var p uint32
+	for _, v := range reg {
+		p ^= uint32(v)
+	}
+	return p
+}
+
+// updateParity recomputes parity for registers [idx, idx+n).
+func (a *Accumulators) updateParity(idx, n int) {
+	if a.parity == nil {
+		return
+	}
+	for i := idx; i < idx+n && i < len(a.regs); i++ {
+		a.parity[i] = parityOf(&a.regs[i])
+	}
+}
+
+// VerifyParity checks registers [idx, idx+n) against their parity words
+// and returns the indices that fail (nil when clean or unguarded).
+func (a *Accumulators) VerifyParity(idx, n int) []int {
+	if a.parity == nil {
+		return nil
+	}
+	var bad []int
+	for i := idx; i < idx+n && i < len(a.regs); i++ {
+		if i < 0 {
+			continue
+		}
+		if parityOf(&a.regs[i]) != a.parity[i] {
+			bad = append(bad, i)
+		}
+	}
+	return bad
+}
+
+// FlipBit flips one bit of the byte at byte offset off within register
+// idx, bypassing parity — the fault-injection seam for accumulator SRAM.
+func (a *Accumulators) FlipBit(idx int, off int, bit uint8) {
+	if idx < 0 || idx >= len(a.regs) {
+		return
+	}
+	lane := (off / 4) % isa.MatrixDim
+	shift := uint(off%4)*8 + uint(bit%8)
+	a.regs[idx][lane] ^= 1 << shift
+}

@@ -1,0 +1,237 @@
+package memory
+
+import (
+	"math/rand"
+	"testing"
+
+	"tpusim/internal/isa"
+)
+
+// TestSidecarDetectsAndResyncs exercises the generic sidecar: seeded clean,
+// a flip in any block is localized to exactly that block, and Resync after
+// repair makes it clean again.
+func TestSidecarDetectsAndResyncs(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	data := make([]int8, 1000) // last block short (block=256 -> 4 blocks)
+	for i := range data {
+		data[i] = int8(rng.Intn(256) - 128)
+	}
+	s, err := NewSidecar("test", len(data), 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Blocks() != 4 {
+		t.Fatalf("blocks = %d, want 4", s.Blocks())
+	}
+	s.Seed(data)
+	if bad := s.Verify(data); bad != nil {
+		t.Fatalf("clean region flagged: %v", bad)
+	}
+	for trial := 0; trial < 32; trial++ {
+		i := rng.Intn(len(data))
+		orig := data[i]
+		data[i] ^= 1 << uint(rng.Intn(8))
+		bad := s.Verify(data)
+		if len(bad) != 1 || bad[0] != i/256 {
+			t.Fatalf("flip at %d: bad blocks %v, want [%d]", i, bad, i/256)
+		}
+		// Targeted verify of just the damaged byte finds it too.
+		if got := s.VerifyRange(data, i, 1); len(got) != 1 || got[0] != i/256 {
+			t.Fatalf("targeted verify at %d: %v", i, got)
+		}
+		data[i] = orig
+		s.Resync(data, i/256)
+		if bad := s.Verify(data); bad != nil {
+			t.Fatalf("after repair: %v", bad)
+		}
+	}
+}
+
+// TestSidecarUpdateTracksWrites: legitimate writes through Update never
+// trip the check, including writes spanning block boundaries.
+func TestSidecarUpdateTracksWrites(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	data := make([]int8, 4096)
+	s, err := NewSidecar("test", len(data), 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Seed(data)
+	for trial := 0; trial < 64; trial++ {
+		addr := rng.Intn(len(data))
+		n := rng.Intn(len(data) - addr)
+		for i := addr; i < addr+n; i++ {
+			data[i] = int8(rng.Intn(256) - 128)
+		}
+		s.Update(data, addr, n)
+		if bad := s.Verify(data); bad != nil {
+			t.Fatalf("trial %d: legitimate write [%d,%d) flagged: %v", trial, addr, addr+n, bad)
+		}
+	}
+}
+
+// TestUBGuard: writes keep the guard clean, FlipBit trips exactly the
+// 256-byte row it lands in, and ResyncGuard accepts a repair.
+func TestUBGuard(t *testing.T) {
+	u := NewUnifiedBuffer()
+	u.EnableGuard()
+	u.EnableGuard() // idempotent
+	if !u.Guarded() {
+		t.Fatal("not guarded after EnableGuard")
+	}
+	src := make([]int8, 1000)
+	for i := range src {
+		src[i] = int8(i)
+	}
+	if err := u.Write(300, src); err != nil {
+		t.Fatal(err)
+	}
+	if u.HighWater() != 1300 {
+		t.Fatalf("high water %d, want 1300", u.HighWater())
+	}
+	if bad := u.VerifyGuard(0, u.Size()); bad != nil {
+		t.Fatalf("clean UB flagged: %v", bad)
+	}
+	u.FlipBit(777, 3)
+	bad := u.VerifyGuard(0, u.Size())
+	if len(bad) != 1 || bad[0] != 777/256 {
+		t.Fatalf("flip at 777: bad %v, want [%d]", bad, 777/256)
+	}
+	// Repair: rewrite the row via Write (which resyncs), then verify clean.
+	row, err := u.Read(768, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	row[777-768] = src[777-300] // restore golden byte
+	if err := u.Write(768, row); err != nil {
+		t.Fatal(err)
+	}
+	if bad := u.VerifyGuard(0, u.Size()); bad != nil {
+		t.Fatalf("after repair: %v", bad)
+	}
+	// ResyncGuard accepts corruption as authoritative (repair-in-place path).
+	u.FlipBit(100, 0)
+	u.ResyncGuard(100, 1)
+	if bad := u.VerifyGuard(0, u.Size()); bad != nil {
+		t.Fatalf("after resync: %v", bad)
+	}
+}
+
+// TestAccumulatorParity: stores keep parity current, FlipBit is detected
+// and localized to the register, recomputation (a fresh Store) repairs.
+func TestAccumulatorParity(t *testing.T) {
+	a := NewAccumulators()
+	a.EnableGuard()
+	if !a.Guarded() {
+		t.Fatal("not guarded")
+	}
+	rng := rand.New(rand.NewSource(3))
+	var rows [4][isa.MatrixDim]int32
+	for i := range rows {
+		for j := range rows[i] {
+			rows[i][j] = rng.Int31() - 1<<30
+		}
+	}
+	if err := a.StoreRows(10, rows[:], false); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Store(10, &rows[1], true); err != nil { // accumulate path
+		t.Fatal(err)
+	}
+	if bad := a.VerifyParity(0, a.Count()); bad != nil {
+		t.Fatalf("clean file flagged: %v", bad)
+	}
+	a.FlipBit(12, 37, 5)
+	bad := a.VerifyParity(0, a.Count())
+	if len(bad) != 1 || bad[0] != 12 {
+		t.Fatalf("flip in reg 12: bad %v", bad)
+	}
+	if err := a.Store(12, &rows[2], false); err != nil { // recompute repairs
+		t.Fatal(err)
+	}
+	if bad := a.VerifyParity(0, a.Count()); bad != nil {
+		t.Fatalf("after recompute: %v", bad)
+	}
+	if err := a.Clear(0, a.Count()); err != nil {
+		t.Fatal(err)
+	}
+	if bad := a.VerifyParity(0, a.Count()); bad != nil {
+		t.Fatalf("after clear: %v", bad)
+	}
+}
+
+// TestGuardedWeights: corruption persists across fetches, is detected per
+// tile, and Scrub repairs from golden.
+func TestGuardedWeights(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	golden := make([]int8, 3*isa.WeightTileBytes)
+	for i := range golden {
+		golden[i] = int8(rng.Intn(256) - 128)
+	}
+	g, err := NewGuardedWeights(golden, 34, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Len() != len(golden) || g.Base() != 0 {
+		t.Fatalf("len %d base %d", g.Len(), g.Base())
+	}
+	for tile := 0; tile < 3; tile++ {
+		if !g.VerifyTile(uint64(tile) * isa.WeightTileBytes) {
+			t.Fatalf("clean tile %d flagged", tile)
+		}
+	}
+	// Flip a bit in tile 1; it persists, is detected only there, and the
+	// fetched tile differs from golden.
+	off := uint64(isa.WeightTileBytes + 1234)
+	g.FlipBit(off, 2)
+	if g.VerifyTile(0) == false || g.VerifyTile(2*isa.WeightTileBytes) == false {
+		t.Fatal("clean tiles flagged after flip in tile 1")
+	}
+	if g.VerifyTile(isa.WeightTileBytes) {
+		t.Fatal("flip in tile 1 undetected")
+	}
+	got, err := g.FetchTile(isa.WeightTileBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[1234] == golden[isa.WeightTileBytes+1234] {
+		t.Fatal("corruption not visible in fetch")
+	}
+	scanned, repaired := g.Scrub()
+	if scanned != 3 || repaired != 1 {
+		t.Fatalf("scrub scanned %d repaired %d, want 3/1", scanned, repaired)
+	}
+	got, err = g.FetchTile(isa.WeightTileBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range got {
+		if got[i] != golden[isa.WeightTileBytes+i] {
+			t.Fatalf("byte %d not repaired", i)
+		}
+	}
+	if _, repaired := g.Scrub(); repaired != 0 {
+		t.Fatalf("second scrub repaired %d", repaired)
+	}
+	// RepairTile on a targeted corrupt tile.
+	g.FlipBit(100, 7)
+	if !g.RepairTile(0) {
+		t.Fatal("RepairTile found nothing")
+	}
+	if g.RepairTile(0) {
+		t.Fatal("RepairTile repaired a clean tile")
+	}
+	// Out-of-image addresses are clean and unrepairable.
+	if !g.VerifyTile(1 << 30) {
+		t.Fatal("out-of-image tile flagged")
+	}
+	if g.RepairTile(1 << 30) {
+		t.Fatal("out-of-image repair claimed success")
+	}
+	// The golden image itself was never touched.
+	for i := range golden {
+		if golden[i] != g.golden[i] {
+			t.Fatal("golden aliasing bug")
+		}
+	}
+}

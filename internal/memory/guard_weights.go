@@ -1,0 +1,120 @@
+package memory
+
+import (
+	"fmt"
+
+	"tpusim/internal/isa"
+)
+
+// GuardedWeights wraps Weight Memory with the two things real DRAM has that
+// the plain model lacks: a *live* copy of the weight image that corruption
+// persists in (a flipped DRAM bit stays flipped until something rewrites
+// it), and a per-tile CRC-32C sidecar — the model of DRAM ECC's detection
+// half — seeded from the golden image at install time. The golden image is
+// never mutated: it is the program's WeightImage, shared with the compile
+// cache, and serves as the repair source the background scrubber copies
+// from (the paper's weights are read-only, so the host always has a clean
+// copy to re-ship).
+type GuardedWeights struct {
+	mem    *WeightMemory
+	golden []int8
+	live   []int8
+	guard  *Sidecar
+}
+
+// NewGuardedWeights builds a guarded weight memory over a golden image at a
+// tile-aligned base. The live copy starts identical to golden, and the
+// sidecar (one CRC per 64 KiB tile) is seeded over it.
+func NewGuardedWeights(golden []int8, bandwidthGBs float64, base uint64) (*GuardedWeights, error) {
+	live := make([]int8, len(golden))
+	copy(live, golden)
+	mem, err := NewWeightMemoryAt(live, bandwidthGBs, base)
+	if err != nil {
+		return nil, err
+	}
+	guard, err := NewSidecar("weight-dram", len(live), isa.WeightTileBytes)
+	if err != nil {
+		return nil, fmt.Errorf("memory: weight guard: %w", err)
+	}
+	guard.Seed(live)
+	return &GuardedWeights{mem: mem, golden: golden, live: live, guard: guard}, nil
+}
+
+// Base returns the tile-aligned DRAM base address of the image.
+func (g *GuardedWeights) Base() uint64 { return g.mem.base }
+
+// Len returns the image length in bytes.
+func (g *GuardedWeights) Len() int { return len(g.live) }
+
+// FetchTile reads the 64 KiB tile at a tile-aligned address from the live
+// image (zero weights beyond it) — same semantics as WeightMemory.FetchTile
+// but corruption in the live copy is visible.
+func (g *GuardedWeights) FetchTile(addr uint64) ([]int8, error) {
+	return g.mem.FetchTile(addr)
+}
+
+// TileFetchCycles forwards the DDR3 timing model.
+func (g *GuardedWeights) TileFetchCycles(clockMHz float64) float64 {
+	return g.mem.TileFetchCycles(clockMHz)
+}
+
+// VerifyTile checks the tile at addr against its CRC and reports whether it
+// is clean. Tiles outside the image are trivially clean (unwritten DRAM).
+func (g *GuardedWeights) VerifyTile(addr uint64) bool {
+	if addr < g.mem.base || addr-g.mem.base >= uint64(len(g.live)) {
+		return true
+	}
+	off := int(addr - g.mem.base)
+	return len(g.guard.VerifyRange(g.live, off, isa.WeightTileBytes)) == 0
+}
+
+// RepairTile copies the golden bytes of the tile covering addr back over the
+// live copy and resyncs its codeword. Reports whether the tile was actually
+// corrupt. Addresses outside the image are no-ops.
+func (g *GuardedWeights) RepairTile(addr uint64) bool {
+	if addr < g.mem.base || addr-g.mem.base >= uint64(len(g.live)) {
+		return false
+	}
+	off := int(addr-g.mem.base) / isa.WeightTileBytes * isa.WeightTileBytes
+	end := off + isa.WeightTileBytes
+	if end > len(g.live) {
+		end = len(g.live)
+	}
+	bad := g.guard.VerifyRange(g.live, off, end-off)
+	copy(g.live[off:end], g.golden[off:end])
+	for _, b := range bad {
+		g.guard.Resync(g.live, b)
+	}
+	return len(bad) > 0
+}
+
+// Scrub walks every tile, repairs corrupt ones from the golden image, and
+// returns (tiles scanned, tiles repaired) — the background DRAM scrubber's
+// one pass.
+func (g *GuardedWeights) Scrub() (scanned, repaired int) {
+	for b := 0; b < g.guard.Blocks(); b++ {
+		scanned++
+		off := b * g.guard.BlockBytes()
+		end := off + g.guard.BlockBytes()
+		if end > len(g.live) {
+			end = len(g.live)
+		}
+		if len(g.guard.VerifyRange(g.live, off, end-off)) != 0 {
+			copy(g.live[off:end], g.golden[off:end])
+			g.guard.Resync(g.live, b)
+			repaired++
+		}
+	}
+	return scanned, repaired
+}
+
+// FlipBit flips one bit of the live image at byte offset off (mod image
+// length, so fault injection always lands in real weights), bypassing the
+// sidecar — the DRAM-upset seam. Empty images are a no-op.
+func (g *GuardedWeights) FlipBit(off uint64, bit uint8) {
+	if len(g.live) == 0 {
+		return
+	}
+	i := int(off % uint64(len(g.live)))
+	g.live[i] ^= 1 << (bit % 8)
+}

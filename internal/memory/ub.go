@@ -16,6 +16,11 @@ import (
 // which can serve as inputs to the Matrix Unit."
 type UnifiedBuffer struct {
 	data []int8
+	// guard is the optional per-row CRC sidecar (EnableGuard); nil costs
+	// one nil check per write.
+	guard *Sidecar
+	// highWater is the highest byte offset ever written (exclusive).
+	highWater int
 }
 
 // NewUnifiedBuffer allocates a zeroed 24 MiB buffer.
@@ -32,6 +37,12 @@ func (u *UnifiedBuffer) Write(addr uint32, src []int8) error {
 		return fmt.Errorf("memory: UB write %#x+%d overruns %d-byte buffer", addr, len(src), len(u.data))
 	}
 	copy(u.data[addr:], src)
+	if end := int(addr) + len(src); end > u.highWater {
+		u.highWater = end
+	}
+	if u.guard != nil {
+		u.guard.Update(u.data, int(addr), len(src))
+	}
 	return nil
 }
 

@@ -1,0 +1,32 @@
+package pcie
+
+import (
+	"fmt"
+
+	"tpusim/internal/integrity"
+)
+
+// Frame is one checksummed DMA payload: real PCIe protects every TLP with
+// a link-layer LCRC, and this is the modeled equivalent — a CRC-32C sealed
+// where the payload is produced (host for inputs, device for outputs) and
+// verified where it lands, so corruption on the wire or in either buffer
+// between seal and verify is caught before the bytes are used.
+type Frame struct {
+	Payload []int8
+	CRC     uint32
+}
+
+// Seal computes the payload's CRC and returns the framed transfer. The
+// payload is referenced, not copied — seal immediately before the move.
+func Seal(payload []int8) Frame {
+	return Frame{Payload: payload, CRC: integrity.CRC(payload)}
+}
+
+// Verify re-checks the payload against the sealed CRC.
+func (f Frame) Verify() error {
+	if got := integrity.CRC(f.Payload); got != f.CRC {
+		return fmt.Errorf("pcie: frame CRC mismatch: got %#08x, want %#08x (%d bytes)",
+			got, f.CRC, len(f.Payload))
+	}
+	return nil
+}

@@ -79,6 +79,20 @@ type Resilience struct {
 	// the cost of doubling device work. Mismatches are settled by majority
 	// vote on a third device when one is available.
 	CrossCheck bool
+	// Integrity selects the data-integrity tier (off, detect,
+	// detect+correct, paranoid). Non-off tiers build every device with the
+	// corresponding on-device machinery — ABFT matmul checks, CRC/parity
+	// memory sidecars, PCIe frames — and make detected-corruption failures
+	// retryable: an attempt that fails with an SDCError was caught before
+	// shipping corrupt output, so the resilient ladder scrubs the device
+	// and reruns cleanly. Paranoid additionally implies CrossCheck.
+	Integrity Integrity
+	// ScrubEvery runs a background weight-DRAM scrub pass over every
+	// device at this interval, repairing persistent weight corruption from
+	// each program's golden image before a fetch trips over it. 0 disables
+	// the patrol scrubber (reactive scrub-on-SDC still runs at non-off
+	// integrity tiers).
+	ScrubEvery time.Duration
 }
 
 func (r *Resilience) maxAttempts() int {

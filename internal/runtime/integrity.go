@@ -1,0 +1,155 @@
+// The fleet's data-integrity tier: a Resilience knob that maps onto the
+// device-level integrity machinery (ABFT, CRC/parity sidecars, PCIe
+// frames) and the runtime recovery ladder above it. A detected SDC fails
+// the attempt with a clean device — the resilient path retries it (scrubbing
+// the weight DRAM of the implicated device first, so persistent corruption
+// does not fail the retry too), fails over, and feeds the device's health
+// machine so a part that keeps corrupting data walks to quarantine exactly
+// like one that keeps dying.
+package runtime
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"tpusim/internal/tpu"
+)
+
+// Integrity selects the fleet's data-integrity tier.
+type Integrity int
+
+const (
+	// IntegrityOff runs the bare datapath (the PR-4 behaviour).
+	IntegrityOff Integrity = iota
+	// IntegrityDetect enables every device-level check (ABFT matmul rows,
+	// CRC on weight DRAM/FIFO/UB, accumulator parity, PCIe frames); a
+	// violation fails the attempt and the resilient ladder retries it.
+	IntegrityDetect
+	// IntegrityCorrect additionally repairs on-device what algebra or a
+	// golden copy allows: ABFT-localized output elements, flagged matmul
+	// rows, and corrupt weight tiles at fetch.
+	IntegrityCorrect
+	// IntegrityParanoid is IntegrityCorrect plus the PR-4 output
+	// cross-check: every successful request reruns on a second device and
+	// the outputs must agree byte-for-byte. Roughly doubles device work;
+	// the belt-and-suspenders tier.
+	IntegrityParanoid
+)
+
+// String names the tier for logs and policy dumps.
+func (t Integrity) String() string {
+	switch t {
+	case IntegrityOff:
+		return "off"
+	case IntegrityDetect:
+		return "detect"
+	case IntegrityCorrect:
+		return "detect+correct"
+	case IntegrityParanoid:
+		return "paranoid"
+	default:
+		return fmt.Sprintf("Integrity(%d)", int(t))
+	}
+}
+
+// deviceLevel maps the fleet tier onto the per-device integrity machinery.
+func (t Integrity) deviceLevel() tpu.IntegrityLevel {
+	switch t {
+	case IntegrityDetect:
+		return tpu.IntegrityDetect
+	case IntegrityCorrect, IntegrityParanoid:
+		return tpu.IntegrityCorrect
+	default:
+		return tpu.IntegrityOff
+	}
+}
+
+// crossCheck reports whether the policy reruns successful requests on a
+// second device (the explicit CrossCheck knob or the paranoid tier).
+func (r *Resilience) crossCheck() bool {
+	return r.CrossCheck || r.Integrity == IntegrityParanoid
+}
+
+// readyEntries snapshots the driver's successfully compiled model entries.
+// Entries land on the list under d.mu after their compile completes, so
+// e.dev and e.art are safe to read from the snapshot.
+func (d *Driver) readyEntries() []*entry {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return append([]*entry(nil), d.ready...)
+}
+
+// IntegrityStats aggregates the lifetime integrity ledger across every
+// compiled model's device on this driver. Safe to call concurrently with
+// runs (each device's ledger is mutex-guarded).
+func (d *Driver) IntegrityStats() tpu.IntegrityStats {
+	var agg tpu.IntegrityStats
+	for _, e := range d.readyEntries() {
+		agg.Add(e.dev.IntegrityStats())
+	}
+	return agg
+}
+
+// Scrub runs one weight-DRAM scrub pass over every compiled model's device,
+// repairing corrupt tiles from each program's golden weight image. Each
+// device is scrubbed under its run semaphore, so scrubbing never races a
+// run; a cancelled ctx abandons the remaining devices.
+func (d *Driver) Scrub(ctx context.Context) (scanned, repaired int) {
+	for _, e := range d.readyEntries() {
+		if err := e.acquire(ctx); err != nil {
+			return scanned, repaired
+		}
+		s, r := e.dev.Scrub()
+		e.release()
+		scanned += s
+		repaired += r
+	}
+	return scanned, repaired
+}
+
+// IntegrityStats aggregates the integrity ledger fleet-wide.
+func (s *Server) IntegrityStats() tpu.IntegrityStats {
+	var agg tpu.IntegrityStats
+	for _, d := range s.drivers {
+		agg.Add(d.IntegrityStats())
+	}
+	return agg
+}
+
+// Scrub runs one scrub pass over every device on the server.
+func (s *Server) Scrub(ctx context.Context) (scanned, repaired int) {
+	for _, d := range s.drivers {
+		sc, rp := d.Scrub(ctx)
+		scanned += sc
+		repaired += rp
+	}
+	return scanned, repaired
+}
+
+// scrubOnSDC is the reactive scrub: an attempt just failed with a detected
+// corruption on dev, so sweep that device's weight DRAM before anything
+// retries onto it — a persistent weight upset would otherwise fail every
+// future fetch of the damaged tile at the Detect tier.
+func (s *Server) scrubOnSDC(ctx context.Context, dev int) {
+	_, repaired := s.drivers[dev].Scrub(ctx)
+	if repaired > 0 {
+		s.logger.Info("integrity scrub repaired weight tiles",
+			"device", s.drivers[dev].label, "tiles", repaired)
+	}
+}
+
+// scrubLoop is the background scrubber: a patrol pass over every device
+// each ScrubEvery until the server closes.
+func (s *Server) scrubLoop(every time.Duration) {
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.closed:
+			return
+		case <-t.C:
+			s.Scrub(context.Background())
+		}
+	}
+}

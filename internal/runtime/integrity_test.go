@@ -1,0 +1,212 @@
+package runtime
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"tpusim/internal/fault"
+	"tpusim/internal/tensor"
+)
+
+// refOutput runs the model on a clean, integrity-free server and returns
+// the reference output all recovery paths must reproduce bit-exactly.
+func refOutput(t *testing.T) *tensor.F32 {
+	t.Helper()
+	s := newChaosServer(t, 1, fault.Plan{Seed: 99}, &Resilience{ProbeEvery: -1})
+	m, p, in := testModel()
+	r, err := s.RunCtx(context.Background(), m, p, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r.Output
+}
+
+// TestDetectTierScrubsAndRetries pins the tentpole's recovery ladder on a
+// single device: a persistent weight-DRAM flip fails the attempt with a
+// detected-SDC error, the runtime scrubs the device's weight DRAM from the
+// golden image, and the retry succeeds bit-exactly — no second device
+// needed.
+func TestDetectTierScrubsAndRetries(t *testing.T) {
+	ref := refOutput(t)
+	s := newChaosServer(t, 1, fault.Plan{Seed: 2},
+		&Resilience{Integrity: IntegrityDetect, ProbeEvery: -1})
+	m, p, in := testModel()
+	ctx := context.Background()
+	if _, err := s.RunCtx(ctx, m, p, in); err != nil {
+		t.Fatal(err)
+	}
+	// Several sign-bit flips so requantization cannot wash all of them out.
+	for k := uint64(0); k < 4; k++ {
+		if err := s.Injectors()[0].FlipOnce(fault.KindFlipWeights, 100+k*37, 7); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r, err := s.RunCtx(ctx, m, p, in)
+	if err != nil {
+		t.Fatalf("detect-tier run did not recover: %v", err)
+	}
+	if !equalOutputs(r.Output, ref) {
+		t.Error("recovered output differs from the clean reference")
+	}
+	rs := s.ResilienceStats()
+	if rs.SDCFailures == 0 {
+		t.Error("no SDC failures recorded")
+	}
+	if rs.Retries == 0 {
+		t.Error("recovery did not retry")
+	}
+	st := s.IntegrityStats()
+	if st.Detected == 0 {
+		t.Errorf("no corruption detected: %+v", st)
+	}
+	if st.ScrubRepairs == 0 {
+		t.Errorf("scrub-on-SDC repaired nothing: %+v", st)
+	}
+	// The device failed once, then answered the retry: it must be back on
+	// its way to healthy, not quarantined.
+	if got := s.DeviceState(0); got == Quarantined {
+		t.Errorf("device quarantined after a recovered SDC, state=%v", got)
+	}
+}
+
+// TestCorrectTierRepairsInPlace: at detect+correct, PE and weight flips are
+// repaired on-device — the request succeeds on the first attempt with a
+// bit-exact output and no retries.
+func TestCorrectTierRepairsInPlace(t *testing.T) {
+	ref := refOutput(t)
+	s := newChaosServer(t, 1, fault.Plan{Seed: 3},
+		&Resilience{Integrity: IntegrityCorrect, ProbeEvery: -1})
+	m, p, in := testModel()
+	ctx := context.Background()
+	if _, err := s.RunCtx(ctx, m, p, in); err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range []struct {
+		kind fault.Kind
+		addr uint64
+	}{
+		{fault.KindFlipPE, 5},
+		{fault.KindFlipWeights, 4321},
+	} {
+		if err := s.Injectors()[0].FlipOnce(f.kind, f.addr, 7); err != nil {
+			t.Fatal(err)
+		}
+		r, err := s.RunCtx(ctx, m, p, in)
+		if err != nil {
+			t.Fatalf("%v not corrected in place: %v", f.kind, err)
+		}
+		if !equalOutputs(r.Output, ref) {
+			t.Errorf("%v: corrected output differs from the clean reference", f.kind)
+		}
+	}
+	if rs := s.ResilienceStats(); rs.Retries != 0 {
+		t.Errorf("in-place correction should not retry, got %d retries", rs.Retries)
+	}
+	st := s.IntegrityStats()
+	if st.Detected == 0 || st.Corrected+st.Recomputed == 0 {
+		t.Errorf("no in-place repairs recorded: %+v", st)
+	}
+}
+
+// TestRepeatedSDCWalksHealthMachine: a device that keeps corrupting data
+// (UB upsets have no on-device repair) accumulates failures through the
+// PR-4 health machine exactly like one that keeps dying, while every
+// request still succeeds by failing over.
+func TestRepeatedSDCWalksHealthMachine(t *testing.T) {
+	s := newChaosServer(t, 2, fault.Plan{Seed: 4},
+		&Resilience{Integrity: IntegrityDetect, ProbeEvery: -1})
+	m, p, in := testModel()
+	ctx := context.Background()
+	// Warm both devices.
+	for i := 0; i < 2; i++ {
+		if _, err := s.RunCtx(ctx, m, p, in); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 3; i++ {
+		if err := s.Injectors()[0].FlipOnce(fault.KindFlipUB, uint64(17+i), 3); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.RunOnCtx(ctx, 0, m, p, in); err != nil {
+			t.Fatalf("request %d failed despite a healthy second device: %v", i, err)
+		}
+	}
+	if got := s.DeviceState(0); got == Healthy {
+		t.Errorf("device 0 still healthy after repeated SDC, state=%v", got)
+	}
+	h := s.Health()
+	if h[0].Failures < 3 {
+		t.Errorf("device 0 records %d failures, want >= 3", h[0].Failures)
+	}
+	rs := s.ResilienceStats()
+	if rs.SDCFailures < 3 {
+		t.Errorf("SDCFailures = %d, want >= 3", rs.SDCFailures)
+	}
+	if rs.Failovers == 0 {
+		t.Error("no failovers recorded")
+	}
+}
+
+// TestParanoidTierImpliesCrossCheck: the paranoid tier reruns successful
+// requests on a second device even with CrossCheck unset.
+func TestParanoidTierImpliesCrossCheck(t *testing.T) {
+	s := newChaosServer(t, 2, fault.Plan{Seed: 5},
+		&Resilience{Integrity: IntegrityParanoid, ProbeEvery: -1})
+	m, p, in := testModel()
+	if _, err := s.RunCtx(context.Background(), m, p, in); err != nil {
+		t.Fatal(err)
+	}
+	rs := s.ResilienceStats()
+	if rs.CrossChecks == 0 {
+		t.Error("paranoid tier ran no cross-check")
+	}
+	if rs.CrossCheckMismatches != 0 {
+		t.Errorf("clean cross-check mismatched %d times", rs.CrossCheckMismatches)
+	}
+}
+
+// TestBackgroundScrubberRepairsSilently: with the integrity machinery off,
+// a persistent weight flip survives runs untouched — until the patrol
+// scrubber's next pass repairs it from the golden image.
+func TestBackgroundScrubberRepairsSilently(t *testing.T) {
+	s := newChaosServer(t, 1, fault.Plan{Seed: 6},
+		&Resilience{Integrity: IntegrityOff, ProbeEvery: -1, ScrubEvery: 2 * time.Millisecond})
+	m, p, in := testModel()
+	ctx := context.Background()
+	if _, err := s.RunCtx(ctx, m, p, in); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Injectors()[0].FlipOnce(fault.KindFlipWeights, 999, 4); err != nil {
+		t.Fatal(err)
+	}
+	// The off-tier run carries the corruption silently.
+	if _, err := s.RunCtx(ctx, m, p, in); err != nil {
+		t.Fatalf("off-tier run failed: %v", err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for s.IntegrityStats().ScrubRepairs == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("patrol scrubber repaired nothing within 2s")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// A manual pass right after finds nothing left to repair.
+	if _, repaired := s.Scrub(ctx); repaired != 0 {
+		t.Errorf("manual scrub after patrol repaired %d tiles, want 0", repaired)
+	}
+}
+
+// TestIntegrityTierStrings pins the policy names used in logs and docs.
+func TestIntegrityTierStrings(t *testing.T) {
+	for tier, want := range map[Integrity]string{
+		IntegrityOff:      "off",
+		IntegrityDetect:   "detect",
+		IntegrityCorrect:  "detect+correct",
+		IntegrityParanoid: "paranoid",
+	} {
+		if got := tier.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", int(tier), got, want)
+		}
+	}
+}

@@ -3,6 +3,8 @@ package runtime
 import (
 	"fmt"
 	"io"
+
+	"tpusim/internal/tpu"
 )
 
 // DriverStats is one device's lifetime accounting, the material behind the
@@ -26,6 +28,10 @@ type DriverStats struct {
 	ModelsResident int
 	// WeightBytesReserved is the Weight Memory allocation high-water mark.
 	WeightBytesReserved uint64
+	// Integrity is the lifetime integrity ledger aggregated across every
+	// compiled model's device on this driver: checks executed, corruption
+	// detected/corrected, rows recomputed, scrub repairs.
+	Integrity tpu.IntegrityStats
 }
 
 // MatrixUtilization is lifetime matrix-active cycles / total cycles.
@@ -38,9 +44,11 @@ func (st DriverStats) MatrixUtilization() float64 {
 
 // Stats snapshots the driver's lifetime accounting.
 func (d *Driver) Stats() DriverStats {
+	integ := d.IntegrityStats()
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	return DriverStats{
+		Integrity:           integ,
 		Device:              d.label,
 		Runs:                d.runs,
 		Cycles:              d.cycles,
@@ -126,6 +134,32 @@ func (s *Server) WritePrometheus(w io.Writer) {
 		fmt.Fprintf(w, "tpu_device_probes_total{device=%q} %d\n", h.Device, h.Probes)
 	}
 
+	writeFam(w, "tpu_integrity_checks_total", "counter",
+		"Integrity checks executed per device (ABFT rows, CRC ranges, parity, PCIe frames).")
+	for _, st := range stats {
+		fmt.Fprintf(w, "tpu_integrity_checks_total{device=%q} %d\n", st.Device, st.Integrity.Checks)
+	}
+	writeFam(w, "tpu_integrity_detected_total", "counter",
+		"Integrity checks that caught silent data corruption, per device.")
+	for _, st := range stats {
+		fmt.Fprintf(w, "tpu_integrity_detected_total{device=%q} %d\n", st.Device, st.Integrity.Detected)
+	}
+	writeFam(w, "tpu_integrity_corrected_total", "counter",
+		"In-place repairs per device (ABFT algebraic corrections and fetch-time weight-tile repairs).")
+	for _, st := range stats {
+		fmt.Fprintf(w, "tpu_integrity_corrected_total{device=%q} %d\n", st.Device, st.Integrity.Corrected)
+	}
+	writeFam(w, "tpu_integrity_scrub_repairs_total", "counter",
+		"Weight tiles repaired from the golden image by scrub passes, per device.")
+	for _, st := range stats {
+		fmt.Fprintf(w, "tpu_integrity_scrub_repairs_total{device=%q} %d\n", st.Device, st.Integrity.ScrubRepairs)
+	}
+	writeFam(w, "tpu_integrity_recomputed_tiles_total", "counter",
+		"Matmul rows recomputed after ABFT flagged damage algebra could not localize, per device.")
+	for _, st := range stats {
+		fmt.Fprintf(w, "tpu_integrity_recomputed_tiles_total{device=%q} %d\n", st.Device, st.Integrity.Recomputed)
+	}
+
 	rs := s.ResilienceStats()
 	writeFam(w, "tpu_retries_total", "counter",
 		"Run attempts retried after a failed attempt.")
@@ -145,6 +179,9 @@ func (s *Server) WritePrometheus(w io.Writer) {
 	writeFam(w, "tpu_crosscheck_mismatches_total", "counter",
 		"Output cross-checks whose two devices disagreed.")
 	fmt.Fprintf(w, "tpu_crosscheck_mismatches_total %d\n", rs.CrossCheckMismatches)
+	writeFam(w, "tpu_sdc_failures_total", "counter",
+		"Attempts failed by a device-level integrity check catching corruption before it shipped.")
+	fmt.Fprintf(w, "tpu_sdc_failures_total %d\n", rs.SDCFailures)
 }
 
 // DeviceHealth is one device's health snapshot for the ops endpoint.

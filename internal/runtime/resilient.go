@@ -18,6 +18,7 @@ import (
 	"tpusim/internal/nn"
 	"tpusim/internal/obs"
 	"tpusim/internal/tensor"
+	"tpusim/internal/tpu"
 )
 
 // Resilient-path errors.
@@ -40,6 +41,7 @@ type resilienceCounters struct {
 	timeouts   int64
 	crossRuns  int64
 	mismatches int64
+	sdcs       int64
 }
 
 // ResilienceStats is a snapshot of the recovery machinery's event counts.
@@ -60,6 +62,9 @@ type ResilienceStats struct {
 	// the ones whose outputs disagreed.
 	CrossChecks          int64
 	CrossCheckMismatches int64
+	// SDCFailures counts attempts that failed because a device-level
+	// integrity check caught silent data corruption before it shipped.
+	SDCFailures int64
 }
 
 // ResilienceStats returns the current event counts.
@@ -74,6 +79,7 @@ func (s *Server) ResilienceStats() ResilienceStats {
 		AttemptTimeouts:      s.stats.timeouts,
 		CrossChecks:          s.stats.crossRuns,
 		CrossCheckMismatches: s.stats.mismatches,
+		SDCFailures:          s.stats.sdcs,
 	}
 }
 
@@ -320,6 +326,13 @@ func (s *Server) runResilient(ctx context.Context, preferred int, m *nn.Model, p
 				if o.err != nil {
 					lastErr = o.err
 					excluded[o.dev] = true
+					if tpu.IsSDC(o.err) {
+						// The device caught corruption before shipping it.
+						// Scrub its weight DRAM so a persistent upset does
+						// not fail every retry that lands back on it.
+						s.count(func(c *resilienceCounters) { c.sdcs++ })
+						s.scrubOnSDC(ctx, o.dev)
+					}
 					continue
 				}
 				// Winner. Account hedging and failover, then verify.
@@ -332,7 +345,7 @@ func (s *Server) runResilient(ctx context.Context, preferred int, m *nn.Model, p
 				if sp.Recording() {
 					sp.SetAttr(obs.Int("device", o.dev), obs.Int("attempts", attempt+1))
 				}
-				if s.res.CrossCheck {
+				if s.res.crossCheck() {
 					return s.crossCheck(ctx, o, m, params, in)
 				}
 				return o.res, nil
@@ -340,10 +353,13 @@ func (s *Server) runResilient(ctx context.Context, preferred int, m *nn.Model, p
 		}
 		// Every in-flight attempt failed; back off and go around with the
 		// failed devices excluded.
-		if !fault.Injected(lastErr) && !isTimeout(lastErr) {
-			// A real (non-injected, non-timeout) error — e.g. a model
-			// validation failure — will fail identically everywhere;
-			// surface it instead of burning the fleet.
+		if !fault.Injected(lastErr) && !isTimeout(lastErr) && !tpu.IsSDC(lastErr) {
+			// A real (non-injected, non-timeout, non-SDC) error — e.g. a
+			// model validation failure — will fail identically everywhere;
+			// surface it instead of burning the fleet. A detected-corruption
+			// failure is the opposite: the run was stopped *before* shipping
+			// corrupt output, so a retry (post-scrub, or on another device)
+			// is exactly the designed recovery.
 			return nil, lastErr
 		}
 		if !sleepCtx(ctx, backoff) {

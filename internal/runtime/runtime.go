@@ -55,6 +55,10 @@ type Driver struct {
 
 	mu    sync.Mutex
 	cache map[string]*entry
+	// ready lists entries whose compile succeeded, appended under mu at the
+	// end of compile; the integrity scrubber and metrics aggregation walk it
+	// without touching entries still mid-compile.
+	ready []*entry
 	// Lifetime per-device accounting behind the /metrics device gauges.
 	runs          int64
 	cycles        int64
@@ -227,6 +231,7 @@ func (d *Driver) compile(ctx context.Context, e *entry, m *nn.Model, params *nn.
 	d.mu.Lock()
 	d.expCycles[m.Name] = expectedCycles(d.cfg, art.Program)
 	d.Compilations++
+	d.ready = append(d.ready, e)
 	d.mu.Unlock()
 	return nil
 }
@@ -382,6 +387,14 @@ func (d *Driver) Invalidate(modelName string) {
 	e.once.Do(func() { e.err = fmt.Errorf("runtime: %s invalidated before first compile", modelName) })
 	if e.err == nil {
 		d.releaseWeights(e.reg)
+		d.mu.Lock()
+		for i, re := range d.ready {
+			if re == e {
+				d.ready = append(d.ready[:i], d.ready[i+1:]...)
+				break
+			}
+		}
+		d.mu.Unlock()
 	}
 }
 
@@ -491,6 +504,11 @@ func NewServerWith(n int, cfg tpu.Config, opts ServerOptions) (*Server, error) {
 	}
 	for i := 0; i < n; i++ {
 		dcfg := cfg
+		if opts.Resilience != nil {
+			// The fleet integrity tier builds every device with the
+			// corresponding on-device machinery.
+			dcfg.Integrity = opts.Resilience.Integrity.deviceLevel()
+		}
 		var inj *fault.Injector
 		if opts.Faults != nil {
 			inj = opts.Faults.Injector(i)
@@ -505,6 +523,9 @@ func NewServerWith(n int, cfg tpu.Config, opts ServerOptions) (*Server, error) {
 		s.drivers = append(s.drivers, dr)
 		s.injs = append(s.injs, inj)
 		s.health = append(s.health, &deviceHealth{})
+	}
+	if opts.Resilience != nil && opts.Resilience.ScrubEvery > 0 {
+		go s.scrubLoop(opts.Resilience.ScrubEvery)
 	}
 	return s, nil
 }

@@ -481,8 +481,13 @@ func (s *Server) Plan(model string) (Plan, error) {
 	return l.plan, nil
 }
 
-// Close stops admission, drains every lane's queue (buffered requests are
-// still served or shed normally), and waits for the dispatchers to exit.
+// Close is the graceful drain: stop admission (new Submits fail with
+// ErrClosed), flush every lane's queue — requests already admitted are
+// still batched, served or shed against their own deadlines, never
+// dropped — wait for the dispatchers to exit, then flush terminal metric
+// state (queue depth zero, final breaker gauge) so a scrape after shutdown
+// reads a quiesced server. Safe to call more than once and from multiple
+// goroutines; every call blocks until the drain completes.
 func (s *Server) Close() {
 	s.mu.Lock()
 	if s.closed {
@@ -505,4 +510,10 @@ func (s *Server) Close() {
 		l.mu.Unlock()
 	}
 	s.wg.Wait()
+	for _, l := range lanes {
+		l.mm.SetQueueDepth(0)
+		if l.br != nil {
+			l.mm.SetBreakerState(int(l.br.State()))
+		}
+	}
 }

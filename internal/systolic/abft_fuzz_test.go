@@ -1,0 +1,120 @@
+package systolic_test
+
+import (
+	"testing"
+
+	"tpusim/internal/compiler"
+	"tpusim/internal/isa"
+	"tpusim/internal/models"
+	"tpusim/internal/nn"
+	"tpusim/internal/systolic"
+	"tpusim/internal/tensor"
+)
+
+// sixAppTiles returns one real weight tile per compiled tiny six-app model
+// — the fuzz seed corpus the issue asks for.
+func sixAppTiles(tb testing.TB) [][]byte {
+	tb.Helper()
+	var tiles [][]byte
+	for i, name := range models.Names() {
+		m, err := models.Tiny(name)
+		if err != nil {
+			tb.Fatalf("tiny %s: %v", name, err)
+		}
+		params := nn.InitRandom(m, int64(i)+1, 0.25)
+		shape := []int{m.Batch, m.InputElems()}
+		if m.Class == nn.CNN && len(m.Layers) > 0 && m.Layers[0].Kind == nn.Conv {
+			c := m.Layers[0].Conv
+			shape = []int{m.Batch, c.H, c.W, c.Cin}
+		}
+		in := tensor.NewF32(shape...)
+		in.FillRandom(int64(i)*17+3, 1)
+		qm, err := nn.QuantizeModel(m, params, in)
+		if err != nil {
+			tb.Fatalf("quantize %s: %v", name, err)
+		}
+		art, err := compiler.Compile(qm, compiler.Options{Allocator: compiler.Reuse})
+		if err != nil {
+			tb.Fatalf("compile %s: %v", name, err)
+		}
+		img := art.Program.WeightImage
+		if len(img) < isa.WeightTileBytes {
+			continue
+		}
+		tile := make([]byte, isa.WeightTileBytes)
+		for j := range tile {
+			tile[j] = byte(img[j])
+		}
+		tiles = append(tiles, tile)
+	}
+	if len(tiles) == 0 {
+		tb.Fatal("no seed tiles compiled")
+	}
+	return tiles
+}
+
+// FuzzChecksumVerify is the native fuzz target over the ABFT verifier:
+// for arbitrary tiles, activation rows and injected single bit flips, the
+// check must (a) pass on clean outputs, (b) flag any flip that changed the
+// output, (c) localize it to the exact column with the exact delta, and
+// (d) correct it back to the bit-exact clean row.
+func FuzzChecksumVerify(f *testing.F) {
+	for i, tile := range sixAppTiles(f) {
+		f.Add(tile, []byte{1, 2, 3, byte(i)}, uint32(i*37), byte(i))
+	}
+	f.Add([]byte{}, []byte{}, uint32(0), byte(0))
+
+	f.Fuzz(func(t *testing.T, tileBytes, actBytes []byte, flipAt uint32, flipBit byte) {
+		// Build a tile from the fuzzed bytes (zero-padded / truncated).
+		raw := make([]int8, isa.WeightTileBytes)
+		for i := 0; i < len(tileBytes) && i < len(raw); i++ {
+			raw[i] = int8(tileBytes[i])
+		}
+		tile, err := systolic.TileFromBytes(raw)
+		if err != nil {
+			t.Fatalf("TileFromBytes: %v", err)
+		}
+		var act [isa.MatrixDim]int8
+		for i := 0; i < len(actBytes) && i < len(act); i++ {
+			act[i] = int8(actBytes[i])
+		}
+
+		arr := systolic.New()
+		if err := arr.LoadShadow(tile); err != nil {
+			t.Fatal(err)
+		}
+		if err := arr.Commit(); err != nil {
+			t.Fatal(err)
+		}
+		clean, err := arr.MulRow(&act)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cs := tile.Checksums()
+		if ck := cs.VerifyRow(&act, clean); !ck.OK {
+			t.Fatalf("clean output flagged: %+v", ck)
+		}
+
+		col := int(flipAt) % isa.MatrixDim
+		bit := uint(flipBit) % 32
+		corrupted := *clean
+		corrupted[col] ^= 1 << bit
+		ck := cs.VerifyRow(&act, &corrupted)
+		if ck.OK {
+			t.Fatalf("flip at col %d bit %d undetected", col, bit)
+		}
+		if ck.Col != col {
+			t.Fatalf("flip at col %d localized to col %d", col, ck.Col)
+		}
+		if want := int64(corrupted[col]) - int64(clean[col]); ck.Delta != want {
+			t.Fatalf("delta %d, want %d", ck.Delta, want)
+		}
+		ok, err := cs.CorrectRow(&act, &corrupted, ck)
+		if err != nil || !ok {
+			t.Fatalf("correction failed: ok=%v err=%v", ok, err)
+		}
+		if corrupted != *clean {
+			t.Fatal("corrected row differs from clean row")
+		}
+	})
+}

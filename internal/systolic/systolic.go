@@ -24,6 +24,12 @@ import (
 // input (contraction) dimension, col the output dimension.
 type Tile struct {
 	W [isa.MatrixDim][isa.MatrixDim]int8
+
+	// abft lazily caches the tile's ABFT checksum encoding (see abft.go);
+	// it is latched when the tile first serves an integrity-checked matmul,
+	// the way the physical checksum columns would be computed during the
+	// shift into the array.
+	abft abft
 }
 
 // TileFromBytes builds a tile from the 64 KiB row-major layout Weight
@@ -86,6 +92,10 @@ func (a *Array) Commit() error {
 
 // HasActive reports whether a weight tile is resident.
 func (a *Array) HasActive() bool { return a.active != nil }
+
+// Active returns the resident weight tile (nil when none) — the device's
+// integrity layer reads its ABFT checksum columns through this.
+func (a *Array) Active() *Tile { return a.active }
 
 // MulRow pushes one 256-wide activation row through the array, producing
 // the 256-wide partial-sum row the accumulators receive. The systolic

@@ -46,6 +46,13 @@ type Counters struct {
 	// (expanding repeat fields).
 	Instructions, Matmuls, Activates, Syncs int64
 
+	// IntegrityChecks counts integrity checks executed this run (ABFT rows,
+	// CRC sidecar ranges, parity ranges, PCIe frames); IntegrityDetected
+	// the checks that caught corruption; IntegrityCorrected the in-place
+	// repairs; TilesRecomputed the matmul rows recomputed after ABFT
+	// flagged damage algebra could not localize. All zero at IntegrityOff.
+	IntegrityChecks, IntegrityDetected, IntegrityCorrected, TilesRecomputed int64
+
 	// MACs is the total useful multiply-accumulate operations performed.
 	MACs float64
 }

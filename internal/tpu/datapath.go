@@ -46,6 +46,24 @@ func (d *Device) matmulData(in *isa.Instruction, rows, usedRows int) error {
 	if int(in.AccAddr)+rows > isa.AccumulatorCount {
 		return fmt.Errorf("matmul writes accumulators %d..%d beyond %d", in.AccAddr, int(in.AccAddr)+rows, isa.AccumulatorCount)
 	}
+	// Fault seam: UB upsets land just before the first matmul consumes the
+	// buffer, mapped into the written extent so they hit bytes in use.
+	if !d.ubFlipped && rows > 0 {
+		d.ubFlipped = true
+		d.applyFlips(FlipUB, func(f Flip) {
+			hw := d.ub.HighWater()
+			if hw == 0 {
+				hw = d.ub.Size()
+			}
+			d.ub.FlipBit(uint32(f.Addr%uint64(hw)), f.Bit)
+		})
+	}
+	// Check the input span's CRC rows before gathering: corruption caught
+	// here never reaches the array.
+	if err := d.verifyMatmulInput(in, rows, usedRows); err != nil {
+		return err
+	}
+
 	s := matmulPool.Get().(*matmulScratch)
 	defer matmulPool.Put(s)
 	s.grab(rows)
@@ -72,7 +90,53 @@ func (d *Device) matmulData(in *isa.Instruction, rows, usedRows int) error {
 	if err := d.arr.MultiplyInto(s.in, s.out, d.cfg.parallelism()); err != nil {
 		return err
 	}
-	return d.acc.StoreRows(int(in.AccAddr), s.out, accumulate)
+	// Fault seam: PE upsets corrupt a partial sum between the array and the
+	// accumulators — exactly what the ABFT checksum columns guard.
+	d.applyFlips(FlipPE, func(f Flip) {
+		r := int(f.Addr % uint64(rows))
+		c := int((f.Addr / uint64(rows)) % uint64(isa.MatrixDim))
+		s.out[r][c] ^= 1 << (f.Bit % 32)
+	})
+	if err := d.verifyMatmulABFT(s, rows); err != nil {
+		return err
+	}
+	if accumulate {
+		// Read-modify-write: parity is checked on the read half, the point
+		// real parity SRAM catches a stored upset.
+		if err := d.verifyAcc(int(in.AccAddr), rows); err != nil {
+			return err
+		}
+	}
+	if err := d.acc.StoreRows(int(in.AccAddr), s.out, accumulate); err != nil {
+		return err
+	}
+	// Fault seam: accumulator upsets land in freshly written registers.
+	d.applyFlips(FlipAcc, func(f Flip) {
+		idx := int(in.AccAddr) + int(f.Addr%uint64(rows))
+		off := int((f.Addr / uint64(rows)) % uint64(isa.MatrixDim*4))
+		d.acc.FlipBit(idx, off, f.Bit)
+	})
+	return nil
+}
+
+// verifyMatmulInput CRC-checks the UB span a MatrixMultiply is about to
+// gather. The FC path covers the exact strided window; the convolution
+// gather's addresses scatter across the whole tensor, so it checks the
+// written extent.
+func (d *Device) verifyMatmulInput(in *isa.Instruction, rows, usedRows int) error {
+	if d.cfg.Integrity == IntegrityOff || rows == 0 {
+		return nil
+	}
+	if in.Flags&isa.FlagConvolve != 0 {
+		return d.verifyUB(0, d.ub.HighWater(), "unified-buffer")
+	}
+	stride := d.regs[isa.RegMatStride]
+	if stride == 0 {
+		stride = isa.MatrixDim
+	}
+	lo := in.UBAddr + d.regs[isa.RegMatSrcOff]
+	n := int(stride)*(rows-1) + usedRows
+	return d.verifyUB(lo, n, "unified-buffer")
 }
 
 // convGather builds one 256-wide systolic input row for a convolution: the
@@ -159,6 +223,11 @@ func (d *Device) activateData(in *isa.Instruction, fromUB bool) error {
 		stride = uint32(cols)
 	}
 	colOff := d.regs[isa.RegActColOff]
+	// The Activate drain is the accumulators' read port: check parity over
+	// the registers about to requantize.
+	if err := d.verifyAcc(int(in.AccAddr), rows); err != nil {
+		return err
+	}
 	outRow := make([]int8, cols)
 	for i := 0; i < rows; i++ {
 		acc, err := d.acc.Load(int(in.AccAddr) + i)

@@ -27,6 +27,7 @@ import (
 	"math"
 	goruntime "runtime"
 
+	"tpusim/internal/integrity"
 	"tpusim/internal/isa"
 	"tpusim/internal/memory"
 	"tpusim/internal/pcie"
@@ -67,6 +68,12 @@ type Config struct {
 	// Hook intercepts every program execution for fault injection (see
 	// RunHook). nil — the production configuration — runs directly.
 	Hook RunHook
+	// Integrity selects the data-integrity machinery (see IntegrityLevel):
+	// ABFT on matmul outputs, CRC/parity sidecars on every memory, PCIe
+	// frame checks. Off — the default — runs the bare datapath. The timing
+	// model charges the ABFT checksum columns' 2/256 occupancy whenever the
+	// level is not Off, in timing-only runs too.
+	Integrity IntegrityLevel
 }
 
 // parallelism returns the effective functional worker count.
@@ -109,10 +116,22 @@ type Device struct {
 	fifoTiles [][]int8
 	fifoReady []float64
 	fifoMeta  []isa.TileMeta
+	fifoCRC   []uint32
 	fifoHead  int
 	tileHead  int
 	fetchIdx  int
 	popTimes  []float64
+
+	// Integrity state. gw is the live weight DRAM (keyed to gwProg so
+	// corruption persists across runs of one program until scrubbed), ledger
+	// the lifetime ledger (allocated once so concurrent metric reads stay
+	// safe), pendingFlips the queued fault injections; all three survive
+	// reset. ubFlipped is the per-run "UB flips applied" latch.
+	gw           *memory.GuardedWeights
+	gwProg       *isa.Program
+	ledger       *integrityLedger
+	pendingFlips []Flip
+	ubFlipped    bool
 
 	// Timing state, in cycles.
 	issue       float64
@@ -142,7 +161,7 @@ func New(cfg Config) (*Device, error) {
 	if cfg.ClockMHz <= 0 || cfg.WeightGBs <= 0 || cfg.PCIeGBs <= 0 {
 		return nil, fmt.Errorf("tpu: non-positive config parameter: %+v", cfg)
 	}
-	d := &Device{cfg: cfg}
+	d := &Device{cfg: cfg, ledger: &integrityLedger{}}
 	if cfg.Functional {
 		d.ub = memory.NewUnifiedBuffer()
 		d.acc = memory.NewAccumulators()
@@ -169,12 +188,31 @@ func (d *Device) run(p *isa.Program, host []int8) (Counters, error) {
 		return Counters{}, fmt.Errorf("tpu: functional run requires a weight image")
 	}
 	d.reset()
+	// The run's integrity counters fold into the lifetime ledger on every
+	// exit path — a detected-corruption failure still counts its checks.
+	defer d.flushInteg()
 	d.prog = p
 	d.host = host
 	var err error
 	d.wm, err = memory.NewWeightMemoryAt(p.WeightImage, d.cfg.WeightGBs, p.WeightBase)
 	if err != nil {
 		return Counters{}, err
+	}
+	if d.cfg.Functional {
+		// Functional fetches go through the live weight DRAM so injected
+		// corruption persists across runs of this program until scrubbed.
+		if d.gwProg != p {
+			gw, err := memory.NewGuardedWeights(p.WeightImage, d.cfg.WeightGBs, p.WeightBase)
+			if err != nil {
+				return Counters{}, err
+			}
+			d.gw, d.gwProg = gw, p
+		}
+		d.applyFlips(FlipWeights, func(f Flip) { d.gw.FlipBit(f.Addr, f.Bit) })
+		if d.cfg.Integrity != IntegrityOff {
+			d.ub.EnableGuard()
+			d.acc.EnableGuard()
+		}
 	}
 	d.sizeFIFOs(p)
 
@@ -202,7 +240,11 @@ func (d *Device) reset() {
 	fifoTiles, fifoReady := d.fifoTiles[:0], d.fifoReady[:0]
 	fifoMeta, popTimes := d.fifoMeta[:0], d.popTimes[:0]
 	*d = Device{cfg: d.cfg, ub: d.ub, acc: d.acc, arr: d.arr,
-		fifoTiles: fifoTiles, fifoReady: fifoReady, fifoMeta: fifoMeta, popTimes: popTimes}
+		fifoTiles: fifoTiles, fifoReady: fifoReady, fifoMeta: fifoMeta, popTimes: popTimes,
+		fifoCRC: d.fifoCRC[:0],
+		// Integrity state survives reset: the live weight DRAM keeps its
+		// corruption, the ledger its history, the flip queue its injections.
+		gw: d.gw, gwProg: d.gwProg, ledger: d.ledger, pendingFlips: d.pendingFlips}
 	if d.cfg.Functional {
 		d.ub = memory.NewUnifiedBuffer()
 		d.acc = memory.NewAccumulators()
@@ -227,6 +269,9 @@ func (d *Device) sizeFIFOs(p *isa.Program) {
 		if d.cfg.Functional {
 			d.fifoTiles = make([][]int8, 0, tiles)
 		}
+	}
+	if d.cfg.Functional && d.cfg.Integrity != IntegrityOff && cap(d.fifoCRC) < tiles {
+		d.fifoCRC = make([]uint32, 0, tiles)
 	}
 }
 
@@ -288,7 +333,21 @@ func (d *Device) execReadHost(in *isa.Instruction) error {
 	if in.HostAddr+uint64(in.Len) > uint64(len(d.host)) {
 		return fmt.Errorf("host read %#x+%d outside %d-byte host buffer", in.HostAddr, in.Len, len(d.host))
 	}
-	return d.ub.Write(in.UBAddr, d.host[in.HostAddr:in.HostAddr+uint64(in.Len)])
+	src := d.host[in.HostAddr : in.HostAddr+uint64(in.Len)]
+	if d.cfg.Integrity == IntegrityOff {
+		return d.ub.Write(in.UBAddr, src)
+	}
+	// Frame the transfer: seal over the host source, verify over the bytes
+	// that landed in the UB.
+	fr := pcie.Seal(src)
+	if err := d.ub.Write(in.UBAddr, src); err != nil {
+		return err
+	}
+	dst, err := d.ub.View(in.UBAddr, int(in.Len))
+	if err != nil {
+		return err
+	}
+	return d.verifySealed(fr, dst, "pcie-in")
 }
 
 func (d *Device) execWriteHost(in *isa.Instruction) error {
@@ -302,12 +361,22 @@ func (d *Device) execWriteHost(in *isa.Instruction) error {
 	if in.HostAddr+uint64(in.Len) > uint64(len(d.host)) {
 		return fmt.Errorf("host write %#x+%d outside %d-byte host buffer", in.HostAddr, in.Len, len(d.host))
 	}
+	// Outbound data is about to leave the device: last chance to catch UB
+	// corruption before it ships.
+	if err := d.verifyUB(in.UBAddr, int(in.Len), "unified-buffer"); err != nil {
+		return err
+	}
 	data, err := d.ub.View(in.UBAddr, int(in.Len))
 	if err != nil {
 		return err
 	}
+	if d.cfg.Integrity == IntegrityOff {
+		copy(d.host[in.HostAddr:], data)
+		return nil
+	}
+	fr := pcie.Seal(data)
 	copy(d.host[in.HostAddr:], data)
-	return nil
+	return d.verifySealed(fr, d.host[in.HostAddr:in.HostAddr+uint64(in.Len)], "pcie-out")
 }
 
 func (d *Device) execReadWeights(in *isa.Instruction) error {
@@ -334,11 +403,15 @@ func (d *Device) execReadWeights(in *isa.Instruction) error {
 		d.c.WeightTilesFetched++
 		d.c.WeightBytesFetched += isa.WeightTileBytes
 		if d.cfg.Functional {
-			tile, err := d.wm.FetchTile(addr)
+			tile, err := d.fetchGuardedTile(addr)
 			if err != nil {
 				return err
 			}
 			d.fifoTiles = append(d.fifoTiles, tile)
+			if d.cfg.Integrity != IntegrityOff {
+				// Seal the tile entering the FIFO; the pop re-checks it.
+				d.fifoCRC = append(d.fifoCRC, integrity.CRC(tile))
+			}
 		}
 	}
 	return nil
@@ -383,6 +456,9 @@ func (d *Device) execMatmul(in *isa.Instruction) error {
 		}
 		if d.cfg.Functional {
 			tileBytes := d.fifoTiles[d.tileHead]
+			if err := d.verifyFIFOTile(d.tileHead, tileBytes); err != nil {
+				return err
+			}
 			d.tileHead++
 			tile, err := systolic.TileFromBytes(tileBytes)
 			if err != nil {
@@ -408,7 +484,13 @@ func (d *Device) execMatmul(in *isa.Instruction) error {
 	if in.Flags&isa.FlagAccumulate == 0 {
 		start = fmax(start, d.accHalfFree[accHalf(in.AccAddr)])
 	}
-	active := float64(systolic.ComputeCycles(rows, mode))
+	var active float64
+	if d.cfg.Integrity != IntegrityOff {
+		// The two ABFT checksum columns ride through the array: 258 wide.
+		active = float64(systolic.ABFTComputeCycles(rows, mode))
+	} else {
+		active = float64(systolic.ComputeCycles(rows, mode))
+	}
 	d.matrixFree = start + active
 	d.emitTrace("matrix", start, d.matrixFree)
 

@@ -18,6 +18,11 @@ type Invocation struct {
 	Host []int8
 	// Run performs the real device execution exactly once.
 	Run func() (Counters, error)
+	// Inject queues a targeted bit flip the device applies at the flip
+	// kind's deterministic point during Run — the hardware-upset seam. Call
+	// before Run; flips the program gives no opportunity to apply (e.g. a
+	// PE flip in a program with no matmul) are dropped when the run ends.
+	Inject func(Flip)
 }
 
 // RunHook intercepts every program execution on a device created with a
@@ -36,6 +41,9 @@ type RunHook func(ctx context.Context, inv Invocation) (Counters, error)
 // the cycle simulator itself is not interruptible — so with a nil hook
 // RunCtx is Run plus one nil check.
 func (d *Device) RunCtx(ctx context.Context, p *isa.Program, host []int8) (Counters, error) {
+	// Flips queued for a previous invocation but never applied (the run
+	// errored before their application point) do not leak into this one.
+	d.pendingFlips = d.pendingFlips[:0]
 	if d.cfg.Hook == nil {
 		return d.run(p, host)
 	}
@@ -43,5 +51,6 @@ func (d *Device) RunCtx(ctx context.Context, p *isa.Program, host []int8) (Count
 		Program: p,
 		Host:    host,
 		Run:     func() (Counters, error) { return d.run(p, host) },
+		Inject:  d.inject,
 	})
 }
