@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: ci vet vet-cmd build test race bench-smoke bench fuzz-smoke cover obs-smoke chaos-smoke integrity-smoke
+.PHONY: ci vet vet-cmd build test race bench-smoke bench bench-gate fuzz-smoke cover obs-smoke chaos-smoke integrity-smoke
 
-ci: vet vet-cmd build race fuzz-smoke cover bench-smoke obs-smoke chaos-smoke integrity-smoke
+ci: vet vet-cmd build race fuzz-smoke cover bench-smoke bench-gate obs-smoke chaos-smoke integrity-smoke
 
 vet:
 	$(GO) vet ./...
@@ -29,6 +29,27 @@ bench-smoke:
 # Full benchmark sweep (tables, figures, kernels).
 bench:
 	$(GO) test -bench . -benchmem ./...
+
+# Performance gates (BENCH_PR6.json). The alloc gates are exact and
+# noise-free: a zero-allocation packed matmul, a zero-allocation Submit
+# round trip, and a per-dispatch object ceiling on the runtime backend.
+# The BenchmarkTable3 ceilings are min-of-3 wall clock (generous — the CI
+# container's scheduler jitter swings tens of percent, but the ceiling
+# still sits well under the pre-optimization ~1 ms) and an exact
+# allocation count, which noise cannot move.
+T3_CEILING_NS ?= 800000
+T3_CEILING_ALLOCS ?= 48
+
+bench-gate:
+	$(GO) test -count=1 ./internal/systolic -run TestMultiplyIntoZeroAlloc
+	$(GO) test -count=1 ./internal/serve -run SteadyStateAllocs
+	@$(GO) test -run xxx -bench 'BenchmarkTable3$$' -benchtime 600x -benchmem -count 3 . > bench-gate.out || { cat bench-gate.out; rm -f bench-gate.out; exit 1; }; \
+	min=$$(awk '/^BenchmarkTable3/ && $$4 == "ns/op" {if (min == "" || $$3+0 < min) min = $$3+0} END {print min}' bench-gate.out); \
+	allocs=$$(awk '/^BenchmarkTable3/ && $$8 == "allocs/op" {a = $$7+0} END {print a}' bench-gate.out); \
+	rm -f bench-gate.out; \
+	echo "BenchmarkTable3: min $$min ns/op (ceiling $(T3_CEILING_NS)), $$allocs allocs/op (ceiling $(T3_CEILING_ALLOCS))"; \
+	[ -n "$$min" ] && [ "$$min" -le $(T3_CEILING_NS) ] || { echo "bench-gate: BenchmarkTable3 min $$min ns/op exceeds $(T3_CEILING_NS)"; exit 1; }; \
+	[ -n "$$allocs" ] && [ "$$allocs" -le $(T3_CEILING_ALLOCS) ] || { echo "bench-gate: BenchmarkTable3 $$allocs allocs/op exceeds $(T3_CEILING_ALLOCS)"; exit 1; }
 
 # Fuzz smoke: run each native fuzz target for a few seconds so CI notices
 # decoder regressions without a dedicated fuzzing job.

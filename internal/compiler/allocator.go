@@ -90,21 +90,39 @@ func (a *naiveAlloc) Peak() int { return a.next }
 
 // reuseAlloc is a first-fit free-list allocator with coalescing.
 type reuseAlloc struct {
-	size  int
-	free  []span // sorted by addr, coalesced
-	live  map[uint32]int
+	size int
+	free []span // sorted by addr, coalesced
+	// live tracks outstanding allocations. The population is the model's
+	// simultaneously-live activation edges — a handful — so an unsorted
+	// slice with linear lookup beats a map on both allocation count and
+	// per-op cost in the compile loop.
+	live  []liveBuf
 	peak  int
 	inUse int
 }
 
 type span struct{ addr, size int }
 
+type liveBuf struct {
+	addr uint32
+	size int
+}
+
 func newReuseAlloc(size int) *reuseAlloc {
 	return &reuseAlloc{
 		size: size,
 		free: []span{{0, size}},
-		live: map[uint32]int{},
 	}
+}
+
+// reset returns the allocator to its freshly-constructed state, reusing the
+// free-list and live-tracking backing arrays (pooled-scratch compiles).
+func (a *reuseAlloc) reset(size int) {
+	a.size = size
+	a.free = append(a.free[:0], span{0, size})
+	a.live = a.live[:0]
+	a.peak = 0
+	a.inUse = 0
 }
 
 func (a *reuseAlloc) Alloc(n int) (uint32, error) {
@@ -122,7 +140,7 @@ func (a *reuseAlloc) Alloc(n int) (uint32, error) {
 		} else {
 			a.free[i] = span{s.addr + n, s.size - n}
 		}
-		a.live[addr] = n
+		a.live = append(a.live, liveBuf{addr, n})
 		a.inUse += n
 		if end := int(addr) + n; end > a.peak {
 			a.peak = end
@@ -134,25 +152,39 @@ func (a *reuseAlloc) Alloc(n int) (uint32, error) {
 }
 
 func (a *reuseAlloc) Free(addr uint32) error {
-	n, ok := a.live[addr]
-	if !ok {
-		return fmt.Errorf("compiler: free of unallocated address %#x", addr)
-	}
-	delete(a.live, addr)
-	a.inUse -= n
-	a.free = append(a.free, span{int(addr), n})
-	sort.Slice(a.free, func(i, j int) bool { return a.free[i].addr < a.free[j].addr })
-	// Coalesce adjacent spans.
-	out := a.free[:1]
-	for _, s := range a.free[1:] {
-		last := &out[len(out)-1]
-		if last.addr+last.size == s.addr {
-			last.size += s.size
-		} else {
-			out = append(out, s)
+	n := -1
+	for j := range a.live {
+		if a.live[j].addr == addr {
+			n = a.live[j].size
+			a.live[j] = a.live[len(a.live)-1]
+			a.live = a.live[:len(a.live)-1]
+			break
 		}
 	}
-	a.free = out
+	if n < 0 {
+		return fmt.Errorf("compiler: free of unallocated address %#x", addr)
+	}
+	a.inUse -= n
+	// The free list is always sorted and coalesced, so the released span
+	// has at most two mergeable neighbors: binary-search its slot and merge
+	// in place instead of re-sorting the whole list on every free.
+	i := sort.Search(len(a.free), func(i int) bool { return a.free[i].addr > int(addr) })
+	mergeLeft := i > 0 && a.free[i-1].addr+a.free[i-1].size == int(addr)
+	mergeRight := i < len(a.free) && int(addr)+n == a.free[i].addr
+	switch {
+	case mergeLeft && mergeRight:
+		a.free[i-1].size += n + a.free[i].size
+		a.free = append(a.free[:i], a.free[i+1:]...)
+	case mergeLeft:
+		a.free[i-1].size += n
+	case mergeRight:
+		a.free[i].addr = int(addr)
+		a.free[i].size += n
+	default:
+		a.free = append(a.free, span{})
+		copy(a.free[i+1:], a.free[i:])
+		a.free[i] = span{int(addr), n}
+	}
 	return nil
 }
 

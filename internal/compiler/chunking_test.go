@@ -107,10 +107,10 @@ func TestWeightAddressesSequentialPerLayer(t *testing.T) {
 		if in.Op != isa.OpReadWeights {
 			continue
 		}
-		if in.WeightAddr < last {
-			t.Fatalf("weight fetch went backwards: %#x after %#x", in.WeightAddr, last)
+		if in.Addr < last {
+			t.Fatalf("weight fetch went backwards: %#x after %#x", in.Addr, last)
 		}
-		last = in.WeightAddr
+		last = in.Addr
 	}
 }
 

@@ -11,6 +11,16 @@ import (
 // (256-byte-padded example rows, or raw flat layout for convolution
 // inputs). This is the driver-side data reformatting of Section 2.
 func PackInput(a *Artifact, in *tensor.I8) ([]int8, error) {
+	return PackInputInto(a, in, nil)
+}
+
+// PackInputInto is PackInput reusing the caller's buffer, reallocating only
+// when its capacity is short of the layout's host-buffer size. The region
+// past the baked operand image — input rows with their 256-byte padding,
+// and the output area the device will overwrite — is re-zeroed each call,
+// because the matrix unit reads input-row padding bytes and a reused buffer
+// still holds the previous run's data there.
+func PackInputInto(a *Artifact, in *tensor.I8, host []int8) ([]int8, error) {
 	if a.HostImage == nil {
 		return nil, fmt.Errorf("compiler: artifact was compiled shape-only; no host image")
 	}
@@ -21,7 +31,12 @@ func PackInput(a *Artifact, in *tensor.I8) ([]int8, error) {
 	if per != a.Layout.InElems {
 		return nil, fmt.Errorf("compiler: input has %d elems per example, layout wants %d", per, a.Layout.InElems)
 	}
-	host := make([]int8, a.Layout.HostBytes)
+	if cap(host) >= a.Layout.HostBytes {
+		host = host[:a.Layout.HostBytes]
+		clear(host[len(a.HostImage):])
+	} else {
+		host = make([]int8, a.Layout.HostBytes)
+	}
 	copy(host, a.HostImage)
 	for b := 0; b < a.Layout.Batch; b++ {
 		dst := a.Layout.InputAddr + b*a.Layout.InputStride
@@ -33,14 +48,35 @@ func PackInput(a *Artifact, in *tensor.I8) ([]int8, error) {
 // UnpackOutput extracts the model output from the host buffer after a run,
 // dropping padding bytes.
 func UnpackOutput(a *Artifact, host []int8) (*tensor.I8, error) {
+	return UnpackOutputInto(a, host, nil)
+}
+
+// UnpackOutputInto is UnpackOutput reusing dst's storage when it is large
+// enough; dst may be nil. Every output byte is overwritten, so no clearing
+// is needed on reuse.
+func UnpackOutputInto(a *Artifact, host []int8, dst *tensor.I8) (*tensor.I8, error) {
 	if len(host) < a.Layout.OutputAddr+a.Layout.OutputBytes {
 		return nil, fmt.Errorf("compiler: host buffer too small: %d < %d",
 			len(host), a.Layout.OutputAddr+a.Layout.OutputBytes)
 	}
-	out := tensor.NewI8(a.Layout.Batch, a.Layout.OutElems)
+	n := a.Layout.Batch * a.Layout.OutElems
+	if dst == nil {
+		dst = &tensor.I8{}
+	}
+	if cap(dst.Data) >= n {
+		dst.Data = dst.Data[:n]
+	} else {
+		dst.Data = make([]int8, n)
+	}
+	if cap(dst.Shape) >= 2 {
+		dst.Shape = dst.Shape[:2]
+		dst.Shape[0], dst.Shape[1] = a.Layout.Batch, a.Layout.OutElems
+	} else {
+		dst.Shape = tensor.Shape{a.Layout.Batch, a.Layout.OutElems}
+	}
 	for b := 0; b < a.Layout.Batch; b++ {
 		src := a.Layout.OutputAddr + b*a.Layout.OutputStride
-		copy(out.Data[b*a.Layout.OutElems:(b+1)*a.Layout.OutElems], host[src:src+a.Layout.OutElems])
+		copy(dst.Data[b*a.Layout.OutElems:(b+1)*a.Layout.OutElems], host[src:src+a.Layout.OutElems])
 	}
-	return out, nil
+	return dst, nil
 }

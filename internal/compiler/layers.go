@@ -19,7 +19,13 @@ type edgeSpec struct {
 // layer i; edge len(layers) is the model output.
 func (lo *lowering) edgeSpecs() ([]edgeSpec, error) {
 	n := len(lo.m.Layers)
-	specs := make([]edgeSpec, n+1)
+	var specs []edgeSpec
+	if cap(lo.specs) >= n+1 {
+		specs = lo.specs[:n+1] // every entry is assigned below
+	} else {
+		specs = make([]edgeSpec, n+1)
+		lo.specs = specs
+	}
 	first := lo.m.Layers[0]
 	if first.Kind == nn.Conv {
 		e := first.Conv.H * first.Conv.W * first.Conv.Cin
@@ -76,14 +82,13 @@ func (lo *lowering) emitProgram() (Layout, error) {
 
 	// Persistent vector-operand buffers, resident for the whole program
 	// like the weight image: allocated first, DMAed once.
-	lo.operandAddr = make([]uint32, n)
-	type operandDMA struct {
-		layer    int
-		ubAddr   uint32
-		hostAddr int
-		bytes    int
+	if cap(lo.operandAddr) >= n {
+		lo.operandAddr = lo.operandAddr[:n]
+		clear(lo.operandAddr)
+	} else {
+		lo.operandAddr = make([]uint32, n)
 	}
-	var operands []operandDMA
+	operands := lo.operands[:0]
 	for i, l := range lo.m.Layers {
 		if l.Kind != nn.Vector || l.VOp == nn.VecActivation {
 			continue
@@ -100,6 +105,7 @@ func (lo *lowering) emitProgram() (Layout, error) {
 			lo.appendOperandData(i, hostAddr, period)
 		}
 	}
+	lo.operands = operands // keep the (possibly regrown) scratch for reuse
 
 	// Input edge.
 	inAddr, err := lo.alloc.Alloc(specs[0].bytes)
@@ -116,12 +122,12 @@ func (lo *lowering) emitProgram() (Layout, error) {
 	}
 
 	lo.emit(isa.Instruction{
-		Op: isa.OpReadHostMemory, HostAddr: uint64(inputHostAddr),
+		Op: isa.OpReadHostMemory, Addr: uint64(inputHostAddr),
 		UBAddr: inAddr, Len: uint32(specs[0].bytes),
 	})
 	for _, o := range operands {
 		lo.emit(isa.Instruction{
-			Op: isa.OpReadHostMemoryAlt, HostAddr: uint64(o.hostAddr),
+			Op: isa.OpReadHostMemoryAlt, Addr: uint64(o.hostAddr),
 			UBAddr: o.ubAddr, Len: uint32(o.bytes),
 		})
 	}
@@ -169,7 +175,7 @@ func (lo *lowering) emitProgram() (Layout, error) {
 	layout.OutElems = cur.elems
 	lo.emit(isa.Instruction{
 		Op: isa.OpWriteHostMemory, UBAddr: cur.addr,
-		HostAddr: uint64(outputHostAddr), Len: uint32(cur.bytes),
+		Addr: uint64(outputHostAddr), Len: uint32(cur.bytes),
 	})
 	lo.emit(isa.Instruction{Op: isa.OpSyncHost})
 	lo.emit(isa.Instruction{Op: isa.OpInterruptHost})
@@ -240,6 +246,7 @@ func (lo *lowering) lowerMatrixLayer(layer, rows, cols, totalRows int, in, out e
 	if conv {
 		outStride = l.Conv.Cout
 	}
+	baseFlags := isa.FlagLoadTile | lo.opts.precisionFlags()
 
 	for s := 0; s < totalRows; s += maxChunk {
 		r := min(maxChunk, totalRows-s)
@@ -256,10 +263,10 @@ func (lo *lowering) lowerMatrixLayer(layer, rows, cols, totalRows int, in, out e
 			for rt := 0; rt < rowTiles; rt++ {
 				lo.emit(isa.Instruction{
 					Op:         isa.OpReadWeights,
-					WeightAddr: lo.tileAddr(layer, rt, c, rowTiles),
+					Addr: lo.tileAddr(layer, rt, c, rowTiles),
 					TileCount:  1,
 				})
-				flags := isa.FlagLoadTile | lo.opts.precisionFlags()
+				flags := baseFlags
 				if rt > 0 {
 					flags |= isa.FlagAccumulate
 				}

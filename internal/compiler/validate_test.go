@@ -1,0 +1,57 @@
+package compiler
+
+import (
+	"testing"
+
+	"tpusim/internal/isa"
+	"tpusim/internal/models"
+	"tpusim/internal/nn"
+)
+
+// TestCompiledProgramsPassFullValidate pins the emit-time validation path
+// (emit + MarkValidated) to isa.Program.Validate: every program the compiler
+// marks validated must also pass a from-scratch full Validate, with the same
+// cached weight-tile count. A divergence here means emit's incremental
+// checks no longer cover Validate's invariants.
+func TestCompiledProgramsPassFullValidate(t *testing.T) {
+	for _, name := range models.Names() {
+		b, err := models.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		optsList := []Options{
+			{Allocator: Reuse},
+			{Allocator: Reuse, WeightBase: 4 * isa.WeightTileBytes},
+			{Allocator: Reuse, Weights16: true, Acts16: true},
+		}
+		if b.Model.Class == nn.MLP {
+			// The CNNs/LSTMs exhaust the naive allocator's 24 MiB (that is
+			// Table 8's point); exercise it where it fits.
+			optsList = append(optsList, Options{Allocator: Naive})
+		}
+		for _, opts := range optsList {
+			art, err := CompileShape(b.Model, opts)
+			if err != nil {
+				t.Fatalf("%s %+v: %v", name, opts, err)
+			}
+			p := art.Program
+			// Same components, fresh Program: the validated latch starts
+			// clear, so Validate really re-walks everything.
+			clone := &isa.Program{
+				Name:         p.Name,
+				Instructions: p.Instructions,
+				WeightImage:  p.WeightImage,
+				WeightBytes:  p.WeightBytes,
+				WeightBase:   p.WeightBase,
+				TileMeta:     p.TileMeta,
+				ActTable:     p.ActTable,
+			}
+			if err := clone.Validate(); err != nil {
+				t.Errorf("%s %+v: compiled program fails full Validate: %v", name, opts, err)
+			}
+			if got, want := p.WeightTiles(), clone.WeightTiles(); got != want {
+				t.Errorf("%s %+v: MarkValidated tile count %d, full Validate counts %d", name, opts, got, want)
+			}
+		}
+	}
+}

@@ -13,7 +13,11 @@ import (
 // order the instruction schedule consumes them, so Read_Weights streams
 // sequentially through DRAM.
 func (lo *lowering) buildWeights() error {
-	lo.layerTiles = make([]int64, len(lo.m.Layers))
+	if n := len(lo.m.Layers); cap(lo.layerTiles) >= n {
+		lo.layerTiles = lo.layerTiles[:n] // every entry is assigned below
+	} else {
+		lo.layerTiles = make([]int64, n)
+	}
 	rowsPerTile := lo.tileRows()
 	for i, l := range lo.m.Layers {
 		lo.layerTiles[i] = lo.weightNext

@@ -88,6 +88,31 @@ func (l *LUT) LookupSlice(dst, src []int8) {
 	}
 }
 
+// DrainRow is the batched activation drain: it requantizes one accumulator
+// row holding products at srcScale into the pre-activation domain and maps
+// each value through the table, dst[j] = Lookup(Requantize(acc[j],
+// srcScale, pre)). The per-element arithmetic is the exact float64
+// expression of Requantize — (float64(acc)*s)/d + zp, round-to-even,
+// saturate — evaluated in the same order, so results are bit-identical to
+// the per-element path; the win is hoisting the scale and zero-point
+// conversions and the two call frames out of the per-element loop, which
+// runs once per 256-wide row draining the accumulators. len(acc) must be at
+// least len(dst).
+func (l *LUT) DrainRow(dst []int8, acc []int32, srcScale float32, pre Params) {
+	s := float64(srcScale)
+	d := float64(pre.Scale)
+	zp := float64(pre.ZeroPoint)
+	tab := &l.Table
+	if len(dst) == 0 {
+		return
+	}
+	acc = acc[:len(dst)]
+	for j := range dst {
+		q := float64(acc[j])*s/d + zp
+		dst[j] = tab[int(SatInt8(int32(math.RoundToEven(q))))+128]
+	}
+}
+
 // OutputParams returns natural symmetric output quantization domains for
 // each nonlinearity: sigmoid outputs lie in (0,1), tanh in (-1,1); ReLU and
 // identity preserve the input domain scaled by the requantization.

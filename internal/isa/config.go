@@ -67,7 +67,7 @@ const (
 // TileMeta records how much of a 64 KiB weight tile holds real weights;
 // edge tiles of a matrix that is not a multiple of 256 are zero-padded.
 // The device uses it to attribute Table 3's "useful MACs in 64K matrix"
-// counter. Indexed by tile number (WeightAddr / WeightTileBytes).
+// counter. Indexed by tile number (Addr / WeightTileBytes).
 type TileMeta struct {
 	Rows, Cols uint16
 }

@@ -53,12 +53,12 @@ func Encode(dst []byte, in Instruction) ([]byte, error) {
 	case OpReadHostMemory, OpReadHostMemoryAlt, OpWriteHostMemory, OpWriteHostMemoryAlt:
 		buf[1] = byte(in.Flags)
 		put24(buf[2:5], in.UBAddr/UBRowBytes)
-		binary.LittleEndian.PutUint64(buf[5:13], in.HostAddr)
+		binary.LittleEndian.PutUint64(buf[5:13], in.Addr)
 		binary.LittleEndian.PutUint32(buf[13:17], in.Len)
 		buf[17] = byte(in.Repeat)
 	case OpReadWeights:
 		buf[1] = byte(in.Flags)
-		put40(buf[2:7], in.WeightAddr)
+		put40(buf[2:7], in.Addr)
 		binary.LittleEndian.PutUint16(buf[7:9], in.TileCount)
 		buf[9] = byte(in.Repeat)
 		// bytes 10-11 reserved
@@ -109,12 +109,12 @@ func Decode(src []byte) (Instruction, int, error) {
 	case OpReadHostMemory, OpReadHostMemoryAlt, OpWriteHostMemory, OpWriteHostMemoryAlt:
 		in.Flags = uint16(buf[1])
 		in.UBAddr = get24(buf[2:5]) * UBRowBytes
-		in.HostAddr = binary.LittleEndian.Uint64(buf[5:13])
+		in.Addr = binary.LittleEndian.Uint64(buf[5:13])
 		in.Len = binary.LittleEndian.Uint32(buf[13:17])
 		in.Repeat = uint16(buf[17])
 	case OpReadWeights:
 		in.Flags = uint16(buf[1])
-		in.WeightAddr = get40(buf[2:7])
+		in.Addr = get40(buf[2:7])
 		in.TileCount = binary.LittleEndian.Uint16(buf[7:9])
 		in.Repeat = uint16(buf[9])
 	case OpActivate:

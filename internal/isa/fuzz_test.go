@@ -60,26 +60,25 @@ func TestEncodeDecodeIdempotent(t *testing.T) {
 		}
 		op := ops[rng.Intn(len(ops))]
 		in := Instruction{
-			Op:         op,
-			Flags:      uint16(rng.Intn(64)) &^ FlagConvolve,
-			Repeat:     uint16(rng.Intn(200)),
-			UBAddr:     uint32(rng.Intn(1<<12)) * UBRowBytes,
-			AccAddr:    uint16(rng.Intn(AccumulatorCount)),
-			Len:        uint32(rng.Intn(1<<16) + 1),
-			HostAddr:   uint64(rng.Intn(1 << 30)),
-			WeightAddr: uint64(rng.Intn(1<<10)) * WeightTileBytes,
-			TileCount:  uint16(rng.Intn(16) + 1),
-			Func:       uint8(rng.Intn(16)),
-			Pool:       uint8(rng.Intn(4)),
-			Tag:        uint16(rng.Intn(1 << 16)),
+			Op:        op,
+			Flags:     uint16(rng.Intn(64)) &^ FlagConvolve,
+			Repeat:    uint16(rng.Intn(200)),
+			UBAddr:    uint32(rng.Intn(1<<12)) * UBRowBytes,
+			AccAddr:   uint16(rng.Intn(AccumulatorCount)),
+			Len:       uint32(rng.Intn(1<<16) + 1),
+			Addr:      uint64(rng.Intn(1 << 30)),
+			TileCount: uint16(rng.Intn(16) + 1),
+			Func:      uint8(rng.Intn(16)),
+			Pool:      uint8(rng.Intn(4)),
+			Tag:       uint16(rng.Intn(1 << 16)),
 		}
 		// Zero out fields the encoding does not carry for this opcode, so
 		// equality after round-trip is well-defined.
 		switch op {
 		case OpMatrixMultiply:
-			in.HostAddr, in.WeightAddr, in.TileCount, in.Func, in.Pool, in.Tag = 0, 0, 0, 0, 0, 0
+			in.Addr, in.TileCount, in.Func, in.Pool, in.Tag = 0, 0, 0, 0, 0
 		case OpReadHostMemory, OpReadHostMemoryAlt, OpWriteHostMemory, OpWriteHostMemoryAlt:
-			in.AccAddr, in.WeightAddr, in.TileCount, in.Func, in.Pool, in.Tag = 0, 0, 0, 0, 0, 0
+			in.AccAddr, in.TileCount, in.Func, in.Pool, in.Tag = 0, 0, 0, 0, 0
 			if in.Repeat > 255 {
 				in.Repeat = 255
 			}
@@ -87,19 +86,20 @@ func TestEncodeDecodeIdempotent(t *testing.T) {
 				in.UBAddr = 0
 			}
 		case OpReadWeights:
-			in.UBAddr, in.AccAddr, in.Len, in.HostAddr, in.Func, in.Pool, in.Tag = 0, 0, 0, 0, 0, 0, 0
+			in.Addr = uint64(rng.Intn(1<<10)) * WeightTileBytes
+			in.UBAddr, in.AccAddr, in.Len, in.Func, in.Pool, in.Tag = 0, 0, 0, 0, 0, 0
 			if in.Repeat > 255 {
 				in.Repeat = 255
 			}
 		case OpActivate:
-			in.HostAddr, in.WeightAddr, in.TileCount, in.Tag = 0, 0, 0, 0
+			in.Addr, in.TileCount, in.Tag = 0, 0, 0
 			if in.Repeat > 255 {
 				in.Repeat = 255
 			}
 		case OpSetConfig:
-			in.UBAddr, in.AccAddr, in.HostAddr, in.WeightAddr, in.TileCount, in.Func, in.Pool, in.Repeat = 0, 0, 0, 0, 0, 0, 0, 0
+			in.UBAddr, in.AccAddr, in.Addr, in.TileCount, in.Func, in.Pool, in.Repeat = 0, 0, 0, 0, 0, 0, 0
 		case OpSync, OpSyncHost, OpDebugTag:
-			in.UBAddr, in.AccAddr, in.Len, in.HostAddr, in.WeightAddr, in.TileCount, in.Func, in.Pool, in.Repeat = 0, 0, 0, 0, 0, 0, 0, 0, 0
+			in.UBAddr, in.AccAddr, in.Len, in.Addr, in.TileCount, in.Func, in.Pool, in.Repeat = 0, 0, 0, 0, 0, 0, 0, 0
 		default: // Nop, InterruptHost, Halt
 			in = Instruction{Op: op, Flags: in.Flags}
 		}

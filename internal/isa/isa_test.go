@@ -38,14 +38,14 @@ func TestConvDimsPack(t *testing.T) {
 }
 
 func TestTimes(t *testing.T) {
-	if (Instruction{Repeat: 0}).Times() != 1 {
-		t.Error("repeat 0 should execute once")
-	}
-	if (Instruction{Repeat: 1}).Times() != 1 {
-		t.Error("repeat 1 should execute once")
-	}
-	if (Instruction{Repeat: 7}).Times() != 7 {
-		t.Error("repeat 7 should execute 7 times")
+	for _, tc := range []struct {
+		repeat uint16
+		want   int
+	}{{0, 1}, {1, 1}, {7, 7}} {
+		in := Instruction{Repeat: tc.repeat}
+		if got := in.Times(); got != tc.want {
+			t.Errorf("repeat %d: Times() = %d, want %d", tc.repeat, got, tc.want)
+		}
 	}
 }
 
@@ -55,9 +55,9 @@ func TestValidateRanges(t *testing.T) {
 		{Op: OpNop, UBAddr: UnifiedBufferBytes},
 		{Op: OpNop, UBAddr: 100}, // unaligned UB address
 		{Op: OpNop, AccAddr: AccumulatorCount},
-		{Op: OpReadWeights, WeightAddr: WeightMemoryBytes, TileCount: 1},
-		{Op: OpReadWeights, WeightAddr: 100, TileCount: 1}, // unaligned
-		{Op: OpReadWeights, WeightAddr: 0, TileCount: 0},
+		{Op: OpReadWeights, Addr: WeightMemoryBytes, TileCount: 1},
+		{Op: OpReadWeights, Addr: 100, TileCount: 1}, // unaligned
+		{Op: OpReadWeights, Addr: 0, TileCount: 0},
 		{Op: OpMatrixMultiply, Len: 0},
 		{Op: OpMatrixMultiply, Flags: FlagConvolve, Len: ConvDims(0, 5)},
 		{Op: OpActivate, Len: 0},
@@ -73,11 +73,11 @@ func TestValidateRanges(t *testing.T) {
 		{Op: OpNop},
 		{Op: OpHalt},
 		{Op: OpSync, Tag: 3},
-		{Op: OpReadWeights, WeightAddr: WeightTileBytes * 3, TileCount: 2},
+		{Op: OpReadWeights, Addr: WeightTileBytes * 3, TileCount: 2},
 		{Op: OpMatrixMultiply, Len: 200, UBAddr: 0x1000, AccAddr: 42},
 		{Op: OpMatrixMultiply, Flags: FlagConvolve, Len: ConvDims(361, 9)},
 		{Op: OpActivate, Len: 256, Func: 1},
-		{Op: OpReadHostMemory, Len: 4096, HostAddr: 1 << 40},
+		{Op: OpReadHostMemory, Len: 4096, Addr: 1 << 40},
 	}
 	for i, in := range good {
 		if err := in.Validate(); err != nil {
@@ -95,11 +95,11 @@ func TestEncodeDecodeRoundTrip(t *testing.T) {
 		{Op: OpSyncHost, Tag: 7},
 		{Op: OpSetConfig, Tag: 12, Flags: 3},
 		{Op: OpDebugTag, Tag: 0xBEE},
-		{Op: OpReadHostMemory, UBAddr: 0x123400, HostAddr: 0xDEADBEEF00, Len: 65536, Repeat: 3},
-		{Op: OpReadHostMemoryAlt, UBAddr: 0x100, HostAddr: 2, Len: 3},
-		{Op: OpWriteHostMemory, UBAddr: 0xFFFF00, HostAddr: 1 << 39, Len: 15},
-		{Op: OpWriteHostMemoryAlt, UBAddr: 0, HostAddr: 0, Len: 1},
-		{Op: OpReadWeights, WeightAddr: WeightTileBytes * 1000, TileCount: 64, Repeat: 2},
+		{Op: OpReadHostMemory, UBAddr: 0x123400, Addr: 0xDEADBEEF00, Len: 65536, Repeat: 3},
+		{Op: OpReadHostMemoryAlt, UBAddr: 0x100, Addr: 2, Len: 3},
+		{Op: OpWriteHostMemory, UBAddr: 0xFFFF00, Addr: 1 << 39, Len: 15},
+		{Op: OpWriteHostMemoryAlt, UBAddr: 0, Addr: 0, Len: 1},
+		{Op: OpReadWeights, Addr: WeightTileBytes * 1000, TileCount: 64, Repeat: 2},
 		{Op: OpMatrixMultiply, UBAddr: 0xABC00, AccAddr: 4095, Len: 250, Flags: FlagLoadTile | FlagAccumulate, Repeat: 9},
 		{Op: OpMatrixMultiply, Flags: FlagConvolve | FlagWeights16, Len: ConvDims(361, 9), AccAddr: 1},
 		{Op: OpActivate, AccAddr: 2048, UBAddr: 0x7FFF00, Len: 1 << 20, Func: 2, Pool: 2, Repeat: 5},
@@ -148,7 +148,7 @@ func TestDecodeErrors(t *testing.T) {
 
 func TestDecodeRejectsCorrupt(t *testing.T) {
 	// Corrupt a valid read_weights so its address is unaligned.
-	wire, err := Encode(nil, Instruction{Op: OpReadWeights, WeightAddr: WeightTileBytes, TileCount: 1})
+	wire, err := Encode(nil, Instruction{Op: OpReadWeights, Addr: WeightTileBytes, TileCount: 1})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -25,7 +25,7 @@ type Program struct {
 	// loaded at; several models can stay resident at distinct bases.
 	WeightBase uint64
 	// TileMeta records real (unpadded) rows/cols per weight tile, indexed
-	// by WeightAddr/WeightTileBytes, for useful-MAC accounting.
+	// by Addr/WeightTileBytes, for useful-MAC accounting.
 	TileMeta []TileMeta
 	// ActTable maps Activate Func selectors to requantization pipelines.
 	ActTable []ActMeta
@@ -35,6 +35,27 @@ type Program struct {
 	// caching the verdict takes full validation off the hot path. Mutating
 	// a Program after a successful Validate is unsupported.
 	validated atomic.Bool
+	// weightTiles caches the total ReadWeights tile count, computed during
+	// Validate's instruction walk and published before validated flips true.
+	weightTiles atomic.Int64
+}
+
+// WeightTiles returns the total number of weight tiles the program's
+// ReadWeights instructions fetch, repeats included — the device's FIFO
+// capacity requirement. Validate computes it during its one instruction
+// walk; on a not-yet-validated program this walks the stream directly.
+func (p *Program) WeightTiles() int {
+	if p.validated.Load() {
+		return int(p.weightTiles.Load())
+	}
+	tiles := 0
+	for i := range p.Instructions {
+		in := &p.Instructions[i]
+		if in.Op == OpReadWeights {
+			tiles += int(in.TileCount) * in.Times()
+		}
+	}
+	return tiles
 }
 
 // WeightExtent returns the addressable weight image size in bytes.
@@ -56,34 +77,53 @@ func (p *Program) Validate() error {
 	if len(p.Instructions) == 0 {
 		return fmt.Errorf("isa: program %q is empty", p.Name)
 	}
-	for i, in := range p.Instructions {
-		if err := in.Validate(); err != nil {
-			return fmt.Errorf("isa: program %q instruction %d: %w", p.Name, i, err)
-		}
-	}
 	if len(p.WeightImage) > WeightMemoryBytes {
 		return fmt.Errorf("isa: program %q weight image %d bytes exceeds 8 GiB", p.Name, len(p.WeightImage))
 	}
 	if p.WeightBase%WeightTileBytes != 0 {
 		return fmt.Errorf("isa: program %q weight base %#x not tile-aligned", p.Name, p.WeightBase)
 	}
+	// One pointer-based walk covers both the per-instruction checks and the
+	// weight-image extent checks: range-by-value here would copy every
+	// 32-byte instruction twice on what is the compile path's largest loop.
 	extent := p.WeightExtent()
-	for i, in := range p.Instructions {
+	tiles := 0
+	for i := range p.Instructions {
+		in := &p.Instructions[i]
+		if err := in.Validate(); err != nil {
+			return fmt.Errorf("isa: program %q instruction %d: %w", p.Name, i, err)
+		}
 		if in.Op != OpReadWeights {
 			continue
 		}
-		if in.WeightAddr < p.WeightBase {
+		tiles += int(in.TileCount) * in.Times()
+		if in.Addr < p.WeightBase {
 			return fmt.Errorf("isa: program %q instruction %d reads weights below its base (%#x < %#x)",
-				p.Name, i, in.WeightAddr, p.WeightBase)
+				p.Name, i, in.Addr, p.WeightBase)
 		}
-		end := in.WeightAddr + uint64(in.TileCount)*WeightTileBytes
+		end := in.Addr + uint64(in.TileCount)*WeightTileBytes
 		if end > p.WeightBase+uint64(extent) {
 			return fmt.Errorf("isa: program %q instruction %d reads weights beyond image (%d > %d)",
 				p.Name, i, end, p.WeightBase+uint64(extent))
 		}
 	}
+	p.weightTiles.Store(int64(tiles))
 	p.validated.Store(true)
 	return nil
+}
+
+// MarkValidated records that the caller has already established every
+// Validate invariant for this exact program, and the weight-tile total
+// Validate would have computed. It exists for incremental assemblers — the
+// compiler validates each instruction at emit time, while it is still
+// cache-hot, and checks weight ranges against its own image as it addresses
+// them — where re-streaming the finished multi-thousand-instruction array
+// through Validate costs more memory traffic than it re-checks. Callers
+// must perform the full equivalent of Validate; the compiler's conformance
+// is pinned by a test that re-runs full Validate over its output.
+func (p *Program) MarkValidated(weightTiles int) {
+	p.weightTiles.Store(int64(weightTiles))
+	p.validated.Store(true)
 }
 
 // Encode serializes the instruction stream to its wire form, the bytes sent

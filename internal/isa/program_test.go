@@ -9,12 +9,12 @@ func sampleProgram(t *testing.T) *Program {
 	t.Helper()
 	p, err := NewBuilder("sample").
 		SetWeightImage(make([]int8, 2*WeightTileBytes)).
-		Emit(Instruction{Op: OpReadHostMemory, HostAddr: 0, UBAddr: 0, Len: 1024}).
-		Emit(Instruction{Op: OpReadWeights, WeightAddr: 0, TileCount: 2}).
+		Emit(Instruction{Op: OpReadHostMemory, Addr: 0, UBAddr: 0, Len: 1024}).
+		Emit(Instruction{Op: OpReadWeights, Addr: 0, TileCount: 2}).
 		Emit(Instruction{Op: OpMatrixMultiply, Flags: FlagLoadTile, UBAddr: 0, AccAddr: 0, Len: 4}).
 		Emit(Instruction{Op: OpActivate, AccAddr: 0, UBAddr: 2048, Len: 4, Func: 1}).
 		Emit(Instruction{Op: OpSync, Tag: 1}).
-		Emit(Instruction{Op: OpWriteHostMemory, UBAddr: 2048, HostAddr: 4096, Len: 1024}).
+		Emit(Instruction{Op: OpWriteHostMemory, UBAddr: 2048, Addr: 4096, Len: 1024}).
 		Emit(Instruction{Op: OpHalt}).
 		Build()
 	if err != nil {
@@ -52,7 +52,7 @@ func TestValidateWeightImageBounds(t *testing.T) {
 	p := &Program{
 		Name: "w",
 		Instructions: []Instruction{
-			{Op: OpReadWeights, WeightAddr: 0, TileCount: 3},
+			{Op: OpReadWeights, Addr: 0, TileCount: 3},
 		},
 		WeightImage: make([]int8, 2*WeightTileBytes),
 	}

@@ -16,6 +16,9 @@ type Accumulators struct {
 	// parity is the optional per-register XOR parity sidecar (EnableGuard);
 	// nil costs one nil check per store.
 	parity []uint32
+	// highWater is the highest register index ever touched (exclusive),
+	// bounding how much Reset must zero.
+	highWater int
 }
 
 // NewAccumulators allocates the full 4096-register file.
@@ -26,6 +29,32 @@ func NewAccumulators() *Accumulators {
 // Count returns the register count (4096).
 func (a *Accumulators) Count() int { return len(a.regs) }
 
+// touch advances the high-water mark over registers [idx, idx+n).
+func (a *Accumulators) touch(idx, n int) {
+	if end := idx + n; end > a.highWater {
+		a.highWater = end
+	}
+}
+
+// Reset returns the file to its freshly-allocated state — every register
+// zero — without reallocating the 4 MiB backing store. Only registers up to
+// the high-water mark are zeroed; parity words over the same range return
+// to zero with them (the parity of a zero register is zero).
+func (a *Accumulators) Reset() {
+	if a.highWater == 0 {
+		return
+	}
+	hw := a.highWater
+	if hw > len(a.regs) {
+		hw = len(a.regs)
+	}
+	clear(a.regs[:hw])
+	if a.parity != nil {
+		clear(a.parity[:hw])
+	}
+	a.highWater = 0
+}
+
 // Store writes one 256-wide partial sum into register idx. With accumulate
 // set, values add saturating into the existing contents (summing partial
 // products across weight-tile rows); otherwise they overwrite.
@@ -33,6 +62,7 @@ func (a *Accumulators) Store(idx int, row *[isa.MatrixDim]int32, accumulate bool
 	if idx < 0 || idx >= len(a.regs) {
 		return fmt.Errorf("memory: accumulator index %d outside [0,%d)", idx, len(a.regs))
 	}
+	a.touch(idx, 1)
 	if !accumulate {
 		a.regs[idx] = *row
 		a.updateParity(idx, 1)
@@ -54,6 +84,7 @@ func (a *Accumulators) StoreRows(idx int, rows [][isa.MatrixDim]int32, accumulat
 	if idx < 0 || idx+len(rows) > len(a.regs) {
 		return fmt.Errorf("memory: accumulator range [%d,%d) outside [0,%d)", idx, idx+len(rows), len(a.regs))
 	}
+	a.touch(idx, len(rows))
 	if !accumulate {
 		copy(a.regs[idx:], rows)
 		a.updateParity(idx, len(rows))
@@ -83,6 +114,7 @@ func (a *Accumulators) Clear(idx, n int) error {
 	if idx < 0 || n < 0 || idx+n > len(a.regs) {
 		return fmt.Errorf("memory: accumulator clear [%d,%d) outside [0,%d)", idx, idx+n, len(a.regs))
 	}
+	a.touch(idx, n)
 	for i := idx; i < idx+n; i++ {
 		a.regs[i] = [isa.MatrixDim]int32{}
 	}

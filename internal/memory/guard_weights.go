@@ -53,6 +53,12 @@ func (g *GuardedWeights) FetchTile(addr uint64) ([]int8, error) {
 	return g.mem.FetchTile(addr)
 }
 
+// FetchTileInto is FetchTile reusing the caller's buffer (see
+// WeightMemory.FetchTileInto).
+func (g *GuardedWeights) FetchTileInto(addr uint64, tile []int8) ([]int8, error) {
+	return g.mem.FetchTileInto(addr, tile)
+}
+
 // TileFetchCycles forwards the DDR3 timing model.
 func (g *GuardedWeights) TileFetchCycles(clockMHz float64) float64 {
 	return g.mem.TileFetchCycles(clockMHz)

@@ -31,6 +31,23 @@ func NewUnifiedBuffer() *UnifiedBuffer {
 // Size returns the buffer capacity in bytes.
 func (u *UnifiedBuffer) Size() int { return len(u.data) }
 
+// Reset returns the buffer to its freshly-allocated state — all zeros, no
+// recorded writes — without reallocating the 24 MiB backing store. Only the
+// dirtied prefix (up to the high-water mark) is zeroed, so a device serving
+// a model that touches a few hundred KB pays for that much memclr, not the
+// full buffer. An attached guard is re-synced over the zeroed prefix, which
+// also clears any injected corruption, exactly as a fresh buffer would.
+func (u *UnifiedBuffer) Reset() {
+	if u.highWater == 0 {
+		return
+	}
+	clear(u.data[:u.highWater])
+	if u.guard != nil {
+		u.guard.Update(u.data, 0, u.highWater)
+	}
+	u.highWater = 0
+}
+
 // Write copies src into the buffer at addr.
 func (u *UnifiedBuffer) Write(addr uint32, src []int8) error {
 	if int(addr)+len(src) > len(u.data) {

@@ -41,16 +41,30 @@ func NewWeightMemoryAt(image []int8, bandwidthGBs float64, base uint64) (*Weight
 // FetchTile returns the 64 KiB tile at a tile-aligned address. Addresses
 // beyond the image return zero weights (unwritten DRAM).
 func (w *WeightMemory) FetchTile(addr uint64) ([]int8, error) {
+	return w.FetchTileInto(addr, nil)
+}
+
+// FetchTileInto is FetchTile reusing the caller's buffer when its capacity
+// allows (it may be nil). The tile is fully overwritten — image bytes where
+// the image covers it, zeros beyond — so recycled buffers carry nothing
+// over.
+func (w *WeightMemory) FetchTileInto(addr uint64, tile []int8) ([]int8, error) {
 	if addr%isa.WeightTileBytes != 0 {
 		return nil, fmt.Errorf("memory: tile address %#x not aligned", addr)
 	}
 	if addr+isa.WeightTileBytes > isa.WeightMemoryBytes {
 		return nil, fmt.Errorf("memory: tile address %#x outside 8 GiB", addr)
 	}
-	tile := make([]int8, isa.WeightTileBytes)
-	if addr >= w.base && addr-w.base < uint64(len(w.image)) {
-		copy(tile, w.image[addr-w.base:])
+	if cap(tile) >= isa.WeightTileBytes {
+		tile = tile[:isa.WeightTileBytes]
+	} else {
+		tile = make([]int8, isa.WeightTileBytes)
 	}
+	n := 0
+	if addr >= w.base && addr-w.base < uint64(len(w.image)) {
+		n = copy(tile, w.image[addr-w.base:])
+	}
+	clear(tile[n:])
 	return tile, nil
 }
 

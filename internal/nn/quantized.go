@@ -107,11 +107,32 @@ func preActivation(l Layer, w *tensor.F32, x *tensor.F32) (*tensor.F32, error) {
 
 // QuantizeInput converts a float batch into the model's int8 input domain.
 func (qm *QuantizedModel) QuantizeInput(in *tensor.F32) *tensor.I8 {
-	out := &tensor.I8{Shape: in.Shape.Clone(), Data: make([]int8, len(in.Data))}
-	for i, v := range in.Data {
-		out.Data[i] = qm.Edge[0].Quantize(v)
+	return qm.QuantizeInputInto(in, nil)
+}
+
+// QuantizeInputInto is QuantizeInput writing into dst, reallocating dst's
+// storage only when it is nil or too small. It exists for steady-state
+// inference loops (the runtime driver quantizes every batch into the same
+// per-model scratch); dst must not be in use by a concurrent reader.
+func (qm *QuantizedModel) QuantizeInputInto(in *tensor.F32, dst *tensor.I8) *tensor.I8 {
+	if dst == nil {
+		dst = &tensor.I8{}
 	}
-	return out
+	if cap(dst.Data) >= len(in.Data) {
+		dst.Data = dst.Data[:len(in.Data)]
+	} else {
+		dst.Data = make([]int8, len(in.Data))
+	}
+	if cap(dst.Shape) >= len(in.Shape) {
+		dst.Shape = dst.Shape[:len(in.Shape)]
+		copy(dst.Shape, in.Shape)
+	} else {
+		dst.Shape = in.Shape.Clone()
+	}
+	for i, v := range in.Data {
+		dst.Data[i] = qm.Edge[0].Quantize(v)
+	}
+	return dst
 }
 
 // DequantizeOutput converts the model's int8 output back to real values.

@@ -254,6 +254,14 @@ func (s *Server) launchAttempt(ctx context.Context, dev int, m *nn.Model, params
 // retry with capped exponential backoff and the failed devices excluded,
 // and optionally cross-check the winning output on a distinct device.
 func (s *Server) runResilient(ctx context.Context, preferred int, m *nn.Model, params *nn.Params, in *tensor.F32) (*InferenceResult, error) {
+	// Attempts can outlive this function: a hedge loser keeps running after
+	// the winner returns, and ctx cancellation abandons whatever is in
+	// flight. Those stragglers still read the input tensor, while the
+	// caller — the serve layer's pooled dispatch scratch in particular — is
+	// free to recycle it the moment we return. So the attempts share a
+	// private snapshot instead of the caller's buffer: one copy per
+	// resilient request, nothing on the raw path.
+	in = in.Clone()
 	excluded := map[int]bool{}
 	backoff := s.res.baseBackoff()
 	var lastErr error

@@ -97,6 +97,14 @@ type entry struct {
 	dev *tpu.Device
 
 	runSem chan struct{} // cap 1
+
+	// Per-batch scratch — the quantized input, packed host buffer, and
+	// unpacked quantized output — reused run after run. Guarded by runSem:
+	// only the goroutine holding the semaphore may touch these, and every
+	// read of them (unpack included) happens before release.
+	qin  *tensor.I8
+	host []int8
+	qout *tensor.I8
 }
 
 // acquire takes the entry's device, or gives up when ctx is cancelled.
@@ -297,11 +305,6 @@ func (d *Driver) RunCtx(ctx context.Context, m *nn.Model, params *nn.Params, in 
 		return nil, err
 	}
 
-	qin := e.qm.QuantizeInput(in)
-	host, err := compiler.PackInput(e.art, qin)
-	if err != nil {
-		return nil, err
-	}
 	var rsp *obs.Span
 	if obs.FromContext(ctx) != nil {
 		_, rsp = obs.Start(ctx, "run", d.label,
@@ -314,6 +317,21 @@ func (d *Driver) RunCtx(ctx context.Context, m *nn.Model, params *nn.Params, in 
 		}
 		return nil, err
 	}
+	// Quantize and pack inside the semaphore region so the entry's scratch
+	// buffers (qin, host, qout) can be reused batch after batch: the
+	// semaphore already serializes the device per model, and these stages
+	// cost microseconds against a multi-millisecond device run.
+	e.qin = e.qm.QuantizeInputInto(in, e.qin)
+	host, err := compiler.PackInputInto(e.art, e.qin, e.host)
+	if err != nil {
+		e.release()
+		if rsp.Recording() {
+			rsp.SetAttr(obs.String("error", err.Error()))
+			rsp.End()
+		}
+		return nil, err
+	}
+	e.host = host
 	wallStart := time.Now()
 	c, err := e.dev.RunCtx(ctx, e.art.Program, host)
 	var devSpans []obs.SpanData
@@ -331,6 +349,20 @@ func (d *Driver) RunCtx(ctx context.Context, m *nn.Model, params *nn.Params, in 
 			NextID:          rsp.Tracer().NextID,
 			MaxEvents:       maxDeviceSpans,
 		})
+	}
+	// Unpack and dequantize before releasing the semaphore: host and qout
+	// are entry scratch, overwritten the moment the next run acquires the
+	// device. The dequantized output is freshly allocated — it escapes to
+	// the caller with the result.
+	var output *tensor.F32
+	var unpackErr error
+	if err == nil {
+		var qout *tensor.I8
+		qout, unpackErr = compiler.UnpackOutputInto(e.art, host, e.qout)
+		if unpackErr == nil {
+			e.qout = qout
+			output = e.qm.DequantizeOutput(qout)
+		}
 	}
 	e.release()
 	for _, sd := range devSpans {
@@ -356,12 +388,11 @@ func (d *Driver) RunCtx(ctx context.Context, m *nn.Model, params *nn.Params, in 
 	d.matrixActive += c.MatrixActive
 	d.deviceSeconds += devSeconds
 	d.mu.Unlock()
-	qout, err := compiler.UnpackOutput(e.art, host)
-	if err != nil {
-		return nil, err
+	if unpackErr != nil {
+		return nil, unpackErr
 	}
 	return &InferenceResult{
-		Output:        e.qm.DequantizeOutput(qout),
+		Output:        output,
 		Counters:      c,
 		DeviceSeconds: devSeconds,
 		Cached:        cached,

@@ -105,6 +105,16 @@ type servedModel struct {
 	m      *nn.Model
 	params *nn.Params
 	dev    int
+
+	// batchMu serializes batch assembly for this model and guards in, the
+	// reused full-batch input tensor. The serving layer already serializes
+	// per-model batches (one dispatcher per lane), and the runtime driver
+	// serializes device runs per model, so holding it across the whole
+	// stack-run-split costs no parallelism that existed before — and buys a
+	// steady state where the largest per-dispatch allocation (batch x
+	// input-row float32) happens once per model instead of once per batch.
+	batchMu sync.Mutex
+	in      *tensor.F32
 }
 
 // RuntimeBackend executes batches for real on a runtime.Server: it stacks
@@ -165,7 +175,12 @@ func (b *RuntimeBackend) RunCtx(ctx context.Context, model string, inputs []*ten
 			len(inputs), model, sm.m.Batch)
 	}
 	rowIn := sm.m.InputElems()
-	in := tensor.NewF32(batchInputShape(sm.m)...)
+	sm.batchMu.Lock()
+	defer sm.batchMu.Unlock()
+	if sm.in == nil {
+		sm.in = tensor.NewF32(batchInputShape(sm.m)...)
+	}
+	in := sm.in
 	for i, t := range inputs {
 		if len(t.Data) != rowIn {
 			return nil, fmt.Errorf("serve: request %d has %d input elems, %s wants %d",
@@ -173,6 +188,11 @@ func (b *RuntimeBackend) RunCtx(ctx context.Context, model string, inputs []*ten
 		}
 		copy(in.Data[i*rowIn:(i+1)*rowIn], t.Data)
 	}
+	// A fresh tensor arrived zeroed; the reused one still holds the last
+	// batch's rows, so short batches must re-zero their padding rows (a
+	// real deployment pads the matrix unit with zeros, and the functional
+	// datapath's outputs for real rows must not see stale neighbors).
+	clear(in.Data[len(inputs)*rowIn:])
 	res, err := b.srv.RunOnCtx(ctx, sm.dev, sm.m, sm.params, in)
 	if err != nil {
 		return nil, err

@@ -69,6 +69,14 @@ type lane struct {
 	// without one (all breaker methods are nil-safe).
 	br *breaker
 
+	// Dispatcher-owned scratch, touched only by the lane's single dispatch
+	// goroutine: the batch under assembly, the input-pointer slice handed
+	// to the backend, and the fill-wait timer. Reusing them keeps the
+	// steady-state dispatch loop allocation-free.
+	batch  []*call
+	inputs []*tensor.F32
+	timer  *time.Timer
+
 	mu     sync.Mutex
 	closed bool
 	ch     chan *call
@@ -93,6 +101,26 @@ type call struct {
 type callDone struct {
 	resp Response
 	err  error
+}
+
+// callPool recycles call objects and their one-shot done channels across
+// requests. The lifecycle makes this safe: every call receives exactly one
+// callDone send (served, expired, failed, or never published at all), the
+// sender's last touch of the call is that send, and the receiver in Submit
+// recycles only after consuming it — so a pooled call is always quiescent
+// and its buffered channel always empty.
+var callPool = sync.Pool{
+	New: func() any { return &call{done: make(chan callDone, 1)} },
+}
+
+// getCall checks a recycled call out of the pool.
+func getCall() *call { return callPool.Get().(*call) }
+
+// putCall scrubs request state (the reusable done channel survives) and
+// returns the call to the pool.
+func putCall(c *call) {
+	c.ctx, c.span, c.qspan, c.input = nil, nil, nil, nil
+	callPool.Put(c)
 }
 
 // NewServer creates a server over the given backend.
@@ -183,7 +211,8 @@ func (s *Server) SubmitCtx(ctx context.Context, model string, input *tensor.F32)
 		ctx, root = s.tracer.StartRoot(ctx, "request", l.reqTrack,
 			obs.String("model", model), obs.String("request_id", obs.RequestID(reqID)))
 	}
-	c := &call{ctx: ctx, span: root, id: reqID, input: input, enq: time.Now(), done: make(chan callDone, 1)}
+	c := getCall()
+	c.ctx, c.span, c.id, c.input, c.enq = ctx, root, reqID, input, time.Now()
 
 	var admit *obs.Span
 	if root.Recording() {
@@ -196,6 +225,7 @@ func (s *Server) SubmitCtx(ctx context.Context, model string, input *tensor.F32)
 	l.mu.Lock()
 	if l.closed {
 		l.mu.Unlock()
+		putCall(c) // never published; safe to recycle now
 		s.finishRejected(admit, root, "closed")
 		return Response{}, ErrClosed
 	}
@@ -203,6 +233,7 @@ func (s *Server) SubmitCtx(ctx context.Context, model string, input *tensor.F32)
 	if ok, reason := l.br.admit(len(l.ch), cap(l.ch)); !ok {
 		l.mm.ShedBreaker(reason)
 		l.mu.Unlock()
+		putCall(c)
 		s.finishRejected(admit, root, reason)
 		if s.logger != nil {
 			s.logger.Warn("request shed at admission",
@@ -219,6 +250,7 @@ func (s *Server) SubmitCtx(ctx context.Context, model string, input *tensor.F32)
 	default:
 		l.mm.ShedQueue()
 		l.mu.Unlock()
+		putCall(c)
 		s.finishRejected(admit, root, "shed_queue")
 		if s.logger != nil {
 			s.logger.Warn("request shed at admission",
@@ -236,6 +268,7 @@ func (s *Server) SubmitCtx(ctx context.Context, model string, input *tensor.F32)
 	}
 
 	d := <-c.done
+	putCall(c) // the dispatcher's done send was its last touch of c
 	if root.Recording() {
 		root.SetAttr(obs.String("outcome", outcomeOf(d.err)))
 		if d.err == nil {
@@ -300,7 +333,7 @@ func (s *Server) dispatch(l *lane) {
 			return
 		}
 		picked(head)
-		batch := []*call{head}
+		batch := append(l.batch[:0], head)
 		// The breaker can shrink the batch target mid-flight (brownout) or
 		// pin it to 1 (open: trials ride alone), so resolve it per batch.
 		target := l.br.batchLimit(l.plan.SafeBatch)
@@ -314,7 +347,14 @@ func (s *Server) dispatch(l *lane) {
 			}
 			wait := l.plan.MaxWaitSeconds - time.Since(head.enq).Seconds()
 			if wait > 0 {
-				timer := time.NewTimer(time.Duration(wait * float64(time.Second)))
+				// One timer per lane, Reset per batch: since Go 1.23 a
+				// Reset without draining cannot deliver a stale tick, so
+				// the plain Reset/Stop pair is race-free here.
+				if l.timer == nil {
+					l.timer = time.NewTimer(time.Duration(wait * float64(time.Second)))
+				} else {
+					l.timer.Reset(time.Duration(wait * float64(time.Second)))
+				}
 			fill:
 				for len(batch) < target {
 					select {
@@ -324,11 +364,11 @@ func (s *Server) dispatch(l *lane) {
 						}
 						picked(c)
 						batch = append(batch, c)
-					case <-timer.C:
+					case <-l.timer.C:
 						break fill
 					}
 				}
-				timer.Stop()
+				l.timer.Stop()
 			}
 			// Greedily drain anything already queued up to the safe batch:
 			// the wait budget is spent, but a fuller batch is free.
@@ -351,6 +391,11 @@ func (s *Server) dispatch(l *lane) {
 			}
 		}
 		l.mm.SetQueueDepth(len(l.ch))
+		// Keep the (possibly grown) backing array for the next batch. The
+		// stale *call pointers left in it are dead the moment runBatch
+		// returns — every member has had its done send by then — and are
+		// overwritten before the next dispatch reads them.
+		l.batch = batch[:0]
 		s.runBatch(l, batch)
 	}
 }
@@ -404,10 +449,14 @@ func (s *Server) runBatch(l *lane, batch []*call) {
 	if len(kept) == 0 {
 		return
 	}
-	inputs := make([]*tensor.F32, len(kept))
-	for i, c := range kept {
-		inputs[i] = c.input
+	inputs := l.inputs[:0]
+	for _, c := range kept {
+		inputs = append(inputs, c.input)
 	}
+	// Note the backing array is NOT cleared after the run: a backend may
+	// alias it in its return value (SimBackend echoes inputs as outputs),
+	// and the stale refs it pins are bounded by one safe batch of rows.
+	l.inputs = inputs[:0]
 	outputs, err := s.runBackend(ctx, l.model, inputs)
 	if err != nil {
 		s.recordBreaker(l, true)

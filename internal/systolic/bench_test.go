@@ -56,34 +56,47 @@ func BenchmarkMultiplyBatch(b *testing.B) {
 	}
 }
 
-// BenchmarkMultiply sweeps batch size with the blocked kernel, serial
-// versus sharded across GOMAXPROCS workers. Outputs are bit-identical
-// between the two (see TestMultiplyIntoParallelDeterministic); only the
-// wall clock differs.
+// BenchmarkMultiply sweeps batch size across the packed SWAR kernel and
+// the retained scalar kernel, serial versus sharded across GOMAXPROCS
+// workers. All arms are bit-identical (see
+// TestMultiplyIntoParallelDeterministic and FuzzMulRowEquivalence); only
+// the wall clock differs. MB/s counts activation input bytes, so
+// benchstat comparisons across kernels and batch sizes are one command:
+//
+//	go test ./internal/systolic -bench BenchmarkMultiply -count 10 | benchstat -
 func BenchmarkMultiply(b *testing.B) {
-	for _, batch := range []int{8, 64, 256} {
+	for _, batch := range []int{8, 64, 256, 1024} {
 		a := benchArray(b)
 		in := make([]int8, batch*isa.MatrixDim)
 		for i := range in {
 			in[i] = int8(i * 7)
 		}
 		out := make([][isa.MatrixDim]int32, batch)
-		for _, bc := range []struct {
-			name    string
-			workers int
+		a.active.packed() // latch the lane image outside the timer
+		for _, kc := range []struct {
+			name string
+			rng  mulRangeFn
 		}{
-			{"serial", 1},
-			{fmt.Sprintf("parallel-%d", runtime.GOMAXPROCS(0)), 0},
+			{"packed", a.packedRange()},
+			{"scalar", a.scalarRange()},
 		} {
-			b.Run(fmt.Sprintf("B=%d/%s", batch, bc.name), func(b *testing.B) {
-				b.SetBytes(int64(len(in)))
-				b.ResetTimer()
-				for i := 0; i < b.N; i++ {
-					if err := a.MultiplyInto(in, out, bc.workers); err != nil {
-						b.Fatal(err)
+			for _, bc := range []struct {
+				name    string
+				workers int
+			}{
+				{"serial", 1},
+				{fmt.Sprintf("parallel-%d", runtime.GOMAXPROCS(0)), 0},
+			} {
+				b.Run(fmt.Sprintf("B=%d/%s/%s", batch, kc.name, bc.name), func(b *testing.B) {
+					b.SetBytes(int64(len(in)))
+					b.ResetTimer()
+					for i := 0; i < b.N; i++ {
+						if err := a.multiplyIntoWith(kc.rng, in, out, bc.workers); err != nil {
+							b.Fatal(err)
+						}
 					}
-				}
-			})
+				})
+			}
 		}
 	}
 }

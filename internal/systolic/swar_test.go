@@ -1,0 +1,215 @@
+package systolic
+
+import (
+	"math/rand"
+	"testing"
+
+	"tpusim/internal/isa"
+)
+
+// swarArray builds an array with the given tile resident.
+func swarArray(t testing.TB, tile *Tile) *Array {
+	t.Helper()
+	a := New()
+	if err := a.LoadShadow(tile); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+// TestSWAROverflowBoundary drives every lane of the SWAR kernel to its
+// provable maximum: all 256 weights in a column at -128 (packed byte 0,
+// complemented to 255 for negative activations) and all 256 activations at
+// -128 (u = 128, the largest magnitude). Each 16-bit lane product is then
+// 128*255 = 32640, each pair sum 65280 — the last value below a 16-bit
+// carry — and each widened 32-bit lane accumulates the full-rank maximum
+// 256*32640 = 8,355,840, the last point below a cross-lane carry at the
+// widening step. The true dot product 256*(-128)*(-128) = +4,194,304 and
+// its negation (weights +127) must both come out exact.
+func TestSWAROverflowBoundary(t *testing.T) {
+	tile := &Tile{}
+	var in [isa.MatrixDim]int8
+	for r := 0; r < isa.MatrixDim; r++ {
+		in[r] = -128
+		for c := 0; c < isa.MatrixDim; c++ {
+			if c%2 == 0 {
+				tile.W[r][c] = -128 // max positive product with v=-128
+			} else {
+				tile.W[r][c] = 127 // max negative product with v=-128
+			}
+		}
+	}
+	a := swarArray(t, tile)
+	out := make([][isa.MatrixDim]int32, 1)
+	if err := a.MultiplyInto(in[:], out, 1); err != nil {
+		t.Fatal(err)
+	}
+	ref, err := a.MulRow(&in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c := 0; c < isa.MatrixDim; c++ {
+		want := int32(256 * 128 * 128) // 4,194,304
+		if c%2 == 1 {
+			want = -256 * 128 * 127
+		}
+		if out[0][c] != want {
+			t.Fatalf("col %d: packed kernel %d, want %d", c, out[0][c], want)
+		}
+		if ref[c] != want {
+			t.Fatalf("col %d: MulRow reference %d, want %d", c, ref[c], want)
+		}
+	}
+}
+
+// TestSWARSingleRowTail exercises the odd-n tail (a lone row in the pair
+// loop) at both magnitude extremes.
+func TestSWARSingleRowTail(t *testing.T) {
+	for _, v := range []int8{1, -1, 127, -128} {
+		tile := &Tile{}
+		for c := 0; c < isa.MatrixDim; c++ {
+			tile.W[3][c] = int8(c - 128)
+		}
+		a := swarArray(t, tile)
+		var in [isa.MatrixDim]int8
+		in[3] = v // exactly one nonzero row: n = 1
+		out := make([][isa.MatrixDim]int32, 1)
+		if err := a.MultiplyInto(in[:], out, 1); err != nil {
+			t.Fatal(err)
+		}
+		for c := 0; c < isa.MatrixDim; c++ {
+			if want := int32(v) * int32(int8(c-128)); out[0][c] != want {
+				t.Fatalf("v=%d col %d: got %d, want %d", v, c, out[0][c], want)
+			}
+		}
+	}
+}
+
+// TestScalarKernelMatchesPacked pins the retained scalar kernel to the SWAR
+// kernel over random batches, so the benchmark's packed-vs-scalar arms
+// always compute the same function.
+func TestScalarKernelMatchesPacked(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	tile := &Tile{}
+	for r := 0; r < isa.MatrixDim; r++ {
+		for c := 0; c < isa.MatrixDim; c++ {
+			tile.W[r][c] = int8(rng.Intn(256) - 128)
+		}
+	}
+	a := swarArray(t, tile)
+	const batch = 7
+	in := make([]int8, batch*isa.MatrixDim)
+	for i := range in {
+		if rng.Intn(3) == 0 {
+			in[i] = 0 // exercise the zero-row skip
+		} else {
+			in[i] = int8(rng.Intn(256) - 128)
+		}
+	}
+	packed := make([][isa.MatrixDim]int32, batch)
+	scalar := make([][isa.MatrixDim]int32, batch)
+	if err := a.multiplyIntoWith(a.packedRange(), in, packed, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.multiplyIntoWith(a.scalarRange(), in, scalar, 1); err != nil {
+		t.Fatal(err)
+	}
+	if packed[0] == scalar[0] && packed[batch-1] == scalar[batch-1] {
+		for i := range packed {
+			if packed[i] != scalar[i] {
+				t.Fatalf("row %d: packed and scalar kernels diverge", i)
+			}
+		}
+	}
+}
+
+// TestMultiplyIntoZeroAlloc is the kernel-side allocation gate: the batched
+// multiply must not allocate in steady state (the lane image is latched on
+// first use), at any worker count that stays on the caller's goroutine.
+func TestMultiplyIntoZeroAlloc(t *testing.T) {
+	tile := &Tile{}
+	for r := 0; r < isa.MatrixDim; r++ {
+		for c := 0; c < isa.MatrixDim; c++ {
+			tile.W[r][c] = int8(r ^ c)
+		}
+	}
+	a := swarArray(t, tile)
+	const batch = 16
+	in := make([]int8, batch*isa.MatrixDim)
+	for i := range in {
+		in[i] = int8(i * 7)
+	}
+	out := make([][isa.MatrixDim]int32, batch)
+	if err := a.MultiplyInto(in, out, 1); err != nil { // latch the lane image
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		if err := a.MultiplyInto(in, out, 1); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("MultiplyInto steady state: %v allocs/op, want 0", allocs)
+	}
+}
+
+// FuzzMulRowEquivalence feeds random tiles and activation rows — including
+// the ±128 extremes — through the packed SWAR path and checks every output
+// word against the naive MulRow reference. The corpus seeds pin the
+// boundary cases; the fuzzer mutates from there.
+func FuzzMulRowEquivalence(f *testing.F) {
+	f.Add(int64(1), int8(-128), int8(-128), uint8(0))
+	f.Add(int64(2), int8(127), int8(-128), uint8(3))
+	f.Add(int64(3), int8(-128), int8(127), uint8(128))
+	f.Add(int64(4), int8(1), int8(-1), uint8(255))
+	f.Fuzz(func(t *testing.T, seed int64, wBias, aBias int8, sparsity uint8) {
+		rng := rand.New(rand.NewSource(seed))
+		tile := &Tile{}
+		for r := 0; r < isa.MatrixDim; r++ {
+			for c := 0; c < isa.MatrixDim; c++ {
+				// Mix random weights with the bias value so mutated seeds
+				// can saturate whole tiles at the extremes.
+				if rng.Intn(4) == 0 {
+					tile.W[r][c] = wBias
+				} else {
+					tile.W[r][c] = int8(rng.Intn(256) - 128)
+				}
+			}
+		}
+		a := swarArray(t, tile)
+		const batch = 3
+		in := make([]int8, batch*isa.MatrixDim)
+		for i := range in {
+			switch {
+			case rng.Intn(256) < int(sparsity):
+				in[i] = 0
+			case rng.Intn(4) == 0:
+				in[i] = aBias
+			default:
+				in[i] = int8(rng.Intn(256) - 128)
+			}
+		}
+		out := make([][isa.MatrixDim]int32, batch)
+		if err := a.MultiplyInto(in, out, 1); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < batch; i++ {
+			row := (*[isa.MatrixDim]int8)(in[i*isa.MatrixDim:])
+			ref, err := a.MulRow(row)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if *ref != out[i] {
+				for c := range ref {
+					if ref[c] != out[i][c] {
+						t.Fatalf("row %d col %d: packed %d != MulRow %d",
+							i, c, out[i][c], ref[c])
+					}
+				}
+			}
+		}
+	})
+}

@@ -30,6 +30,60 @@ type Tile struct {
 	// the way the physical checksum columns would be computed during the
 	// shift into the array.
 	abft abft
+
+	// lanes lazily caches the SWAR layout the batched kernel consumes: each
+	// weight row as 32 uint64 words of 8 bias-shifted bytes (see packed).
+	// Like the abft checksums it is latched at first use and assumes W is
+	// not mutated afterwards; fault injection corrupts weight DRAM before
+	// the tile is fetched, or datapath scratch after, never a live tile.
+	lanes packedLanes
+}
+
+// packedLanes holds the lazily built SWAR lane image of a tile.
+type packedLanes struct {
+	once  sync.Once
+	words []uint64
+}
+
+// SWAR kernel geometry: 8 weight bytes per 64-bit word, 32 words per row.
+const laneGroups = isa.MatrixDim / 8
+
+const (
+	// biasWord flips every int8 sign bit: b ^ 0x80 == b+128 as a uint8, so
+	// packed bytes are the bias-128 weights in [0, 255].
+	biasWord = 0x8080808080808080
+	// evenBytes extracts bytes 0,2,4,6 of a word into four 16-bit lanes.
+	evenBytes = 0x00FF00FF00FF00FF
+	// loHalves extracts 16-bit lanes 0 and 2 into two 32-bit lanes.
+	loHalves = 0x0000FFFF0000FFFF
+)
+
+// packed returns the tile's SWAR lane image, building it on first use: word
+// g of row r holds the eight bias-128 weight bytes W[r][8g..8g+7]+128 in
+// little-endian byte order at words[r*laneGroups+g]. The build runs once per
+// tile (sync.Once, safe under MultiplyInto's worker fan-out) and costs one
+// pass over the 64 KiB tile — amortized across every multiply against it.
+func (t *Tile) packed() []uint64 {
+	t.lanes.once.Do(func() {
+		w := make([]uint64, isa.MatrixDim*laneGroups)
+		for r := 0; r < isa.MatrixDim; r++ {
+			row := &t.W[r]
+			base := r * laneGroups
+			for g := 0; g < laneGroups; g++ {
+				c := g * 8
+				w[base+g] = (uint64(uint8(row[c])) |
+					uint64(uint8(row[c+1]))<<8 |
+					uint64(uint8(row[c+2]))<<16 |
+					uint64(uint8(row[c+3]))<<24 |
+					uint64(uint8(row[c+4]))<<32 |
+					uint64(uint8(row[c+5]))<<40 |
+					uint64(uint8(row[c+6]))<<48 |
+					uint64(uint8(row[c+7]))<<56) ^ biasWord
+			}
+		}
+		t.lanes.words = w
+	})
+	return t.lanes.words
 }
 
 // TileFromBytes builds a tile from the 64 KiB row-major layout Weight
@@ -150,6 +204,22 @@ func (a *Array) Multiply(in []int8) ([][isa.MatrixDim]int32, error) {
 // same block iteration order as the serial path, so results are
 // deterministic and bit-identical for every worker count.
 func (a *Array) MultiplyInto(in []int8, out [][isa.MatrixDim]int32, workers int) error {
+	return a.multiplyIntoWith((*Array).mulRange, in, out, workers)
+}
+
+// mulRangeFn is a batched kernel body: it computes output rows [lo, hi).
+// The two implementations are (*Array).mulRange (SWAR) and
+// (*Array).mulRangeScalar; both are method expressions — static function
+// values — so selecting one costs no allocation.
+type mulRangeFn func(a *Array, in []int8, out [][isa.MatrixDim]int32, lo, hi int)
+
+// packedRange and scalarRange expose the two kernel bodies to the
+// packed-vs-scalar benchmark dimension.
+func (a *Array) packedRange() mulRangeFn { return (*Array).mulRange }
+func (a *Array) scalarRange() mulRangeFn { return (*Array).mulRangeScalar }
+
+// multiplyIntoWith is MultiplyInto with an explicit kernel body.
+func (a *Array) multiplyIntoWith(rng mulRangeFn, in []int8, out [][isa.MatrixDim]int32, workers int) error {
 	if a.active == nil {
 		return fmt.Errorf("systolic: no active weight tile")
 	}
@@ -167,7 +237,7 @@ func (a *Array) MultiplyInto(in []int8, out [][isa.MatrixDim]int32, workers int)
 		workers = b
 	}
 	if workers <= 1 {
-		a.mulRange(in, out, 0, b)
+		rng(a, in, out, 0, b)
 		return nil
 	}
 	// Shard the batch rows into contiguous per-worker chunks. Chunks never
@@ -179,7 +249,7 @@ func (a *Array) MultiplyInto(in []int8, out [][isa.MatrixDim]int32, workers int)
 		wg.Add(1)
 		go func(lo, hi int) {
 			defer wg.Done()
-			a.mulRange(in, out, lo, hi)
+			rng(a, in, out, lo, hi)
 		}(lo, hi)
 	}
 	wg.Wait()
@@ -187,14 +257,127 @@ func (a *Array) MultiplyInto(in []int8, out [][isa.MatrixDim]int32, workers int)
 }
 
 // mulRange computes output rows [lo, hi) of the batched matmul with the
-// cache-blocked inner loop. For each activation row it walks the weight
-// tile in blockRows x 256 blocks: the block's nonzero activation values and
-// weight-row pointers are gathered once (the zero-row skip), then each
-// 4-column group accumulates the whole block in registers before storing —
-// one output store per column per block instead of one per MAC. Blocks and
-// rows within a block are visited in ascending order, the same per-element
-// accumulation order as MulRow, so results are bit-identical.
+// SWAR kernel: one uint64 multiply handles 8 weight columns at once.
+//
+// The trick is the bias-128 encoding in the packed lane image (see packed):
+// with w' = w+128 in [0,255] and u = |v| in [1,128] for a nonzero
+// activation v,
+//
+//	v > 0: v*w = u*w'       - 128*u
+//	v < 0: v*w = u*(255-w') - 127*u
+//
+// and 255-w' per byte is just the complement, so XORing the whole packed
+// word with ^0 (negative v) or 0 (positive v) yields the operand byte in
+// [0,255] either way. The kernel multiplies the masked even/odd bytes of
+// the word by u — each 16-bit lane product is at most 128*255 = 32640 <
+// 2^15, so two rows' products sum to < 2^16 with no cross-lane carry —
+// then widens the four 16-bit lanes into four uint64 accumulators holding
+// 2x32-bit lanes each. 256 contraction rows add at most 256*32640 =
+// 8,355,840 < 2^31 per 32-bit lane, so the widened sums never carry and
+// fit int32. The per-row scalar correction corr = sum(128*u | 127*u) is
+// subtracted once per column. Every step is exact integer arithmetic, so
+// results are bit-identical to MulRow for any worker count and any
+// accumulation order; the zero-row skip carries over from the gather.
 func (a *Array) mulRange(in []int8, out [][isa.MatrixDim]int32, lo, hi int) {
+	t := a.active
+	pw := t.packed()
+	// Gather scratch, reused across the range's activation rows: |v|, the
+	// packed-row pointer, and the complement mask per nonzero row.
+	var (
+		us  [isa.MatrixDim]uint64
+		rws [isa.MatrixDim]*[laneGroups]uint64
+		xms [isa.MatrixDim]uint64
+	)
+	for i := lo; i < hi; i++ {
+		row := (*[isa.MatrixDim]int8)(in[i*isa.MatrixDim:])
+		o := &out[i]
+		n := 0
+		corr := int32(0)
+		for r := 0; r < isa.MatrixDim; r++ {
+			v := int32(row[r])
+			if v == 0 {
+				continue
+			}
+			u := v
+			if v > 0 {
+				xms[n] = 0
+				corr += u << 7 // 128*u
+			} else {
+				u = -v
+				xms[n] = ^uint64(0)
+				corr += u<<7 - u // 127*u
+			}
+			us[n] = uint64(u)
+			rws[n] = (*[laneGroups]uint64)(pw[r*laneGroups:])
+			n++
+		}
+		if n == 0 {
+			*o = [isa.MatrixDim]int32{}
+			continue
+		}
+		// acc is the widened accumulator strip: 4 words per 8-column group.
+		// acc[4g+0] holds columns 8g+0 (low 32 bits) and 8g+4 (high),
+		// acc[4g+1] 8g+1/8g+5, acc[4g+2] 8g+2/8g+6, acc[4g+3] 8g+3/8g+7.
+		// At 1 KiB it stays L1-resident while row pairs stream the packed
+		// tile sequentially — rows outer, groups inner, so the 64 KiB lane
+		// image is read once per activation row with unit stride instead of
+		// 32 strided re-walks.
+		var acc [4 * laneGroups]uint64
+		k := 0
+		for ; k+1 < n; k += 2 {
+			r1, r2 := rws[k], rws[k+1]
+			u1, u2 := us[k], us[k+1]
+			x1, x2 := xms[k], xms[k+1]
+			for g := 0; g < laneGroups; g++ {
+				w1 := r1[g] ^ x1
+				w2 := r2[g] ^ x2
+				se := (w1&evenBytes)*u1 + (w2&evenBytes)*u2
+				so := (w1>>8&evenBytes)*u1 + (w2>>8&evenBytes)*u2
+				j := g * 4
+				acc[j] += se & loHalves
+				acc[j+1] += so & loHalves
+				acc[j+2] += se >> 16 & loHalves
+				acc[j+3] += so >> 16 & loHalves
+			}
+		}
+		if k < n {
+			r1, u1, x1 := rws[k], us[k], xms[k]
+			for g := 0; g < laneGroups; g++ {
+				w1 := r1[g] ^ x1
+				se := (w1 & evenBytes) * u1
+				so := (w1 >> 8 & evenBytes) * u1
+				j := g * 4
+				acc[j] += se & loHalves
+				acc[j+1] += so & loHalves
+				acc[j+2] += se >> 16 & loHalves
+				acc[j+3] += so >> 16 & loHalves
+			}
+		}
+		for g := 0; g < laneGroups; g++ {
+			j := g * 4
+			a04, a15, a26, a37 := acc[j], acc[j+1], acc[j+2], acc[j+3]
+			c := g * 8
+			o[c] = int32(uint32(a04)) - corr
+			o[c+1] = int32(uint32(a15)) - corr
+			o[c+2] = int32(uint32(a26)) - corr
+			o[c+3] = int32(uint32(a37)) - corr
+			o[c+4] = int32(a04>>32) - corr
+			o[c+5] = int32(a15>>32) - corr
+			o[c+6] = int32(a26>>32) - corr
+			o[c+7] = int32(a37>>32) - corr
+		}
+	}
+}
+
+// mulRangeScalar is the pre-SWAR cache-blocked kernel, kept as the scalar
+// arm of BenchmarkMultiply's packed-vs-scalar comparison and as a second
+// reference implementation for the equivalence tests. For each activation
+// row it walks the weight tile in blockRows x 256 blocks: the block's
+// nonzero activation values and weight-row pointers are gathered once (the
+// zero-row skip), then each 8-column group accumulates the whole block in
+// registers before storing. It visits rows in ascending order like MulRow,
+// so it too is bit-identical.
+func (a *Array) mulRangeScalar(in []int8, out [][isa.MatrixDim]int32, lo, hi int) {
 	t := a.active
 	for i := lo; i < hi; i++ {
 		// Slice-to-array-pointer conversions give the compiler fixed

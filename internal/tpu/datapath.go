@@ -228,21 +228,46 @@ func (d *Device) activateData(in *isa.Instruction, fromUB bool) error {
 	if err := d.verifyAcc(int(in.AccAddr), rows); err != nil {
 		return err
 	}
-	outRow := make([]int8, cols)
+	s := actPool.Get().(*actScratch)
+	defer actPool.Put(s)
+	outRow := s.growOut(cols)
 	for i := 0; i < rows; i++ {
 		acc, err := d.acc.Load(int(in.AccAddr) + i)
 		if err != nil {
 			return err
 		}
-		for j := 0; j < cols; j++ {
-			pre := fixed.Requantize(acc[j], meta.SrcScale, meta.Pre)
-			outRow[j] = meta.Lut.Lookup(pre)
-		}
+		meta.Lut.DrainRow(outRow, acc[:cols], meta.SrcScale, meta.Pre)
 		if err := d.ub.Write(in.UBAddr+uint32(i)*stride+colOff, outRow); err != nil {
 			return err
 		}
 	}
 	return nil
+}
+
+// actScratch is the pooled staging area for the activation unit: one output
+// row (or vector) and one pre-activation accumulator vector, so the drain
+// performs no per-instruction allocation.
+type actScratch struct {
+	out []int8
+	acc []int32
+}
+
+var actPool = sync.Pool{New: func() any { return &actScratch{} }}
+
+func (s *actScratch) growOut(n int) []int8 {
+	if cap(s.out) < n {
+		s.out = make([]int8, n)
+	}
+	s.out = s.out[:n]
+	return s.out
+}
+
+func (s *actScratch) growAcc(n int) []int32 {
+	if cap(s.acc) < n {
+		s.acc = make([]int32, n)
+	}
+	s.acc = s.acc[:n]
+	return s.acc
 }
 
 // activateVector implements the standalone elementwise layers routed
@@ -268,19 +293,25 @@ func (d *Device) activateVector(in *isa.Instruction, meta isa.ActMeta) error {
 			return err
 		}
 	}
-	out := make([]int8, n)
-	for i := 0; i < n; i++ {
-		var acc int32
-		switch {
-		case in.Flags&isa.FlagVecScale != 0:
-			acc = int32(src[i]) * int32(operand[i%width])
-		case in.Flags&isa.FlagVecBias != 0:
-			acc = fixed.SatAdd32(int32(src[i]), int32(operand[i%width]))
-		default:
-			acc = int32(src[i])
+	s := actPool.Get().(*actScratch)
+	defer actPool.Put(s)
+	out := s.growOut(n)
+	acc := s.growAcc(n)
+	switch {
+	case in.Flags&isa.FlagVecScale != 0:
+		for i := 0; i < n; i++ {
+			acc[i] = int32(src[i]) * int32(operand[i%width])
 		}
-		out[i] = meta.Lut.Lookup(fixed.Requantize(acc, meta.SrcScale, meta.Pre))
+	case in.Flags&isa.FlagVecBias != 0:
+		for i := 0; i < n; i++ {
+			acc[i] = fixed.SatAdd32(int32(src[i]), int32(operand[i%width]))
+		}
+	default:
+		for i := 0; i < n; i++ {
+			acc[i] = int32(src[i])
+		}
 	}
+	meta.Lut.DrainRow(out, acc, meta.SrcScale, meta.Pre)
 	return d.ub.Write(in.UBAddr, out)
 }
 
@@ -309,7 +340,9 @@ func (d *Device) activatePool(in *isa.Instruction) error {
 		return err
 	}
 	oh, ow := h/p, w/p
-	out := make([]int8, batch*oh*ow*c)
+	sc := actPool.Get().(*actScratch)
+	defer actPool.Put(sc)
+	out := sc.growOut(batch * oh * ow * c)
 	for img := 0; img < batch; img++ {
 		for oy := 0; oy < oh; oy++ {
 			for ox := 0; ox < ow; ox++ {

@@ -121,6 +121,11 @@ type Device struct {
 	tileHead  int
 	fetchIdx  int
 	popTimes  []float64
+	// tileBufFree recycles 64 KiB tile fetch buffers: a buffer returns here
+	// once the matrix unit has copied its tile out of the FIFO, and the
+	// next ReadWeights fetches into it instead of allocating. Survives
+	// reset, so steady-state runs fetch with zero allocation.
+	tileBufFree [][]int8
 
 	// Integrity state. gw is the live weight DRAM (keyed to gwProg so
 	// corruption persists across runs of one program until scrubbed), ledger
@@ -133,15 +138,20 @@ type Device struct {
 	pendingFlips []Flip
 	ubFlipped    bool
 
-	// Timing state, in cycles.
-	issue       float64
-	dramFree    float64
-	shiftDone   float64
-	matrixFree  float64
-	actFree     float64
-	pcieFree    float64
-	barrier     float64
-	accHalfFree [2]float64
+	// Timing state, in cycles. tileFetchCycles and fifoCap are per-run
+	// caches of values that are constant for a run (weight bandwidth, clock
+	// and FIFO depth never change mid-program) but were being recomputed —
+	// a float divide and a branch — once per fetched tile in the exec loop.
+	tileFetchCycles float64
+	fifoCap         int
+	issue           float64
+	dramFree        float64
+	shiftDone       float64
+	matrixFree      float64
+	actFree         float64
+	pcieFree        float64
+	barrier         float64
+	accHalfFree     [2]float64
 
 	prog *isa.Program
 	host []int8
@@ -214,12 +224,19 @@ func (d *Device) run(p *isa.Program, host []int8) (Counters, error) {
 			d.acc.EnableGuard()
 		}
 	}
+	d.tileFetchCycles = d.wm.TileFetchCycles(d.cfg.ClockMHz)
+	d.fifoCap = d.cfg.fifoDepth()
 	d.sizeFIFOs(p)
 
 	for i := range p.Instructions {
 		in := &p.Instructions[i]
-		d.instrIdx, d.instrOp = i, in.Op
-		for rep := 0; rep < in.Times(); rep++ {
+		if d.cfg.Trace {
+			// Only emitTrace reads these; skip the two stores per
+			// instruction on untraced runs.
+			d.instrIdx, d.instrOp = i, in.Op
+		}
+		times := in.Times()
+		for rep := 0; rep < times; rep++ {
 			if err := d.exec(in); err != nil {
 				return Counters{}, fmt.Errorf("tpu: instruction %d (%s): %w", i, in, err)
 			}
@@ -241,27 +258,30 @@ func (d *Device) reset() {
 	fifoMeta, popTimes := d.fifoMeta[:0], d.popTimes[:0]
 	*d = Device{cfg: d.cfg, ub: d.ub, acc: d.acc, arr: d.arr,
 		fifoTiles: fifoTiles, fifoReady: fifoReady, fifoMeta: fifoMeta, popTimes: popTimes,
-		fifoCRC: d.fifoCRC[:0],
+		fifoCRC:     d.fifoCRC[:0],
+		tileBufFree: d.tileBufFree,
+		profTags:    d.profTags[:0], profMarks: d.profMarks[:0],
 		// Integrity state survives reset: the live weight DRAM keeps its
 		// corruption, the ledger its history, the flip queue its injections.
 		gw: d.gw, gwProg: d.gwProg, ledger: d.ledger, pendingFlips: d.pendingFlips}
 	if d.cfg.Functional {
-		d.ub = memory.NewUnifiedBuffer()
-		d.acc = memory.NewAccumulators()
+		// Zero the storage in place instead of reallocating 28 MiB per run:
+		// Reset clears only the previous run's dirtied extent (high-water
+		// marks), so a model touching a few hundred KB pays that much
+		// memclr, and repeated runs on one device produce no garbage. The
+		// array is two pointers; a fresh one keeps the "no tile loaded"
+		// start state exactly.
+		d.ub.Reset()
+		d.acc.Reset()
 		d.arr = systolic.New()
 	}
 }
 
 // sizeFIFOs pre-sizes the FIFO queues to the program's total tile count so
-// the hot exec loop never calls growslice.
+// the hot exec loop never calls growslice. The count comes from the cache
+// Program.Validate fills (run validates first), not a fresh stream walk.
 func (d *Device) sizeFIFOs(p *isa.Program) {
-	tiles := 0
-	for i := range p.Instructions {
-		in := &p.Instructions[i]
-		if in.Op == isa.OpReadWeights {
-			tiles += int(in.TileCount) * in.Times()
-		}
-	}
+	tiles := p.WeightTiles()
 	if cap(d.fifoReady) < tiles {
 		d.fifoReady = make([]float64, 0, tiles)
 		d.fifoMeta = make([]isa.TileMeta, 0, tiles)
@@ -330,10 +350,10 @@ func (d *Device) execReadHost(in *isa.Instruction) error {
 	if !d.cfg.Functional {
 		return nil
 	}
-	if in.HostAddr+uint64(in.Len) > uint64(len(d.host)) {
-		return fmt.Errorf("host read %#x+%d outside %d-byte host buffer", in.HostAddr, in.Len, len(d.host))
+	if in.Addr+uint64(in.Len) > uint64(len(d.host)) {
+		return fmt.Errorf("host read %#x+%d outside %d-byte host buffer", in.Addr, in.Len, len(d.host))
 	}
-	src := d.host[in.HostAddr : in.HostAddr+uint64(in.Len)]
+	src := d.host[in.Addr : in.Addr+uint64(in.Len)]
 	if d.cfg.Integrity == IntegrityOff {
 		return d.ub.Write(in.UBAddr, src)
 	}
@@ -358,8 +378,8 @@ func (d *Device) execWriteHost(in *isa.Instruction) error {
 	if !d.cfg.Functional {
 		return nil
 	}
-	if in.HostAddr+uint64(in.Len) > uint64(len(d.host)) {
-		return fmt.Errorf("host write %#x+%d outside %d-byte host buffer", in.HostAddr, in.Len, len(d.host))
+	if in.Addr+uint64(in.Len) > uint64(len(d.host)) {
+		return fmt.Errorf("host write %#x+%d outside %d-byte host buffer", in.Addr, in.Len, len(d.host))
 	}
 	// Outbound data is about to leave the device: last chance to catch UB
 	// corruption before it ships.
@@ -371,23 +391,23 @@ func (d *Device) execWriteHost(in *isa.Instruction) error {
 		return err
 	}
 	if d.cfg.Integrity == IntegrityOff {
-		copy(d.host[in.HostAddr:], data)
+		copy(d.host[in.Addr:], data)
 		return nil
 	}
 	fr := pcie.Seal(data)
-	copy(d.host[in.HostAddr:], data)
-	return d.verifySealed(fr, d.host[in.HostAddr:in.HostAddr+uint64(in.Len)], "pcie-out")
+	copy(d.host[in.Addr:], data)
+	return d.verifySealed(fr, d.host[in.Addr:in.Addr+uint64(in.Len)], "pcie-out")
 }
 
 func (d *Device) execReadWeights(in *isa.Instruction) error {
-	fetchCycles := d.wm.TileFetchCycles(d.cfg.ClockMHz)
+	fetchCycles := d.tileFetchCycles
 	for t := 0; t < int(in.TileCount); t++ {
-		addr := in.WeightAddr + uint64(t)*isa.WeightTileBytes
+		addr := in.Addr + uint64(t)*isa.WeightTileBytes
 		start := fmax(d.dramFree, d.issue)
 		// FIFO backpressure: the DRAM cannot push tile k until tile
 		// k-depth has left the FIFO for the matrix unit.
-		if d.fetchIdx >= d.cfg.fifoDepth() {
-			backIdx := d.fetchIdx - d.cfg.fifoDepth()
+		if d.fetchIdx >= d.fifoCap {
+			backIdx := d.fetchIdx - d.fifoCap
 			if backIdx < len(d.popTimes) {
 				start = fmax(start, d.popTimes[backIdx])
 			} else {
@@ -403,7 +423,11 @@ func (d *Device) execReadWeights(in *isa.Instruction) error {
 		d.c.WeightTilesFetched++
 		d.c.WeightBytesFetched += isa.WeightTileBytes
 		if d.cfg.Functional {
-			tile, err := d.fetchGuardedTile(addr)
+			var buf []int8
+			if n := len(d.tileBufFree); n > 0 {
+				buf, d.tileBufFree = d.tileBufFree[n-1], d.tileBufFree[:n-1]
+			}
+			tile, err := d.fetchGuardedTile(addr, buf)
 			if err != nil {
 				return err
 			}
@@ -464,6 +488,9 @@ func (d *Device) execMatmul(in *isa.Instruction) error {
 			if err != nil {
 				return err
 			}
+			// TileFromBytes copied the payload; the fetch buffer is free.
+			d.fifoTiles[d.tileHead-1] = nil
+			d.tileBufFree = append(d.tileBufFree, tileBytes)
 			if err := d.arr.LoadShadow(tile); err != nil {
 				return err
 			}

@@ -227,7 +227,7 @@ func TestHostBufferBounds(t *testing.T) {
 	prog := &isa.Program{
 		Name: "dma",
 		Instructions: []isa.Instruction{
-			{Op: isa.OpReadHostMemory, HostAddr: 0, UBAddr: 0, Len: 1 << 20},
+			{Op: isa.OpReadHostMemory, Addr: 0, UBAddr: 0, Len: 1 << 20},
 			{Op: isa.OpHalt},
 		},
 		WeightImage: []int8{},

@@ -45,7 +45,7 @@ func expectRunError(t *testing.T, p *isa.Program, substr string) {
 
 func TestMatmulBeyondAccumulatorFile(t *testing.T) {
 	expectRunError(t, funcProg(
-		isa.Instruction{Op: isa.OpReadWeights, WeightAddr: 0, TileCount: 1},
+		isa.Instruction{Op: isa.OpReadWeights, Addr: 0, TileCount: 1},
 		isa.Instruction{Op: isa.OpMatrixMultiply, Flags: isa.FlagLoadTile, AccAddr: 4000, Len: 200},
 	), "accumulators")
 }
@@ -58,7 +58,7 @@ func TestActivateUnknownFunc(t *testing.T) {
 
 func TestConvolveWithoutGeometry(t *testing.T) {
 	expectRunError(t, funcProg(
-		isa.Instruction{Op: isa.OpReadWeights, WeightAddr: 0, TileCount: 1},
+		isa.Instruction{Op: isa.OpReadWeights, Addr: 0, TileCount: 1},
 		isa.Instruction{Op: isa.OpMatrixMultiply, Flags: isa.FlagLoadTile | isa.FlagConvolve,
 			Len: isa.ConvDims(4, 9)},
 	), "geometry")

@@ -225,7 +225,9 @@ func (d *Device) noteRecomputed()    { d.c.TilesRecomputed++ }
 // fetchGuardedTile is the integrity-aware weight fetch: the per-tile DRAM
 // CRC is checked before the bytes enter the FIFO. Detect fails the run;
 // Correct repairs the tile from the golden image in place and proceeds.
-func (d *Device) fetchGuardedTile(addr uint64) ([]int8, error) {
+// fetchGuardedTile reads one weight tile into buf (recycled when capacity
+// allows), running the DRAM CRC check first when integrity is on.
+func (d *Device) fetchGuardedTile(addr uint64, buf []int8) ([]int8, error) {
 	if d.cfg.Integrity != IntegrityOff {
 		d.noteChecks(1)
 		if !d.gw.VerifyTile(addr) {
@@ -239,7 +241,7 @@ func (d *Device) fetchGuardedTile(addr uint64) ([]int8, error) {
 			}
 		}
 	}
-	return d.gw.FetchTile(addr)
+	return d.gw.FetchTileInto(addr, buf)
 }
 
 // verifyFIFOTile re-checks a popped tile against the CRC sealed at push —

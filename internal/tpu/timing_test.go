@@ -39,7 +39,7 @@ func run(t *testing.T, cfg Config, p *isa.Program) Counters {
 // B*256 input ... taking B pipelined cycles to complete."
 func TestMatmulPipelinedCycles(t *testing.T) {
 	p := mustProg(t, "b200", 1,
-		isa.Instruction{Op: isa.OpReadWeights, WeightAddr: 0, TileCount: 1},
+		isa.Instruction{Op: isa.OpReadWeights, Addr: 0, TileCount: 1},
 		isa.Instruction{Op: isa.OpMatrixMultiply, Flags: isa.FlagLoadTile, Len: 200},
 	)
 	c := run(t, DefaultConfig(), p)
@@ -61,7 +61,7 @@ func TestSixteenBitSpeedModes(t *testing.T) {
 		{isa.FlagWeights16 | isa.FlagActs16, 400},
 	} {
 		p := mustProg(t, "prec", 1,
-			isa.Instruction{Op: isa.OpReadWeights, WeightAddr: 0, TileCount: 1},
+			isa.Instruction{Op: isa.OpReadWeights, Addr: 0, TileCount: 1},
 			isa.Instruction{Op: isa.OpMatrixMultiply, Flags: isa.FlagLoadTile | tc.flags, Len: 100},
 		)
 		c := run(t, DefaultConfig(), p)
@@ -77,7 +77,7 @@ func TestSixteenBitSpeedModes(t *testing.T) {
 // compute 100, so stall ~= 1350 - nothing-before-it.
 func TestWeightStallAccounting(t *testing.T) {
 	p := mustProg(t, "stall", 1,
-		isa.Instruction{Op: isa.OpReadWeights, WeightAddr: 0, TileCount: 1},
+		isa.Instruction{Op: isa.OpReadWeights, Addr: 0, TileCount: 1},
 		isa.Instruction{Op: isa.OpMatrixMultiply, Flags: isa.FlagLoadTile, Len: 100},
 	)
 	c := run(t, DefaultConfig(), p)
@@ -99,7 +99,7 @@ func TestBackToBackTilesPacedByDRAM(t *testing.T) {
 	ins := []isa.Instruction{}
 	for i := 0; i < tiles; i++ {
 		ins = append(ins,
-			isa.Instruction{Op: isa.OpReadWeights, WeightAddr: uint64(i) * isa.WeightTileBytes, TileCount: 1},
+			isa.Instruction{Op: isa.OpReadWeights, Addr: uint64(i) * isa.WeightTileBytes, TileCount: 1},
 			isa.Instruction{Op: isa.OpMatrixMultiply, Flags: isa.FlagLoadTile, Len: 100},
 		)
 	}
@@ -117,7 +117,7 @@ func TestComputeBoundHidesFetch(t *testing.T) {
 	ins := []isa.Instruction{}
 	for i := 0; i < tiles; i++ {
 		ins = append(ins,
-			isa.Instruction{Op: isa.OpReadWeights, WeightAddr: uint64(i) * isa.WeightTileBytes, TileCount: 1},
+			isa.Instruction{Op: isa.OpReadWeights, Addr: uint64(i) * isa.WeightTileBytes, TileCount: 1},
 			isa.Instruction{Op: isa.OpMatrixMultiply, Flags: isa.FlagLoadTile, Len: 2000},
 		)
 	}
@@ -138,7 +138,7 @@ func TestFIFOBackpressure(t *testing.T) {
 	// 5 tiles fetched, none popped: the 5th fetch needs a pop that never
 	// happened earlier in program order.
 	ins := []isa.Instruction{
-		{Op: isa.OpReadWeights, WeightAddr: 0, TileCount: 5},
+		{Op: isa.OpReadWeights, Addr: 0, TileCount: 5},
 	}
 	p := &isa.Program{Name: "overflow", Instructions: append(ins, isa.Instruction{Op: isa.OpHalt}),
 		WeightBytes: 5 * isa.WeightTileBytes}
@@ -152,7 +152,7 @@ func TestFIFOBackpressure(t *testing.T) {
 // legal.
 func TestFIFODepthConfig(t *testing.T) {
 	ins := []isa.Instruction{
-		{Op: isa.OpReadWeights, WeightAddr: 0, TileCount: 5},
+		{Op: isa.OpReadWeights, Addr: 0, TileCount: 5},
 	}
 	for i := 0; i < 5; i++ {
 		ins = append(ins, isa.Instruction{Op: isa.OpMatrixMultiply, Flags: isa.FlagLoadTile, Len: 10})
@@ -171,7 +171,7 @@ func TestFIFODepthConfig(t *testing.T) {
 // Activate waits for the activation unit, counted as RAW stall.
 func TestSyncExposesActivationDrain(t *testing.T) {
 	p := mustProg(t, "delay", 1,
-		isa.Instruction{Op: isa.OpReadWeights, WeightAddr: 0, TileCount: 1},
+		isa.Instruction{Op: isa.OpReadWeights, Addr: 0, TileCount: 1},
 		isa.Instruction{Op: isa.OpMatrixMultiply, Flags: isa.FlagLoadTile, Len: 1000},
 		isa.Instruction{Op: isa.OpActivate, AccAddr: 0, Len: 1000},
 		isa.Instruction{Op: isa.OpSync},
@@ -189,7 +189,7 @@ func TestSyncExposesActivationDrain(t *testing.T) {
 // input stall (Table 3 row 8).
 func TestSyncAttributesPCIeToInputStall(t *testing.T) {
 	p := mustProg(t, "input", 0,
-		isa.Instruction{Op: isa.OpReadHostMemory, HostAddr: 0, UBAddr: 0, Len: 1 << 20},
+		isa.Instruction{Op: isa.OpReadHostMemory, Addr: 0, UBAddr: 0, Len: 1 << 20},
 		isa.Instruction{Op: isa.OpSync},
 	)
 	c := run(t, DefaultConfig(), p)
