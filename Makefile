@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: ci vet vet-cmd build test race bench-smoke bench bench-gate fuzz-smoke cover obs-smoke chaos-smoke integrity-smoke
+.PHONY: ci vet vet-cmd build test race bench-smoke bench bench-gate fuzz-smoke cover obs-smoke chaos-smoke integrity-smoke cluster-smoke
 
-ci: vet vet-cmd build race fuzz-smoke cover bench-smoke bench-gate obs-smoke chaos-smoke integrity-smoke
+ci: vet vet-cmd build race fuzz-smoke cover bench-smoke bench-gate obs-smoke chaos-smoke integrity-smoke cluster-smoke
 
 vet:
 	$(GO) vet ./...
@@ -91,6 +91,17 @@ integrity-smoke:
 	$(GO) test -race -count=1 -timeout 300s ./internal/runtime -run 'TestDetectTier|TestCorrectTier|TestRepeatedSDC|TestParanoidTier|TestBackgroundScrubber|TestIntegrityTier'
 	$(GO) test -race -count=1 -timeout 300s ./internal/serve -run 'TestCloseDrainsQueuedRequests'
 	$(GO) test -race -count=1 -timeout 600s ./internal/experiments -run 'TestSDC'
+
+# Cluster smoke, race-enabled: the discrete-event core, the routing
+# property tests (hash balance bound, bounded key movement, quarantine
+# avoidance), the concurrent router churn test, the golden snapshot and
+# replay determinism fixtures, the cross-host failover and autoscaler ramp
+# tests, and the full-scale eight-host acceptance run (p99 SLA held
+# through a 25%->150% ramp with a host hard-killed mid-ramp).
+cluster-smoke:
+	$(GO) test -race -count=1 -timeout 300s ./internal/des
+	$(GO) test -race -count=1 -timeout 300s ./internal/cluster
+	$(GO) test -race -count=1 -timeout 600s ./internal/experiments -run 'TestCluster'
 
 # Coverage floor: the tier-1 packages must keep at least 80% statement
 # coverage (examples are exercised separately by their smoke test).

@@ -5,6 +5,7 @@
 //	tpuserve -mode live -json # same, but dump the metrics registry as JSON
 //	tpuserve -mode chaos      # fault-injected fleet sweep: kill/throttle devices mid-load
 //	tpuserve -mode sdc        # silent-data-corruption campaign: bit flips vs integrity tiers
+//	tpuserve -mode cluster    # multi-host fleet: routing, autoscaling, host kill mid-ramp
 //
 // The sweep mode replays each app's deadline-aware batching policy against
 // open-loop Poisson arrivals at increasing rates and prints the
@@ -43,6 +44,15 @@
 // output-affecting flips plus the detect+correct bit-exactness rate:
 //
 //	tpuserve -mode sdc -seed 11 -flips 16
+//
+// The cluster mode runs the datacenter scale-out experiment in virtual
+// time on the discrete-event core: the six apps' Table 4 service models
+// behind a front-end router on a simulated multi-host fleet, offered a
+// 25%->150% capacity ramp while one host is hard-killed mid-ramp. The
+// report shows each app's placement, failover traffic, autoscaler
+// decisions and whether the 7 ms p99 SLA held:
+//
+//	tpuserve -mode cluster -hosts 8 -devices-per-host 4 -router bounded-hash
 package main
 
 import (
@@ -85,6 +95,10 @@ func main() {
 	faultAt := flag.Float64("fault-at", 0.3, "chaos mode: fraction of the stream at which -kill/-slow strike")
 	sdcSeed := flag.Int64("seed", 11, "sdc mode: campaign seed (flip addresses, bits, weight init)")
 	sdcFlips := flag.Int("flips", 16, "sdc mode: injected flips per app")
+	hosts := flag.Int("hosts", 8, "cluster mode: fleet hosts")
+	devsPerHost := flag.Int("devices-per-host", 4, "cluster mode: devices per host")
+	router := flag.String("router", "bounded-hash", "cluster mode: routing policy (wrr, least-loaded, bounded-hash)")
+	noKill := flag.Bool("no-kill", false, "cluster mode: skip the mid-ramp host kill")
 	flag.Parse()
 
 	switch *mode {
@@ -110,8 +124,17 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Print(experiments.RenderSDC(r))
+	case "cluster":
+		r, err := experiments.RunCluster(experiments.ClusterConfig{
+			Hosts: *hosts, DevicesPerHost: *devsPerHost,
+			Router: *router, NoKill: *noKill,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(experiments.RenderCluster(r))
 	default:
-		log.Fatalf("unknown -mode %q (want sweep, live, chaos or sdc)", *mode)
+		log.Fatalf("unknown -mode %q (want sweep, live, chaos, sdc or cluster)", *mode)
 	}
 }
 

@@ -1,0 +1,175 @@
+// Load-driven autoscaling: hold every app's p99 SLA through a load ramp by
+// adding replicas ahead of saturation and draining them when demand falls.
+// The serving plan already bounds the p99 of *served* requests by
+// construction (shed-at-dispatch); what overload actually costs is shed
+// traffic. So the scaler watches two signals per decision window — the
+// arrival rate against live capacity, and the shed fraction — and sizes
+// the replica set so neither breaches its threshold. Decisions are logged
+// and surfaced in the snapshot; capacity accounting divides a device's
+// rate among its resident replicas, so co-location is never double
+// counted.
+package cluster
+
+import (
+	"fmt"
+	"math"
+
+	"tpusim/internal/runtime"
+)
+
+// perReplicaRate is the replica's saturation throughput: the plan's safe
+// batch over its service time, split among the live replicas sharing the
+// device's execution engine.
+func perReplicaRate(rep *replica) float64 {
+	sharing := 0
+	for _, r := range rep.dev.replicas {
+		if !r.draining {
+			sharing++
+		}
+	}
+	if sharing == 0 {
+		sharing = 1
+	}
+	plan := rep.app.plan
+	return float64(plan.SafeBatch) / plan.SafeServiceSeconds / float64(sharing)
+}
+
+// liveCapacity sums the routable replicas' saturation rates.
+func (a *app) liveCapacity() float64 {
+	total := 0.0
+	for _, rep := range a.replicas {
+		if rep.state == runtime.Quarantined || rep.draining {
+			continue
+		}
+		total += perReplicaRate(rep)
+	}
+	return total
+}
+
+// autoscaleTick runs one decision pass over every app, then schedules the
+// next tick. The chain starts in New and lives as long as the loop runs.
+func (c *Cluster) autoscaleTick() {
+	cfg := c.cfg.Autoscale
+	interval := cfg.interval()
+	for _, a := range c.apps {
+		c.autoscaleApp(a, interval)
+		a.winArrivals = 0
+		a.winShed = 0
+	}
+	c.loop.After(interval, c.autoscaleTick)
+}
+
+// autoscaleApp makes one scaling decision for one app from its window.
+func (c *Cluster) autoscaleApp(a *app, interval float64) {
+	cfg := c.cfg.Autoscale
+	rate := float64(a.winArrivals) / interval
+	capacity := a.liveCapacity()
+	shedFrac := 0.0
+	if a.winArrivals > 0 {
+		shedFrac = float64(a.winShed) / float64(a.winArrivals)
+	}
+	live := a.liveReplicas()
+
+	needUp := (capacity == 0 && rate > 0) ||
+		(capacity > 0 && rate > cfg.upUtil()*capacity) ||
+		shedFrac > cfg.shedUpFrac()
+	if needUp && live < a.cfg.MaxReplicas {
+		a.lowTicks = 0
+		c.scaleUp(a, rate, capacity, shedFrac)
+		return
+	}
+
+	// Scale down only when the post-removal fleet would still be under the
+	// low-water mark, and only after two consecutive quiet windows — one
+	// noisy lull must not shed warm capacity.
+	if live > a.cfg.MinReplicas && capacity > 0 {
+		newest := c.newestRemovable(a)
+		if newest != nil && rate < cfg.downUtil()*(capacity-perReplicaRate(newest)) {
+			a.lowTicks++
+			if a.lowTicks >= 2 {
+				a.lowTicks = 0
+				c.scaleDown(a, newest, rate)
+			}
+			return
+		}
+	}
+	a.lowTicks = 0
+}
+
+// scaleUp adds enough replicas to bring utilization back under the
+// threshold, capped by the per-tick step and the app's replica ceiling.
+func (c *Cluster) scaleUp(a *app, rate, capacity, shedFrac float64) {
+	cfg := c.cfg.Autoscale
+	one := float64(a.plan.SafeBatch) / a.plan.SafeServiceSeconds // un-shared replica rate
+	deficit := rate/cfg.upUtil() - capacity
+	need := int(math.Ceil(deficit / one))
+	if need < 1 {
+		need = 1
+	}
+	if need > cfg.maxStepUp() {
+		need = cfg.maxStepUp()
+	}
+	from := a.liveReplicas()
+	if from+need > a.cfg.MaxReplicas {
+		need = a.cfg.MaxReplicas - from
+	}
+	added := 0
+	for i := 0; i < need; i++ {
+		if _, err := c.place(a); err != nil {
+			c.decide(a, "scale-blocked", from+added, from+added,
+				fmt.Sprintf("placement failed: %v", err))
+			break
+		}
+		added++
+	}
+	if added > 0 {
+		c.decide(a, "scale-up", from, from+added,
+			fmt.Sprintf("rate %.0f/s vs capacity %.0f/s, shed %.1f%%", rate, capacity, shedFrac*100))
+	}
+}
+
+// scaleDown drains one replica: the router stops routing to it first, its
+// queued requests re-route to siblings, and its device residency is freed
+// once any in-flight batch completes.
+func (c *Cluster) scaleDown(a *app, rep *replica, rate float64) {
+	from := a.liveReplicas()
+	a.router.Remove(rep.id)
+	rep.draining = true
+	rep.fillGen++ // void any armed fill timer
+	orphans := append([]request(nil), rep.queue...)
+	rep.queue = rep.queue[:0]
+	for _, r := range orphans {
+		// Drained requests keep their arrival time and re-route without
+		// burning a failover attempt: the replica left gracefully.
+		c.route(a, r)
+	}
+	c.decide(a, "scale-down", from, from-1,
+		fmt.Sprintf("rate %.0f/s under %.0f%% of post-drain capacity", rate, c.cfg.Autoscale.downUtil()*100))
+	if !rep.serving {
+		c.finalizeRemoval(rep)
+	}
+}
+
+// newestRemovable picks the drain candidate: the most recently placed
+// live replica (highest id), so the stable core of the replica set keeps
+// its hash-ring arcs and long-lived key affinity.
+func (c *Cluster) newestRemovable(a *app) *replica {
+	var best *replica
+	for _, rep := range a.replicas {
+		if rep.state == runtime.Quarantined || rep.draining {
+			continue
+		}
+		if best == nil || rep.id > best.id {
+			best = rep
+		}
+	}
+	return best
+}
+
+// decide records one autoscaler decision in the app's ledger and the
+// cluster event log.
+func (c *Cluster) decide(a *app, action string, from, to int, reason string) {
+	d := Decision{Time: c.loop.Now(), App: a.cfg.Name, Action: action, From: from, To: to, Reason: reason}
+	a.decisions = append(a.decisions, d)
+	c.log(-1, action, fmt.Sprintf("%s %d -> %d (%s)", a.cfg.Name, from, to, reason))
+}

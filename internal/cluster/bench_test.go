@@ -1,0 +1,64 @@
+// BenchmarkClusterSim answers the scale question the discrete-event core
+// exists for: how many fleet events per wall-clock second, at a
+// 1000-device pod size that wall-clock simulation could never touch. The
+// PR acceptance bound is 10 virtual seconds of a >=1000-device fleet in
+// under 5 wall seconds.
+package cluster
+
+import (
+	"testing"
+
+	"tpusim/internal/latency"
+	"tpusim/internal/serve"
+	"tpusim/internal/workload"
+)
+
+// benchCluster builds a 250-host x 4-device pod (1000 devices) running 10
+// apps x 100 replicas with steady Poisson load.
+func benchCluster(b *testing.B) *Cluster {
+	b.Helper()
+	apps := make([]AppConfig, 10)
+	for i := range apps {
+		apps[i] = AppConfig{
+			Name:            "APP" + string(rune('0'+i)),
+			Service:         latency.ServiceFunc(func(n int) (float64, error) { return 0.5e-3 + 0.1e-3*float64(n), nil }),
+			Policy:          serve.Policy{MaxBatch: 64, SLASeconds: 7e-3},
+			WeightBytes:     256 << 20,
+			Curve:           workload.Constant(4000),
+			InitialReplicas: 100,
+		}
+	}
+	c, err := New(Config{
+		Hosts: 250, DevicesPerHost: 4,
+		Router:    BoundedHash,
+		Apps:      apps,
+		Autoscale: AutoscaleConfig{Disabled: true},
+		Seed:      1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return c
+}
+
+func BenchmarkClusterSim(b *testing.B) {
+	const virtualSeconds = 10.0
+	var events uint64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		c := benchCluster(b)
+		b.StartTimer()
+		c.Run(virtualSeconds)
+		events = c.EventsProcessed()
+	}
+	b.StopTimer()
+	if events == 0 {
+		b.Fatal("benchmark processed no events")
+	}
+	perIter := b.Elapsed().Seconds() / float64(b.N)
+	b.ReportMetric(float64(events)/perIter, "events/s")
+	b.ReportMetric(float64(events), "events/run")
+	b.ReportMetric(virtualSeconds/perIter, "virtual-s/wall-s")
+}

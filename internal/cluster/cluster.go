@@ -1,0 +1,631 @@
+// Package cluster simulates a datacenter fleet of TPU hosts behind a
+// front-end router, in virtual time. Section 2 of the paper frames the TPU
+// as a fleet component — "the TPU was designed to be a coprocessor ... the
+// datacenter need for responses in milliseconds" — and the single-host
+// serving stack built in earlier layers (deadline-aware batching, health
+// state machine, failover) only tells half that story: placement, routing,
+// cross-host failover and autoscaling emerge at pod scale.
+//
+// The simulator composes the existing pieces instead of re-deriving them:
+// per-replica service times come from the same latency.ServiceModel the
+// Table 4 study uses, batching decisions are the serve package's resolved
+// Plan (SafeBatch, MaxWait fill window, bounded-queue admission,
+// shed-at-dispatch), replica health is runtime.HealthState, and offered
+// load is a workload.Curve driven through a non-homogeneous Poisson
+// process. Everything runs on the internal/des event loop — no wall-clock
+// sleeps — so thousands of devices simulate seconds of fleet time in
+// milliseconds, and a seeded run replays byte-for-byte.
+package cluster
+
+import (
+	"fmt"
+	"math/rand"
+
+	"tpusim/internal/des"
+	"tpusim/internal/latency"
+	"tpusim/internal/runtime"
+	"tpusim/internal/serve"
+	"tpusim/internal/workload"
+)
+
+// DefaultDeviceWeightBytes is the per-device Weight Memory capacity a
+// replica's footprint is packed against — the paper's 8 GiB weight DRAM.
+const DefaultDeviceWeightBytes = 8 << 30
+
+// AppConfig describes one served application.
+type AppConfig struct {
+	// Name labels the app in snapshots and logs.
+	Name string
+	// Service gives batch service times; the per-replica batcher resolves
+	// its Plan against it, exactly as the single-host server does.
+	Service latency.ServiceModel
+	// Policy is the serving policy (MaxBatch and SLASeconds required).
+	Policy serve.Policy
+	// WeightBytes is the app's Weight Memory footprint; placement only
+	// puts a replica on a device with that much capacity free.
+	WeightBytes int64
+	// Curve is the offered-load profile in virtual time.
+	Curve workload.Curve
+	// InitialReplicas is the starting replica count. 0 means 1.
+	InitialReplicas int
+	// MinReplicas floors scale-down. 0 means InitialReplicas.
+	MinReplicas int
+	// MaxReplicas caps scale-up. 0 means one replica per fleet device.
+	MaxReplicas int
+}
+
+// AutoscaleConfig tunes the load-driven autoscaler.
+type AutoscaleConfig struct {
+	// Disabled freezes replica counts at their initial placement.
+	Disabled bool
+	// Interval is the decision tick in virtual seconds. 0 means 0.25.
+	Interval float64
+	// UpUtil is the utilization (window arrival rate over live capacity)
+	// above which the app scales up. 0 means 0.75.
+	UpUtil float64
+	// DownUtil: when utilization would stay under this even after removing
+	// a replica, for two consecutive ticks, one replica drains. 0 means 0.3.
+	DownUtil float64
+	// MaxStepUp caps replicas added per app per tick. 0 means 2.
+	MaxStepUp int
+	// ShedUpFrac: a window shed fraction above this forces a scale-up
+	// regardless of estimated utilization. 0 means 0.01.
+	ShedUpFrac float64
+}
+
+func (a AutoscaleConfig) interval() float64 {
+	if a.Interval <= 0 {
+		return 0.25
+	}
+	return a.Interval
+}
+
+func (a AutoscaleConfig) upUtil() float64 {
+	if a.UpUtil <= 0 {
+		return 0.75
+	}
+	return a.UpUtil
+}
+
+func (a AutoscaleConfig) downUtil() float64 {
+	if a.DownUtil <= 0 {
+		return 0.3
+	}
+	return a.DownUtil
+}
+
+func (a AutoscaleConfig) maxStepUp() int {
+	if a.MaxStepUp <= 0 {
+		return 2
+	}
+	return a.MaxStepUp
+}
+
+func (a AutoscaleConfig) shedUpFrac() float64 {
+	if a.ShedUpFrac <= 0 {
+		return 0.01
+	}
+	return a.ShedUpFrac
+}
+
+// Config describes the fleet.
+type Config struct {
+	// Hosts and DevicesPerHost size the fleet.
+	Hosts, DevicesPerHost int
+	// DeviceWeightBytes is per-device Weight Memory. 0 means 8 GiB.
+	DeviceWeightBytes int64
+	// Router selects the routing policy for every app's replica set.
+	Router RouterPolicy
+	// Apps are the served applications.
+	Apps []AppConfig
+	// Autoscale tunes the autoscaler.
+	Autoscale AutoscaleConfig
+	// Seed pins arrivals and request keys; two runs with the same config
+	// and seed are byte-identical.
+	Seed int64
+	// MaxRouteAttempts bounds per-request failover re-routes after a host
+	// death. 0 means 3.
+	MaxRouteAttempts int
+}
+
+func (c Config) maxRouteAttempts() int {
+	if c.MaxRouteAttempts <= 0 {
+		return 3
+	}
+	return c.MaxRouteAttempts
+}
+
+// Event is one entry in the cluster's ordered event log: placements,
+// kills, quarantines, failovers and autoscaler decisions. A run's log is a
+// pure function of (config, seed), and a shorter run's log is a prefix of
+// a longer one's — the replay property the failover tests pin.
+type Event struct {
+	// Seq is the global order of the event.
+	Seq uint64
+	// Time is the virtual time in seconds.
+	Time float64
+	// Host is the host involved, -1 for cluster-level events.
+	Host int
+	// Kind is the event type: place, kill, quarantine, failover-reroute,
+	// scale-up, scale-down, scale-blocked, drain.
+	Kind string
+	// Detail is a human-readable description.
+	Detail string
+}
+
+// String renders one log line.
+func (e Event) String() string {
+	return fmt.Sprintf("#%d %.6fs host=%d %s: %s", e.Seq, e.Time, e.Host, e.Kind, e.Detail)
+}
+
+// request is one in-flight request.
+type request struct {
+	arrival  float64
+	key      uint64
+	attempts int
+}
+
+// device is one accelerator card: Weight Memory capacity and a single
+// execution engine its resident replicas' batches serialize on.
+type device struct {
+	host      *host
+	idx       int
+	freeBytes int64
+	replicas  []*replica
+	busy      bool
+	waiters   []*replica // replicas with a batch ready, FIFO
+}
+
+// host is one machine of the fleet; a dead host takes all its devices and
+// replicas with it.
+type host struct {
+	id      int
+	alive   bool
+	devices []*device
+}
+
+// replica is one placed instance of an app: a batching lane on a device,
+// with the app's resolved serving plan.
+type replica struct {
+	id  int
+	app *app
+	dev *device
+
+	state    runtime.HealthState
+	queue    []request
+	inFlight []request // the batch currently on the device
+	fillGen  uint64    // invalidates scheduled fill timers
+	pending  bool      // queued on the device's waiter list
+	svcGen   uint64    // invalidates in-flight completions (host death)
+	serving  bool
+	draining bool
+
+	routed, completed uint64
+}
+
+// app is one application's cluster-level serving state.
+type app struct {
+	cfg  AppConfig
+	idx  int
+	plan serve.Plan
+	svc  []float64 // memoized batch -> service seconds, index 1..SafeBatch
+
+	router   *Router
+	replicas map[int]*replica
+	nextID   int
+
+	arrivals *workload.NHPP
+	keys     *rand.Rand
+
+	// Cumulative counters.
+	offered, completed, shedQueue, expired uint64
+	failovers, errors, routerMiss          uint64
+	latencies                              []float64
+
+	// Autoscaler window state.
+	winArrivals, winShed int
+	lowTicks             int
+	decisions            []Decision
+}
+
+// liveReplicas counts routable (non-quarantined, non-draining) replicas.
+func (a *app) liveReplicas() int {
+	n := 0
+	for _, rep := range a.replicas {
+		if rep.state != runtime.Quarantined && !rep.draining {
+			n++
+		}
+	}
+	return n
+}
+
+// Decision is one autoscaler action on one app.
+type Decision struct {
+	Time     float64
+	App      string
+	Action   string // scale-up, scale-down, scale-blocked
+	From, To int
+	Reason   string
+}
+
+// String renders one decision line.
+func (d Decision) String() string {
+	return fmt.Sprintf("%.3fs %-6s %-13s %d -> %d (%s)", d.Time, d.App, d.Action, d.From, d.To, d.Reason)
+}
+
+// Cluster is the simulated fleet.
+type Cluster struct {
+	cfg      Config
+	loop     *des.Loop
+	hosts    []*host
+	apps     []*app
+	events   []Event
+	eventSeq uint64
+}
+
+// New builds the fleet: hosts and devices, resolved per-app serving plans,
+// and the initial placement. It fails if any app has no deadline-safe
+// operating point (the caller decides whether to drop the app — CNN1 under
+// a 7 ms SLA — or abort) or if the initial replicas do not fit.
+func New(cfg Config) (*Cluster, error) {
+	if cfg.Hosts < 1 || cfg.DevicesPerHost < 1 {
+		return nil, fmt.Errorf("cluster: need at least 1 host and 1 device per host, got %dx%d", cfg.Hosts, cfg.DevicesPerHost)
+	}
+	if len(cfg.Apps) == 0 {
+		return nil, fmt.Errorf("cluster: no apps configured")
+	}
+	if cfg.DeviceWeightBytes == 0 {
+		cfg.DeviceWeightBytes = DefaultDeviceWeightBytes
+	}
+	c := &Cluster{cfg: cfg, loop: &des.Loop{}}
+	for h := 0; h < cfg.Hosts; h++ {
+		hst := &host{id: h, alive: true}
+		for d := 0; d < cfg.DevicesPerHost; d++ {
+			hst.devices = append(hst.devices, &device{host: hst, idx: d, freeBytes: cfg.DeviceWeightBytes})
+		}
+		c.hosts = append(c.hosts, hst)
+	}
+	fleetDevices := cfg.Hosts * cfg.DevicesPerHost
+	for i, ac := range cfg.Apps {
+		if ac.Name == "" {
+			return nil, fmt.Errorf("cluster: app %d has no name", i)
+		}
+		if ac.Service == nil || ac.Curve == nil {
+			return nil, fmt.Errorf("cluster: app %s needs a service model and a load curve", ac.Name)
+		}
+		if ac.WeightBytes < 0 || ac.WeightBytes > cfg.DeviceWeightBytes {
+			return nil, fmt.Errorf("cluster: app %s footprint %d does not fit a %d-byte device",
+				ac.Name, ac.WeightBytes, cfg.DeviceWeightBytes)
+		}
+		plan, err := ac.Policy.Resolve(ac.Service)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: app %s: %w", ac.Name, err)
+		}
+		if ac.InitialReplicas <= 0 {
+			ac.InitialReplicas = 1
+		}
+		if ac.MinReplicas <= 0 {
+			ac.MinReplicas = ac.InitialReplicas
+		}
+		if ac.MaxReplicas <= 0 {
+			ac.MaxReplicas = fleetDevices
+		}
+		a := &app{
+			cfg:      ac,
+			idx:      i,
+			plan:     plan,
+			router:   NewRouter(cfg.Router),
+			replicas: map[int]*replica{},
+			keys:     rand.New(rand.NewSource(cfg.Seed*7919 + int64(i)*104729 + 1)),
+		}
+		// Memoize service times up to the safe batch: the dispatcher prices
+		// every batch from this table instead of re-running the analytic
+		// model per dispatch.
+		a.svc = make([]float64, plan.SafeBatch+1)
+		for b := 1; b <= plan.SafeBatch; b++ {
+			s, err := ac.Service.BatchSeconds(b)
+			if err != nil {
+				return nil, fmt.Errorf("cluster: app %s batch %d: %w", ac.Name, b, err)
+			}
+			if s <= 0 {
+				return nil, fmt.Errorf("cluster: app %s batch %d: non-positive service time %v", ac.Name, b, s)
+			}
+			a.svc[b] = s
+		}
+		a.arrivals, err = workload.NewNHPP(ac.Curve, cfg.Seed*31+int64(i)*7+11)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: app %s: %w", ac.Name, err)
+		}
+		c.apps = append(c.apps, a)
+	}
+	// Initial placement, interleaved across apps so early replicas of every
+	// app land on distinct hosts before any app doubles up.
+	maxInit := 0
+	for _, a := range c.apps {
+		if a.cfg.InitialReplicas > maxInit {
+			maxInit = a.cfg.InitialReplicas
+		}
+	}
+	for round := 0; round < maxInit; round++ {
+		for _, a := range c.apps {
+			if round >= a.cfg.InitialReplicas {
+				continue
+			}
+			if _, err := c.place(a); err != nil {
+				return nil, fmt.Errorf("cluster: initial placement of %s replica %d: %w", a.cfg.Name, round, err)
+			}
+		}
+	}
+	// Prime each app's arrival chain and the autoscaler tick chain.
+	for _, a := range c.apps {
+		c.scheduleNextArrival(a)
+	}
+	if !cfg.Autoscale.Disabled {
+		c.loop.At(cfg.Autoscale.interval(), c.autoscaleTick)
+	}
+	return c, nil
+}
+
+// log appends one event to the ordered log.
+func (c *Cluster) log(hostID int, kind, detail string) {
+	c.eventSeq++
+	c.events = append(c.events, Event{
+		Seq: c.eventSeq, Time: c.loop.Now(), Host: hostID, Kind: kind, Detail: detail,
+	})
+}
+
+// Events returns the full ordered event log.
+func (c *Cluster) Events() []Event {
+	out := make([]Event, len(c.events))
+	copy(out, c.events)
+	return out
+}
+
+// HostEvents filters the log to one host's events, in order.
+func (c *Cluster) HostEvents(hostID int) []Event {
+	var out []Event
+	for _, e := range c.events {
+		if e.Host == hostID {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Now returns the cluster's virtual time.
+func (c *Cluster) Now() float64 { return c.loop.Now() }
+
+// EventsProcessed returns the discrete-event count executed so far.
+func (c *Cluster) EventsProcessed() uint64 { return c.loop.Processed() }
+
+// Run advances the fleet to the given virtual time. Segments compose:
+// Run(2) then Run(5) is Run(5).
+func (c *Cluster) Run(until float64) { c.loop.RunUntil(until) }
+
+// KillHostAt schedules a hard host death: every replica on it is
+// quarantined, in-flight batches are lost, and queued plus in-flight
+// requests fail over through the router to surviving hosts.
+func (c *Cluster) KillHostAt(t float64, hostID int) error {
+	if hostID < 0 || hostID >= len(c.hosts) {
+		return fmt.Errorf("cluster: host %d outside fleet of %d", hostID, len(c.hosts))
+	}
+	c.loop.At(t, func() { c.killHost(c.hosts[hostID]) })
+	return nil
+}
+
+// scheduleNextArrival draws the app's next arrival and request key and
+// queues the arrival event. The chain is infinite; Run's horizon bounds
+// what fires.
+func (c *Cluster) scheduleNextArrival(a *app) {
+	at := a.arrivals.Next()
+	key := a.keys.Uint64()
+	c.loop.At(at, func() {
+		c.scheduleNextArrival(a)
+		a.offered++
+		a.winArrivals++
+		c.route(a, request{arrival: at, key: key})
+	})
+}
+
+// route sends a request through the app's router into a replica queue.
+func (c *Cluster) route(a *app, r request) {
+	id, ok := a.router.Route(r.key)
+	if !ok {
+		a.routerMiss++
+		a.errors++
+		return
+	}
+	c.enqueue(a.replicas[id], r)
+}
+
+// enqueue is bounded-queue admission, the serve layer's first overload
+// defense: a request joins only if fewer than QueueLimit are waiting.
+func (c *Cluster) enqueue(rep *replica, r request) {
+	a := rep.app
+	if len(rep.queue) >= a.plan.QueueLimit {
+		a.shedQueue++
+		a.winShed++
+		return
+	}
+	rep.routed++
+	rep.queue = append(rep.queue, r)
+	a.router.AddLoad(rep.id, 1)
+	c.maybeDispatch(rep)
+}
+
+// maybeDispatch decides whether the replica's head batch should go now,
+// wait for fill, or wait for the device.
+func (c *Cluster) maybeDispatch(rep *replica) {
+	if len(rep.queue) == 0 || rep.serving || rep.pending {
+		return
+	}
+	if !rep.dev.host.alive || rep.state == runtime.Quarantined {
+		return
+	}
+	plan := rep.app.plan
+	if rep.dev.busy {
+		rep.pending = true
+		rep.dev.waiters = append(rep.dev.waiters, rep)
+		return
+	}
+	now := c.loop.Now()
+	fill := rep.queue[0].arrival + plan.MaxWaitSeconds
+	if len(rep.queue) >= plan.SafeBatch || now >= fill {
+		c.dispatch(rep)
+		return
+	}
+	// Wait for the batch to fill, bounded by the head request's MaxWait —
+	// the same trade the single-host dispatcher makes. The generation
+	// counter voids the timer if a dispatch happens first.
+	gen := rep.fillGen
+	c.loop.At(fill, func() {
+		if rep.fillGen == gen && len(rep.queue) > 0 && !rep.serving && !rep.pending {
+			if rep.dev.busy {
+				rep.pending = true
+				rep.dev.waiters = append(rep.dev.waiters, rep)
+				return
+			}
+			c.dispatch(rep)
+		}
+	})
+}
+
+// dispatch takes up to SafeBatch requests, sheds the ones that can no
+// longer meet the SLA (shed-at-dispatch keeps the p99 of served requests
+// bounded by construction), and puts the batch on the device.
+func (c *Cluster) dispatch(rep *replica) {
+	a := rep.app
+	rep.fillGen++
+	rep.pending = false
+	if len(rep.queue) == 0 {
+		return
+	}
+	plan := a.plan
+	now := c.loop.Now()
+	n := len(rep.queue)
+	if n > plan.SafeBatch {
+		n = plan.SafeBatch
+	}
+	svc := a.svc[n]
+	kept := make([]request, 0, n)
+	for _, r := range rep.queue[:n] {
+		if plan.Expired(r.arrival, now, svc) {
+			a.expired++
+			a.winShed++
+			a.router.AddLoad(rep.id, -1)
+			continue
+		}
+		kept = append(kept, r)
+	}
+	rep.queue = rep.queue[:copy(rep.queue, rep.queue[n:])]
+	if len(kept) == 0 {
+		// Entire batch was stale; try again with what is queued now.
+		c.maybeDispatch(rep)
+		return
+	}
+	svcKept := a.svc[len(kept)]
+	rep.serving = true
+	rep.inFlight = kept
+	rep.dev.busy = true
+	gen := rep.svcGen
+	done := now + svcKept
+	c.loop.At(done, func() {
+		if rep.svcGen != gen {
+			return // the host died under this batch; its requests failed over
+		}
+		c.complete(rep, kept, done)
+	})
+}
+
+// complete retires a served batch and hands the device to the next waiting
+// replica, FIFO.
+func (c *Cluster) complete(rep *replica, batch []request, done float64) {
+	a := rep.app
+	for _, r := range batch {
+		a.latencies = append(a.latencies, done-r.arrival)
+		a.completed++
+		rep.completed++
+		a.router.AddLoad(rep.id, -1)
+	}
+	rep.serving = false
+	rep.inFlight = nil
+	rep.dev.busy = false
+	if rep.draining {
+		c.finalizeRemoval(rep)
+	}
+	c.grantDevice(rep.dev)
+	if !rep.draining {
+		c.maybeDispatch(rep)
+	}
+}
+
+// grantDevice pops the first still-interested waiter and dispatches it.
+func (c *Cluster) grantDevice(d *device) {
+	for len(d.waiters) > 0 && !d.busy {
+		next := d.waiters[0]
+		d.waiters = d.waiters[:copy(d.waiters, d.waiters[1:])]
+		if next.pending && len(next.queue) > 0 && !next.serving {
+			c.dispatch(next)
+		} else {
+			next.pending = false
+		}
+	}
+}
+
+// killHost executes a hard host death.
+func (c *Cluster) killHost(h *host) {
+	if !h.alive {
+		return
+	}
+	h.alive = false
+	c.log(h.id, "kill", fmt.Sprintf("host%d hard-killed", h.id))
+	for _, d := range h.devices {
+		d.busy = false
+		d.waiters = nil
+		for _, rep := range d.replicas {
+			a := rep.app
+			// Void in-flight completions and fill timers.
+			rep.svcGen++
+			rep.fillGen++
+			rep.serving = false
+			rep.pending = false
+			// The health machine: a dead host's replicas go straight to
+			// Quarantined, and the router stops sending them traffic.
+			if rep.state != runtime.Quarantined {
+				rep.state = runtime.Quarantined
+				a.router.SetState(rep.id, runtime.Quarantined)
+				c.log(h.id, "quarantine", fmt.Sprintf("%s replica r%d (host%d/dev%d) healthy -> quarantined: host dead",
+					a.cfg.Name, rep.id, h.id, d.idx))
+			}
+			// Cross-host failover: queued and in-flight requests re-route
+			// through the router to surviving replicas.
+			orphans := append(append([]request(nil), rep.inFlight...), rep.queue...)
+			for range orphans {
+				a.router.AddLoad(rep.id, -1)
+			}
+			inFlight := len(rep.inFlight)
+			rep.inFlight = nil
+			rep.queue = rep.queue[:0]
+			if len(orphans) > 0 {
+				c.log(h.id, "failover-reroute", fmt.Sprintf("%s replica r%d: %d in-flight + %d queued requests re-routed",
+					a.cfg.Name, rep.id, inFlight, len(orphans)-inFlight))
+			}
+			for _, r := range orphans {
+				c.failover(a, r)
+			}
+		}
+	}
+}
+
+// failover re-routes one request that lost its replica. A request that
+// exhausts MaxRouteAttempts (or finds no routable replica) is an error —
+// the client-visible failure the acceptance bound caps at 1%.
+func (c *Cluster) failover(a *app, r request) {
+	r.attempts++
+	if r.attempts > c.cfg.maxRouteAttempts() {
+		a.errors++
+		return
+	}
+	a.failovers++
+	c.route(a, r)
+}

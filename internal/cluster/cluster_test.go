@@ -1,0 +1,392 @@
+package cluster
+
+import (
+	"strings"
+	"testing"
+
+	"tpusim/internal/latency"
+	"tpusim/internal/runtime"
+	"tpusim/internal/serve"
+	"tpusim/internal/workload"
+)
+
+// testService is a linear batch-time model: base + perRow x batch.
+func testService(base, perRow float64) latency.ServiceModel {
+	return latency.ServiceFunc(func(n int) (float64, error) {
+		return base + perRow*float64(n), nil
+	})
+}
+
+// testApp builds a 7 ms SLA app over a flat load curve.
+func testApp(name string, rate float64, replicas int) AppConfig {
+	return AppConfig{
+		Name:            name,
+		Service:         testService(0.5e-3, 0.1e-3), // batch 8 -> 1.3 ms, safe batch 65
+		Policy:          serve.Policy{MaxBatch: 64, SLASeconds: 7e-3},
+		WeightBytes:     100 << 20,
+		Curve:           workload.Constant(rate),
+		InitialReplicas: replicas,
+	}
+}
+
+// inSystem counts requests admitted but not yet resolved (queued or in
+// flight) across an app's replicas.
+func inSystem(a *app) int {
+	n := 0
+	for _, rep := range a.replicas {
+		n += len(rep.queue) + len(rep.inFlight)
+	}
+	return n
+}
+
+// TestServeAndAccounting: a small fleet serves a flat load; every offered
+// request is accounted for exactly once, and the p99 of served requests
+// stays inside the SLA (shed-at-dispatch makes that structural).
+func TestServeAndAccounting(t *testing.T) {
+	c, err := New(Config{
+		Hosts: 2, DevicesPerHost: 2,
+		Router: LeastLoaded,
+		Apps:   []AppConfig{testApp("APP0", 2000, 2)},
+		Seed:   1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Run(5)
+	a := c.apps[0]
+	if a.completed == 0 {
+		t.Fatal("no requests completed")
+	}
+	total := a.completed + a.shedQueue + a.expired + a.errors + uint64(inSystem(a))
+	if a.offered != total {
+		t.Fatalf("accounting leak: offered %d != completed %d + shedQ %d + expired %d + errors %d + inSystem %d",
+			a.offered, a.completed, a.shedQueue, a.expired, a.errors, uint64(inSystem(a)))
+	}
+	s := c.Snapshot()
+	if got := s.Apps[0].P99Ms; got > 7.0+1e-9 {
+		t.Errorf("p99 %.3f ms exceeds the 7 ms SLA despite shed-at-dispatch", got)
+	}
+	if s.Apps[0].ErrorRate != 0 {
+		t.Errorf("errors with no faults injected: %v", s.Apps[0].ErrorRate)
+	}
+}
+
+// TestDeterminism: same config, same seed — byte-identical snapshots and
+// event logs.
+func TestDeterminism(t *testing.T) {
+	build := func() *Cluster {
+		c, err := New(Config{
+			Hosts: 4, DevicesPerHost: 2,
+			Router: BoundedHash,
+			Apps: []AppConfig{
+				testApp("APP0", 3000, 2),
+				testApp("APP1", 1500, 1),
+			},
+			Seed: 42,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := c.KillHostAt(1.5, 0); err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+	a, b := build(), build()
+	a.Run(4)
+	b.Run(4)
+	if ra, rb := a.Snapshot().Render(), b.Snapshot().Render(); ra != rb {
+		t.Fatalf("same-seed runs diverged:\n--- a ---\n%s--- b ---\n%s", ra, rb)
+	}
+	ea, eb := a.Events(), b.Events()
+	if len(ea) != len(eb) {
+		t.Fatalf("event logs differ in length: %d vs %d", len(ea), len(eb))
+	}
+	for i := range ea {
+		if ea[i] != eb[i] {
+			t.Fatalf("event %d diverged: %v vs %v", i, ea[i], eb[i])
+		}
+	}
+}
+
+// TestSeedSensitivity: a different seed produces a different arrival
+// stream — the golden tests pin more than a constant.
+func TestSeedSensitivity(t *testing.T) {
+	run := func(seed int64) string {
+		c, err := New(Config{
+			Hosts: 2, DevicesPerHost: 2,
+			Router: LeastLoaded,
+			Apps:   []AppConfig{testApp("APP0", 2000, 2)},
+			Seed:   seed,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.Run(3)
+		return c.Snapshot().Render()
+	}
+	if run(1) == run(2) {
+		t.Fatal("different seeds rendered identically")
+	}
+}
+
+// TestCrossHostFailover: killing a host mid-run quarantines its replicas,
+// re-routes orphaned requests to the surviving host, and keeps the
+// client-visible error rate under the acceptance bound.
+func TestCrossHostFailover(t *testing.T) {
+	c, err := New(Config{
+		Hosts: 2, DevicesPerHost: 1,
+		Router:    LeastLoaded,
+		Apps:      []AppConfig{testApp("APP0", 3000, 2)},
+		Seed:      7,
+		Autoscale: AutoscaleConfig{Disabled: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.KillHostAt(2, 0); err != nil {
+		t.Fatal(err)
+	}
+	c.Run(5)
+	a := c.apps[0]
+	if a.failovers == 0 {
+		t.Error("host kill caused no failovers")
+	}
+	s := c.Snapshot()
+	if s.HostsAlive != 1 || len(s.DeadHosts) != 1 || s.DeadHosts[0] != 0 {
+		t.Fatalf("host census wrong: alive %d dead %v", s.HostsAlive, s.DeadHosts)
+	}
+	quarantined := 0
+	for _, r := range s.Replicas {
+		if r.Host == 0 {
+			if r.State != runtime.Quarantined {
+				t.Errorf("replica r%d on dead host is %s, want quarantined", r.ID, r.State)
+			}
+			quarantined++
+			if r.QueueLen != 0 {
+				t.Errorf("dead replica r%d still holds %d queued requests", r.ID, r.QueueLen)
+			}
+		}
+	}
+	if quarantined == 0 {
+		t.Error("no replicas on the killed host")
+	}
+	if got := s.Apps[0].ErrorRate; got >= 0.01 {
+		t.Errorf("error rate %.4f, want < 1%%", got)
+	}
+	// Completions keep flowing after the kill: the surviving replica holds.
+	if before, after := eventsBefore(c, 2.0), a.completed; after == 0 || before == 0 {
+		t.Errorf("serving did not continue across the kill (before-kill events %d, completed %d)", before, after)
+	}
+	// The kill and per-replica quarantines are in the log.
+	kinds := map[string]int{}
+	for _, e := range c.Events() {
+		kinds[e.Kind]++
+	}
+	if kinds["kill"] != 1 || kinds["quarantine"] == 0 {
+		t.Errorf("event log misses the kill story: %v", kinds)
+	}
+}
+
+func eventsBefore(c *Cluster, t float64) int {
+	n := 0
+	for _, e := range c.events {
+		if e.Time < t {
+			n++
+		}
+	}
+	return n
+}
+
+// TestEventLogCommonPrefix: the PR 4 replay property extended across
+// hosts — a shorter same-seed run's per-host event log is a prefix of a
+// longer run's. Virtual time makes this exact, not probabilistic.
+func TestEventLogCommonPrefix(t *testing.T) {
+	build := func() *Cluster {
+		// APP0 at 12000 req/s needs both its replicas; killing one's host
+		// mid-run forces failover traffic and post-kill scale-ups, so the
+		// long run keeps extending the log past the short horizon.
+		c, err := New(Config{
+			Hosts: 4, DevicesPerHost: 2,
+			Router: BoundedHash,
+			Apps: []AppConfig{
+				testApp("APP0", 12000, 2),
+				testApp("APP1", 2500, 2),
+			},
+			Seed: 99,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := c.KillHostAt(1.0, 2); err != nil {
+			t.Fatal(err)
+		}
+		// Scheduled in both runs, but fires only inside the long horizon:
+		// guarantees the long log strictly extends the short one.
+		if err := c.KillHostAt(3.0, 3); err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+	long, short := build(), build()
+	long.Run(4)
+	short.Run(2)
+	for h := -1; h < 4; h++ {
+		le, se := long.HostEvents(h), short.HostEvents(h)
+		if len(se) > len(le) {
+			t.Fatalf("host %d: short run logged more events (%d) than long (%d)", h, len(se), len(le))
+		}
+		for i := range se {
+			if se[i] != le[i] {
+				t.Fatalf("host %d event %d diverged:\nshort: %v\nlong:  %v", h, i, se[i], le[i])
+			}
+		}
+	}
+	// The long run actually extends the log (the property is non-vacuous).
+	if len(long.Events()) <= len(short.Events()) {
+		t.Fatalf("long run log (%d) does not extend short run log (%d)", len(long.Events()), len(short.Events()))
+	}
+}
+
+// TestAutoscalerRampUpAndDown: a rate ramp forces scale-ups; the ebb
+// drains replicas back toward the floor. Decisions land in the snapshot.
+func TestAutoscalerRampUpAndDown(t *testing.T) {
+	curve, err := workload.NewPiecewiseLinear(
+		workload.Point{T: 0, Rate: 500},
+		workload.Point{T: 2, Rate: 9000},
+		workload.Point{T: 5, Rate: 9000},
+		workload.Point{T: 6, Rate: 400},
+		workload.Point{T: 12, Rate: 400},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	app := testApp("APP0", 0, 1)
+	app.Curve = curve
+	app.MinReplicas = 1
+	c, err := New(Config{
+		Hosts: 4, DevicesPerHost: 2,
+		Router: LeastLoaded,
+		Apps:   []AppConfig{app},
+		Seed:   3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Run(5)
+	peak := c.apps[0].liveReplicas()
+	if peak < 2 {
+		t.Fatalf("autoscaler never scaled up: %d replicas at peak", peak)
+	}
+	c.Run(12)
+	final := c.apps[0].liveReplicas()
+	if final >= peak {
+		t.Errorf("autoscaler never scaled down: peak %d, final %d", peak, final)
+	}
+	ups, downs := 0, 0
+	for _, d := range c.apps[0].decisions {
+		switch d.Action {
+		case "scale-up":
+			ups++
+		case "scale-down":
+			downs++
+		}
+	}
+	if ups == 0 || downs == 0 {
+		t.Errorf("decision ledger: %d ups, %d downs, want both > 0", ups, downs)
+	}
+	s := c.Snapshot()
+	if s.Apps[0].Decisions != len(c.apps[0].decisions) || len(s.Decisions) == 0 {
+		t.Error("decisions missing from snapshot")
+	}
+	// Shed stays bounded once capacity catches up.
+	if frac := s.Apps[0].ShedFrac; frac > 0.15 {
+		t.Errorf("shed fraction %.3f through the ramp, autoscaler not keeping up", frac)
+	}
+}
+
+// TestPlacementHonorsWeightMemory: a device only takes replicas whose
+// footprints fit its Weight Memory, and scale-up is blocked (and logged)
+// when the fleet is full.
+func TestPlacementHonorsWeightMemory(t *testing.T) {
+	app := testApp("BIG", 50, 2)
+	app.WeightBytes = 6 << 30 // only one fits per 8 GiB device
+	if _, err := New(Config{
+		Hosts: 1, DevicesPerHost: 1,
+		Apps: []AppConfig{app},
+		Seed: 1,
+	}); err == nil {
+		t.Fatal("two 6 GiB replicas placed on one 8 GiB device")
+	}
+
+	// A fleet with exactly enough room places, then blocks further growth.
+	app.Curve = workload.Constant(50000) // far over capacity: force scale-up pressure
+	app.MaxReplicas = 8                  // the ceiling is weight memory, not the replica cap
+	c, err := New(Config{
+		Hosts: 2, DevicesPerHost: 1,
+		Apps: []AppConfig{app},
+		Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Run(2)
+	blocked := false
+	for _, d := range c.apps[0].decisions {
+		if d.Action == "scale-blocked" {
+			blocked = true
+		}
+	}
+	if !blocked {
+		t.Error("over-capacity fleet never logged a scale-blocked decision")
+	}
+	if got := c.apps[0].liveReplicas(); got != 2 {
+		t.Errorf("replicas grew past the fleet's weight capacity: %d", got)
+	}
+}
+
+// TestOversizeFootprintRejected: a model bigger than a device's Weight
+// Memory can never be placed.
+func TestOversizeFootprintRejected(t *testing.T) {
+	app := testApp("HUGE", 50, 1)
+	app.WeightBytes = 9 << 30
+	if _, err := New(Config{Hosts: 1, DevicesPerHost: 1, Apps: []AppConfig{app}, Seed: 1}); err == nil {
+		t.Fatal("9 GiB footprint accepted on an 8 GiB device")
+	}
+}
+
+// TestNoOperatingPointRejected: an app whose batch-1 service time exceeds
+// its SLA has no deadline-safe plan; New must say so (the caller decides
+// to drop the app, as the experiments layer does for CNN1).
+func TestNoOperatingPointRejected(t *testing.T) {
+	app := testApp("SLOW", 50, 1)
+	app.Service = testService(10e-3, 1e-3)
+	_, err := New(Config{Hosts: 1, DevicesPerHost: 1, Apps: []AppConfig{app}, Seed: 1})
+	if err == nil || !strings.Contains(err.Error(), "no deadline-safe operating point") {
+		t.Fatalf("err = %v, want no-operating-point", err)
+	}
+}
+
+// TestRunSegmentsCompose: Run(2)+Run(5) equals Run(5) — the property that
+// lets callers interleave snapshots and kills with simulation segments.
+func TestRunSegmentsCompose(t *testing.T) {
+	build := func() *Cluster {
+		c, err := New(Config{
+			Hosts: 2, DevicesPerHost: 2,
+			Router: WeightedRoundRobin,
+			Apps:   []AppConfig{testApp("APP0", 2000, 2)},
+			Seed:   5,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+	oneShot, segmented := build(), build()
+	oneShot.Run(5)
+	segmented.Run(2)
+	segmented.Run(5)
+	if a, b := oneShot.Snapshot().Render(), segmented.Snapshot().Render(); a != b {
+		t.Fatalf("segmented run diverged from one-shot:\n--- one ---\n%s--- seg ---\n%s", a, b)
+	}
+}

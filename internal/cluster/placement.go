@@ -1,0 +1,98 @@
+// Model placement: deciding which device a new replica lands on. The
+// binding constraint is the paper's Weight Memory — a replica pins its
+// model's full weight footprint in the device's 8 GiB weight DRAM — and
+// the objective is spread: replicas of one app on distinct hosts (so one
+// host death cannot take an app below quorum), and devices shared only
+// when no empty one fits (co-located replicas split the device's
+// execution engine).
+package cluster
+
+import "fmt"
+
+// place creates and registers one replica of the app on the best
+// available device, or fails when no alive device has the weight capacity.
+func (c *Cluster) place(a *app) (*replica, error) {
+	d := c.bestDevice(a)
+	if d == nil {
+		return nil, fmt.Errorf("no alive device with %d weight bytes free for %s", a.cfg.WeightBytes, a.cfg.Name)
+	}
+	rep := &replica{id: a.nextID, app: a, dev: d}
+	a.nextID++
+	d.freeBytes -= a.cfg.WeightBytes
+	d.replicas = append(d.replicas, rep)
+	a.replicas[rep.id] = rep
+	if err := a.router.Add(rep.id, 1); err != nil {
+		return nil, err
+	}
+	c.log(d.host.id, "place", fmt.Sprintf("%s replica r%d on host%d/dev%d (%d B weights, %d B free)",
+		a.cfg.Name, rep.id, d.host.id, d.idx, a.cfg.WeightBytes, d.freeBytes))
+	return rep, nil
+}
+
+// bestDevice scans the fleet for the placement target: an alive device
+// with footprint room, ranked spread-first — fewest replicas of this app
+// on the host (anti-affinity: one host death should not halve an app's
+// replica set), then fewest replicas on the host overall, then fewest on
+// the device, then most free weight bytes. The scan-order tie-break keeps
+// placement deterministic.
+func (c *Cluster) bestDevice(a *app) *device {
+	appOnHost := make([]int, len(c.hosts))
+	totalOnHost := make([]int, len(c.hosts))
+	for _, h := range c.hosts {
+		for _, d := range h.devices {
+			for _, rep := range d.replicas {
+				if rep.draining {
+					continue
+				}
+				totalOnHost[h.id]++
+				if rep.app == a {
+					appOnHost[h.id]++
+				}
+			}
+		}
+	}
+	var best *device
+	var bestKey [4]int64
+	for _, h := range c.hosts {
+		if !h.alive {
+			continue
+		}
+		for _, d := range h.devices {
+			if d.freeBytes < a.cfg.WeightBytes {
+				continue
+			}
+			key := [4]int64{int64(appOnHost[h.id]), int64(totalOnHost[h.id]), int64(len(d.replicas)), -d.freeBytes}
+			if best == nil || less4(key, bestKey) {
+				best, bestKey = d, key
+			}
+		}
+	}
+	return best
+}
+
+// less4 is lexicographic comparison of placement rank keys.
+func less4(a, b [4]int64) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return false
+}
+
+// finalizeRemoval frees a drained replica's device residency. The router
+// entry was removed when the drain began, so no traffic can arrive.
+func (c *Cluster) finalizeRemoval(rep *replica) {
+	a := rep.app
+	d := rep.dev
+	for i, r := range d.replicas {
+		if r == rep {
+			d.replicas = append(d.replicas[:i], d.replicas[i+1:]...)
+			break
+		}
+	}
+	d.freeBytes += a.cfg.WeightBytes
+	delete(a.replicas, rep.id)
+	c.log(d.host.id, "drain", fmt.Sprintf("%s replica r%d removed from host%d/dev%d",
+		a.cfg.Name, rep.id, d.host.id, d.idx))
+}

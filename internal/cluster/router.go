@@ -1,0 +1,339 @@
+// Front-end request routing. Every app's replica set sits behind one
+// Router; the serving tier asks it which replica takes the next request.
+// Three policies cover the classic trade-offs: weighted round-robin
+// (stateless spread), least-loaded (reactive spread), and consistent
+// hashing with bounded load (sticky keys — sessions, users, cache
+// affinity — without letting a hot shard melt). All three refuse
+// quarantined replicas, which is how the health state machine (the PR 4
+// design, reused here across hosts) turns into routing decisions: a dead
+// host's replicas are quarantined and traffic flows around them.
+//
+// The Router is safe for concurrent use — the cluster simulator drives it
+// from a single virtual-time goroutine, but a wall-clock front end (and the
+// -race interaction test) hits it from many.
+package cluster
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+	"sort"
+	"sync"
+
+	"tpusim/internal/runtime"
+)
+
+// RouterPolicy selects the routing algorithm.
+type RouterPolicy int
+
+const (
+	// WeightedRoundRobin spreads requests in proportion to replica weight
+	// using the smooth WRR scheme (each pick leaves the chosen replica's
+	// accumulator lowest, so picks interleave instead of bursting).
+	WeightedRoundRobin RouterPolicy = iota
+	// LeastLoaded picks the routable replica with the fewest outstanding
+	// requests, preferring Healthy over Degraded, lowest id on ties.
+	LeastLoaded
+	// BoundedHash is consistent hashing with bounded load: a key maps to a
+	// ring position and walks clockwise to the first replica that is
+	// routable and under the load bound c x mean. Keys are sticky across
+	// replica joins/leaves (bounded movement) and no replica takes more
+	// than c times its fair share.
+	BoundedHash
+)
+
+var policyNames = map[RouterPolicy]string{
+	WeightedRoundRobin: "wrr",
+	LeastLoaded:        "least-loaded",
+	BoundedHash:        "bounded-hash",
+}
+
+// String names the policy ("wrr", "least-loaded", "bounded-hash").
+func (p RouterPolicy) String() string {
+	if n, ok := policyNames[p]; ok {
+		return n
+	}
+	return fmt.Sprintf("policy(%d)", int(p))
+}
+
+// ParsePolicy resolves a policy name.
+func ParsePolicy(s string) (RouterPolicy, error) {
+	for p, n := range policyNames {
+		if n == s {
+			return p, nil
+		}
+	}
+	return 0, fmt.Errorf("cluster: unknown router policy %q (want wrr, least-loaded or bounded-hash)", s)
+}
+
+// vnodes is the virtual-node count per replica on the hash ring. 64 keeps
+// the per-replica arc variance small enough that the bounded-load walk
+// rarely engages under even load.
+const vnodes = 64
+
+// defaultBoundC is the bounded-load factor: no replica's outstanding load
+// may exceed ceil(c x total/replicas). 1.25 is the classic
+// consistent-hashing-with-bounded-loads operating point.
+const defaultBoundC = 1.25
+
+// endpoint is one routable replica as the router tracks it.
+type endpoint struct {
+	id      int
+	weight  float64
+	state   runtime.HealthState
+	load    int64
+	current float64 // smooth-WRR accumulator
+}
+
+// ringSlot is one virtual node on the consistent-hash ring.
+type ringSlot struct {
+	hash uint64
+	ep   *endpoint
+}
+
+// Router routes request keys to replica ids under one policy.
+type Router struct {
+	mu     sync.Mutex
+	policy RouterPolicy
+	boundC float64
+	eps    map[int]*endpoint
+	order  []*endpoint // sorted by id, rebuilt on membership change
+	ring   []ringSlot  // sorted by hash, rebuilt on membership change
+}
+
+// NewRouter creates an empty router with the given policy.
+func NewRouter(policy RouterPolicy) *Router {
+	return &Router{policy: policy, boundC: defaultBoundC, eps: map[int]*endpoint{}}
+}
+
+// Policy returns the router's policy.
+func (r *Router) Policy() RouterPolicy { return r.policy }
+
+// Add registers a replica with the given weight (<=0 means 1). New
+// replicas start Healthy.
+func (r *Router) Add(id int, weight float64) error {
+	if weight <= 0 {
+		weight = 1
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.eps[id]; ok {
+		return fmt.Errorf("cluster: replica %d already routed", id)
+	}
+	r.eps[id] = &endpoint{id: id, weight: weight, state: runtime.Healthy}
+	r.rebuild()
+	return nil
+}
+
+// Remove deregisters a replica. Unknown ids are a no-op.
+func (r *Router) Remove(id int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.eps[id]; !ok {
+		return
+	}
+	delete(r.eps, id)
+	r.rebuild()
+}
+
+// SetState moves a replica through the health state machine as the router
+// sees it. Quarantined replicas take no traffic.
+func (r *Router) SetState(id int, st runtime.HealthState) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if ep, ok := r.eps[id]; ok {
+		ep.state = st
+	}
+}
+
+// State returns a replica's health state (Healthy for unknown ids).
+func (r *Router) State(id int) runtime.HealthState {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if ep, ok := r.eps[id]; ok {
+		return ep.state
+	}
+	return runtime.Healthy
+}
+
+// AddLoad adjusts a replica's outstanding-request gauge (admitted queue
+// plus in-flight). The least-loaded and bounded-hash policies route on it.
+func (r *Router) AddLoad(id int, delta int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if ep, ok := r.eps[id]; ok {
+		ep.load += delta
+		if ep.load < 0 {
+			ep.load = 0
+		}
+	}
+}
+
+// Load returns a replica's outstanding-request gauge.
+func (r *Router) Load(id int) int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if ep, ok := r.eps[id]; ok {
+		return ep.load
+	}
+	return 0
+}
+
+// IDs returns the registered replica ids in ascending order.
+func (r *Router) IDs() []int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]int, len(r.order))
+	for i, ep := range r.order {
+		out[i] = ep.id
+	}
+	return out
+}
+
+// Len returns the registered replica count.
+func (r *Router) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.eps)
+}
+
+// Route picks a replica for the key. ok is false when no routable (non-
+// quarantined) replica exists. WRR and least-loaded ignore the key.
+func (r *Router) Route(key uint64) (int, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	switch r.policy {
+	case WeightedRoundRobin:
+		return r.routeWRR()
+	case LeastLoaded:
+		return r.routeLeastLoaded()
+	case BoundedHash:
+		return r.routeBoundedHash(key)
+	}
+	return 0, false
+}
+
+// routable reports whether an endpoint may take traffic.
+func routable(ep *endpoint) bool { return ep.state != runtime.Quarantined }
+
+// routeWRR is smooth weighted round-robin over routable endpoints.
+func (r *Router) routeWRR() (int, bool) {
+	var best *endpoint
+	var total float64
+	for _, ep := range r.order {
+		if !routable(ep) {
+			continue
+		}
+		ep.current += ep.weight
+		total += ep.weight
+		if best == nil || ep.current > best.current {
+			best = ep
+		}
+	}
+	if best == nil {
+		return 0, false
+	}
+	best.current -= total
+	return best.id, true
+}
+
+// routeLeastLoaded picks the best (state, load, id) routable endpoint.
+func (r *Router) routeLeastLoaded() (int, bool) {
+	var best *endpoint
+	for _, ep := range r.order {
+		if !routable(ep) {
+			continue
+		}
+		if best == nil ||
+			ep.state < best.state ||
+			(ep.state == best.state && ep.load < best.load) {
+			best = ep
+		}
+	}
+	if best == nil {
+		return 0, false
+	}
+	return best.id, true
+}
+
+// routeBoundedHash walks the ring clockwise from the key's position to the
+// first routable endpoint whose load stays under the bound. If every
+// routable endpoint is at the bound (transiently possible while loads
+// change), it falls back to the least-loaded routable one — traffic is
+// never refused while any replica can take it.
+func (r *Router) routeBoundedHash(key uint64) (int, bool) {
+	if len(r.ring) == 0 {
+		return 0, false
+	}
+	var total int64
+	routableN := 0
+	for _, ep := range r.order {
+		if routable(ep) {
+			total += ep.load
+			routableN++
+		}
+	}
+	if routableN == 0 {
+		return 0, false
+	}
+	// ceil(c * (total+1) / n): the +1 accounts for the request being placed.
+	bound := int64(math.Ceil(r.boundC * float64(total+1) / float64(routableN)))
+	h := mix64(key)
+	i := sort.Search(len(r.ring), func(i int) bool { return r.ring[i].hash >= h })
+	seen := map[int]bool{}
+	for k := 0; k < len(r.ring) && len(seen) < routableN; k++ {
+		ep := r.ring[(i+k)%len(r.ring)].ep
+		if !routable(ep) || seen[ep.id] {
+			continue
+		}
+		if ep.load+1 <= bound {
+			return ep.id, true
+		}
+		seen[ep.id] = true
+	}
+	return r.routeLeastLoaded()
+}
+
+// rebuild refreshes the deterministic iteration order and the hash ring
+// after a membership change. Ring positions depend only on replica ids, so
+// a rejoining replica reclaims exactly its old arcs (bounded key movement).
+func (r *Router) rebuild() {
+	r.order = r.order[:0]
+	for _, ep := range r.eps {
+		r.order = append(r.order, ep)
+	}
+	sort.Slice(r.order, func(i, j int) bool { return r.order[i].id < r.order[j].id })
+	r.ring = r.ring[:0]
+	for _, ep := range r.order {
+		for v := 0; v < vnodes; v++ {
+			r.ring = append(r.ring, ringSlot{hash: vnodeHash(ep.id, v), ep: ep})
+		}
+	}
+	sort.Slice(r.ring, func(i, j int) bool {
+		if r.ring[i].hash != r.ring[j].hash {
+			return r.ring[i].hash < r.ring[j].hash
+		}
+		return r.ring[i].ep.id < r.ring[j].ep.id
+	})
+}
+
+// vnodeHash positions one virtual node of a replica on the ring.
+func vnodeHash(id, vnode int) uint64 {
+	h := fnv.New64a()
+	var buf [16]byte
+	for i := 0; i < 8; i++ {
+		buf[i] = byte(id >> (8 * i))
+		buf[8+i] = byte(vnode >> (8 * i))
+	}
+	h.Write(buf[:])
+	return h.Sum64()
+}
+
+// mix64 is the splitmix64 finalizer: request keys are often sequential
+// (user ids, session counters), and the mixer spreads them over the ring.
+func mix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}

@@ -1,0 +1,310 @@
+// Property tests for the routing policies: the consistent-hash balance
+// bound and bounded key movement (the two theorems bounded-load hashing
+// buys), quarantine avoidance across all policies, smooth-WRR
+// proportionality, and a -race churn test of concurrent submits during
+// replica kill and scale-up.
+package cluster
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"tpusim/internal/runtime"
+)
+
+func TestParsePolicyRoundTrip(t *testing.T) {
+	for _, p := range []RouterPolicy{WeightedRoundRobin, LeastLoaded, BoundedHash} {
+		got, err := ParsePolicy(p.String())
+		if err != nil {
+			t.Fatalf("ParsePolicy(%q): %v", p.String(), err)
+		}
+		if got != p {
+			t.Fatalf("ParsePolicy(%q) = %v, want %v", p.String(), got, p)
+		}
+	}
+	if _, err := ParsePolicy("nope"); err == nil {
+		t.Fatal("ParsePolicy accepted an unknown name")
+	}
+}
+
+// TestHashBalanceBound: with bounded-load hashing, after placing 10k
+// sticky keys on 10 replicas no replica holds more than 1.25x the mean.
+func TestHashBalanceBound(t *testing.T) {
+	const replicas, keys = 10, 10000
+	r := NewRouter(BoundedHash)
+	for id := 0; id < replicas; id++ {
+		if err := r.Add(id, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	counts := make([]int64, replicas)
+	for k := uint64(0); k < keys; k++ {
+		id, ok := r.Route(k)
+		if !ok {
+			t.Fatalf("key %d unroutable", k)
+		}
+		r.AddLoad(id, 1) // key stays resident: outstanding load
+		counts[id]++
+	}
+	var max int64
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+	}
+	mean := float64(keys) / float64(replicas)
+	// The walk admits a replica only while load+1 <= ceil(c*(total+1)/n),
+	// so the final max is bounded by ceil(1.25 * keys / replicas).
+	limit := math.Ceil(defaultBoundC * keys / replicas)
+	if float64(max) > limit {
+		t.Fatalf("max load %d exceeds bound %.0f (mean %.0f, max/mean %.3f)",
+			max, limit, mean, float64(max)/mean)
+	}
+	t.Logf("max/mean = %.3f over %d keys", float64(max)/mean, keys)
+}
+
+// routeAll maps each key through the router without touching loads, so
+// the bounded-load walk degenerates to pure consistent hashing and the
+// mapping depends only on ring membership.
+func routeAll(t *testing.T, r *Router, keys int) map[uint64]int {
+	t.Helper()
+	m := make(map[uint64]int, keys)
+	for k := uint64(0); k < uint64(keys); k++ {
+		id, ok := r.Route(k)
+		if !ok {
+			t.Fatalf("key %d unroutable", k)
+		}
+		m[k] = id
+	}
+	return m
+}
+
+// TestBoundedKeyMovement: a replica join moves only keys that land on the
+// new replica (about 1/(n+1) of them), a leave moves only the leaver's
+// keys, and a rejoin restores the original mapping exactly because ring
+// positions depend only on replica ids.
+func TestBoundedKeyMovement(t *testing.T) {
+	const replicas, keys = 10, 10000
+	r := NewRouter(BoundedHash)
+	for id := 0; id < replicas; id++ {
+		if err := r.Add(id, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := routeAll(t, r, keys)
+
+	// Join: every moved key must move TO the new replica.
+	if err := r.Add(replicas, 1); err != nil {
+		t.Fatal(err)
+	}
+	after := routeAll(t, r, keys)
+	moved := 0
+	for k, id := range after {
+		if id != before[k] {
+			moved++
+			if id != replicas {
+				t.Fatalf("key %d moved %d -> %d, not to the joining replica", k, before[k], id)
+			}
+		}
+	}
+	expected := float64(keys) / float64(replicas+1)
+	if float64(moved) > 2*expected {
+		t.Fatalf("join moved %d keys, want ~%.0f (vnode arcs too uneven)", moved, expected)
+	}
+	if moved == 0 {
+		t.Fatal("join moved no keys: new replica owns no arcs")
+	}
+
+	// Leave: removing the joiner restores the original mapping exactly.
+	r.Remove(replicas)
+	restored := routeAll(t, r, keys)
+	for k, id := range restored {
+		if id != before[k] {
+			t.Fatalf("key %d maps to %d after leave, was %d before join", k, id, before[k])
+		}
+	}
+
+	// Leave of an original member: only its keys move.
+	r.Remove(3)
+	afterLeave := routeAll(t, r, keys)
+	for k, id := range afterLeave {
+		if before[k] != 3 && id != before[k] {
+			t.Fatalf("key %d moved %d -> %d though replica 3 never owned it", k, before[k], id)
+		}
+		if id == 3 {
+			t.Fatalf("key %d still routed to removed replica 3", k)
+		}
+	}
+}
+
+// TestNoPolicyRoutesToQuarantined: all three policies refuse quarantined
+// replicas even when one is the least-loaded or the key's ring owner.
+func TestNoPolicyRoutesToQuarantined(t *testing.T) {
+	for _, policy := range []RouterPolicy{WeightedRoundRobin, LeastLoaded, BoundedHash} {
+		t.Run(policy.String(), func(t *testing.T) {
+			r := NewRouter(policy)
+			for id := 0; id < 5; id++ {
+				if err := r.Add(id, 1); err != nil {
+					t.Fatal(err)
+				}
+				r.AddLoad(id, 10) // bait: quarantined replica will look emptiest
+			}
+			r.SetState(2, runtime.Quarantined)
+			r.AddLoad(2, -10)
+			for k := uint64(0); k < 2000; k++ {
+				id, ok := r.Route(k)
+				if !ok {
+					t.Fatalf("key %d unroutable with 4 healthy replicas", k)
+				}
+				if id == 2 {
+					t.Fatalf("%s routed key %d to quarantined replica", policy, k)
+				}
+			}
+			// All quarantined: routing must refuse, not pick one anyway.
+			for id := 0; id < 5; id++ {
+				r.SetState(id, runtime.Quarantined)
+			}
+			if id, ok := r.Route(1); ok {
+				t.Fatalf("routed to %d with every replica quarantined", id)
+			}
+		})
+	}
+}
+
+// TestLeastLoadedPrefersHealthyOverDegraded: state outranks load.
+func TestLeastLoadedPrefersHealthyOverDegraded(t *testing.T) {
+	r := NewRouter(LeastLoaded)
+	for id := 0; id < 3; id++ {
+		if err := r.Add(id, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r.SetState(0, runtime.Degraded)
+	r.AddLoad(1, 5)
+	r.AddLoad(2, 3)
+	// Replica 0 has zero load but is Degraded; 2 is the least-loaded Healthy.
+	if id, _ := r.Route(0); id != 2 {
+		t.Fatalf("least-loaded picked %d, want healthy replica 2", id)
+	}
+}
+
+// TestWRRProportional: smooth WRR is exactly proportional over a full
+// weight cycle and never bursts one replica.
+func TestWRRProportional(t *testing.T) {
+	r := NewRouter(WeightedRoundRobin)
+	weights := map[int]float64{0: 4, 1: 2, 2: 1}
+	for id, w := range weights {
+		if err := r.Add(id, w); err != nil {
+			t.Fatal(err)
+		}
+	}
+	counts := map[int]int{}
+	const cycles = 100
+	for i := 0; i < 7*cycles; i++ { // weight sum is 7
+		id, ok := r.Route(0)
+		if !ok {
+			t.Fatal("unroutable")
+		}
+		counts[id]++
+	}
+	for id, w := range weights {
+		if want := int(w) * cycles; counts[id] != want {
+			t.Fatalf("replica %d took %d picks, want %d", id, counts[id], want)
+		}
+	}
+}
+
+// TestBoundedHashSticky: under even load the same key keeps hitting the
+// same replica — the affinity property the policy exists for.
+func TestBoundedHashSticky(t *testing.T) {
+	r := NewRouter(BoundedHash)
+	for id := 0; id < 8; id++ {
+		if err := r.Add(id, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for k := uint64(0); k < 100; k++ {
+		first, ok := r.Route(k)
+		if !ok {
+			t.Fatal("unroutable")
+		}
+		for rep := 0; rep < 10; rep++ {
+			if id, _ := r.Route(k); id != first {
+				t.Fatalf("key %d flapped %d -> %d with no load change", k, first, id)
+			}
+		}
+	}
+}
+
+// TestRouterConcurrentChurn exercises the router under -race the way the
+// acceptance scenario does logically: submitter goroutines route and
+// adjust load while one goroutine kills and revives replicas (health
+// transitions) and another scales the replica set up and down. The
+// assertions are weak on purpose — the test's value is the race detector
+// plus "routing never returns an id that was never registered".
+func TestRouterConcurrentChurn(t *testing.T) {
+	for _, policy := range []RouterPolicy{WeightedRoundRobin, LeastLoaded, BoundedHash} {
+		t.Run(policy.String(), func(t *testing.T) {
+			r := NewRouter(policy)
+			const stable = 4 // ids 0..3 are never removed
+			for id := 0; id < stable; id++ {
+				if err := r.Add(id, 1); err != nil {
+					t.Fatal(err)
+				}
+			}
+			var wg sync.WaitGroup
+			// Submitters: route, hold load briefly, release.
+			for g := 0; g < 4; g++ {
+				wg.Add(1)
+				go func(g int) {
+					defer wg.Done()
+					for i := 0; i < 3000; i++ {
+						key := uint64(g)<<32 | uint64(i)
+						id, ok := r.Route(key)
+						if !ok {
+							continue // transiently all-quarantined is legal
+						}
+						if id < 0 || id >= stable+8 {
+							t.Errorf("routed to id %d that was never registered", id)
+							return
+						}
+						r.AddLoad(id, 1)
+						r.AddLoad(id, -1)
+					}
+				}(g)
+			}
+			// Health: quarantine and revive a stable replica (the host kill).
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := 0; i < 2000; i++ {
+					r.SetState(1, runtime.Quarantined)
+					r.SetState(1, runtime.Healthy)
+				}
+			}()
+			// Autoscaler: add and remove replicas above the stable set.
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := 0; i < 1000; i++ {
+					id := stable + i%8
+					_ = r.Add(id, 1)
+					r.AddLoad(id, 2)
+					r.Remove(id)
+				}
+			}()
+			wg.Wait()
+			// Stable replicas must all still be present and routable.
+			for id := 0; id < stable; id++ {
+				r.SetState(id, runtime.Healthy)
+			}
+			if got := r.Len(); got < stable {
+				t.Fatalf("%d replicas left, want >= %d", got, stable)
+			}
+			if _, ok := r.Route(42); !ok {
+				t.Fatal("router unroutable after churn settled")
+			}
+		})
+	}
+}

@@ -1,0 +1,167 @@
+// Fleet snapshots: the deterministic, renderable state the golden tests
+// pin. A snapshot is a pure function of (config, seed, virtual time) — no
+// map iteration order, no wall-clock timestamps — so two same-seed runs
+// render byte-identical text and any behavioral drift in routing,
+// placement, failover or autoscaling shows up as a readable diff.
+package cluster
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"tpusim/internal/runtime"
+	"tpusim/internal/stats"
+)
+
+// AppSnapshot is one app's cumulative serving outcome.
+type AppSnapshot struct {
+	Name                          string
+	Replicas                      int // routable replicas at snapshot time
+	Offered                       uint64
+	Completed, ShedQueue, Expired uint64
+	Failovers, Errors, RouterMiss uint64
+	P50Ms, P99Ms                  float64
+	// ShedFrac is (queue sheds + dispatch expiries) over offered load;
+	// ErrorRate is client-visible failures over offered load.
+	ShedFrac, ErrorRate float64
+	Decisions           int
+}
+
+// ReplicaSnapshot is one replica's placement and state.
+type ReplicaSnapshot struct {
+	App       string
+	ID        int
+	Host, Dev int
+	State     runtime.HealthState
+	Draining  bool
+	Routed    uint64
+	Completed uint64
+	QueueLen  int
+}
+
+// Snapshot is the full fleet state at one virtual instant.
+type Snapshot struct {
+	Hosts, DevicesPerHost int
+	Router                RouterPolicy
+	Seed                  int64
+	VirtualTime           float64
+	EventsProcessed       uint64
+	HostsAlive            int
+	DeadHosts             []int
+	Apps                  []AppSnapshot
+	Replicas              []ReplicaSnapshot
+	Decisions             []Decision
+	EventLogLen           int
+}
+
+// Snapshot captures the fleet state. It is cheap enough to call between
+// Run segments.
+func (c *Cluster) Snapshot() *Snapshot {
+	s := &Snapshot{
+		Hosts:           c.cfg.Hosts,
+		DevicesPerHost:  c.cfg.DevicesPerHost,
+		Router:          c.cfg.Router,
+		Seed:            c.cfg.Seed,
+		VirtualTime:     c.loop.Now(),
+		EventsProcessed: c.loop.Processed(),
+		EventLogLen:     len(c.events),
+	}
+	for _, h := range c.hosts {
+		if h.alive {
+			s.HostsAlive++
+		} else {
+			s.DeadHosts = append(s.DeadHosts, h.id)
+		}
+	}
+	for _, a := range c.apps {
+		as := AppSnapshot{
+			Name:       a.cfg.Name,
+			Replicas:   a.liveReplicas(),
+			Offered:    a.offered,
+			Completed:  a.completed,
+			ShedQueue:  a.shedQueue,
+			Expired:    a.expired,
+			Failovers:  a.failovers,
+			Errors:     a.errors,
+			RouterMiss: a.routerMiss,
+			Decisions:  len(a.decisions),
+		}
+		if len(a.latencies) > 0 {
+			// Percentile sorts a copy; latencies stay in completion order.
+			if p, err := stats.Percentile(a.latencies, 50); err == nil {
+				as.P50Ms = p * 1e3
+			}
+			if p, err := stats.Percentile(a.latencies, 99); err == nil {
+				as.P99Ms = p * 1e3
+			}
+		}
+		if a.offered > 0 {
+			as.ShedFrac = float64(a.shedQueue+a.expired) / float64(a.offered)
+			as.ErrorRate = float64(a.errors) / float64(a.offered)
+		}
+		s.Apps = append(s.Apps, as)
+		ids := make([]int, 0, len(a.replicas))
+		for id := range a.replicas {
+			ids = append(ids, id)
+		}
+		sort.Ints(ids)
+		for _, id := range ids {
+			rep := a.replicas[id]
+			s.Replicas = append(s.Replicas, ReplicaSnapshot{
+				App: a.cfg.Name, ID: id,
+				Host: rep.dev.host.id, Dev: rep.dev.idx,
+				State: rep.state, Draining: rep.draining,
+				Routed: rep.routed, Completed: rep.completed,
+				QueueLen: len(rep.queue),
+			})
+		}
+		s.Decisions = append(s.Decisions, a.decisions...)
+	}
+	// Decisions across apps, in decision-time order (stable within an app
+	// already; merge preserves config order on exact ties via stable sort).
+	sort.SliceStable(s.Decisions, func(i, j int) bool { return s.Decisions[i].Time < s.Decisions[j].Time })
+	return s
+}
+
+// Render formats the snapshot as the golden-file text.
+func (s *Snapshot) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "cluster: %d hosts x %d devices, router=%s, seed=%d\n",
+		s.Hosts, s.DevicesPerHost, s.Router, s.Seed)
+	fmt.Fprintf(&b, "virtual time %.3f s, hosts alive %d/%d", s.VirtualTime, s.HostsAlive, s.Hosts)
+	if len(s.DeadHosts) > 0 {
+		fmt.Fprintf(&b, " (dead:")
+		for _, h := range s.DeadHosts {
+			fmt.Fprintf(&b, " host%d", h)
+		}
+		b.WriteString(")")
+	}
+	fmt.Fprintf(&b, ", log %d events\n\n", s.EventLogLen)
+
+	fmt.Fprintf(&b, "%-6s %4s %8s %9s %6s %7s %8s %6s %7s %7s %8s %8s\n",
+		"app", "repl", "offered", "completed", "shedQ", "expired", "failover", "errs", "p50ms", "p99ms", "shed%", "err%")
+	for _, a := range s.Apps {
+		fmt.Fprintf(&b, "%-6s %4d %8d %9d %6d %7d %8d %6d %7.3f %7.3f %7.2f%% %7.3f%%\n",
+			a.Name, a.Replicas, a.Offered, a.Completed, a.ShedQueue, a.Expired,
+			a.Failovers, a.Errors, a.P50Ms, a.P99Ms, a.ShedFrac*100, a.ErrorRate*100)
+	}
+
+	b.WriteString("\nreplicas:\n")
+	for _, r := range s.Replicas {
+		status := r.State.String()
+		if r.Draining {
+			status += ",draining"
+		}
+		fmt.Fprintf(&b, "  %-6s r%-3d host%d/dev%d %-11s routed=%d completed=%d queue=%d\n",
+			r.App, r.ID, r.Host, r.Dev, status, r.Routed, r.Completed, r.QueueLen)
+	}
+
+	if len(s.Decisions) > 0 {
+		b.WriteString("\nautoscaler decisions:\n")
+		for _, d := range s.Decisions {
+			fmt.Fprintf(&b, "  %s\n", d.String())
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,117 @@
+package des
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestOrdering: events fire in time order regardless of scheduling order.
+func TestOrdering(t *testing.T) {
+	var l Loop
+	var got []int
+	l.At(3, func() { got = append(got, 3) })
+	l.At(1, func() { got = append(got, 1) })
+	l.At(2, func() { got = append(got, 2) })
+	l.Run()
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("fired %v, want %v", got, want)
+		}
+	}
+	if l.Now() != 3 {
+		t.Fatalf("Now = %v, want 3", l.Now())
+	}
+	if l.Processed() != 3 {
+		t.Fatalf("Processed = %d, want 3", l.Processed())
+	}
+}
+
+// TestFIFOTieBreak: same-instant events fire in scheduling order — the
+// determinism contract the cluster replay tests lean on.
+func TestFIFOTieBreak(t *testing.T) {
+	var l Loop
+	var got []int
+	for i := 0; i < 100; i++ {
+		i := i
+		l.At(1, func() { got = append(got, i) })
+	}
+	l.Run()
+	for i := range got {
+		if got[i] != i {
+			t.Fatalf("tie at index %d fired as %d, want FIFO", i, got[i])
+		}
+	}
+}
+
+// TestCascade: an event can schedule further events, including at its own
+// instant (they run after every already-queued same-instant event).
+func TestCascade(t *testing.T) {
+	var l Loop
+	var got []string
+	l.At(1, func() {
+		got = append(got, "a")
+		l.After(0, func() { got = append(got, "c") })
+	})
+	l.At(1, func() { got = append(got, "b") })
+	l.Run()
+	if len(got) != 3 || got[0] != "a" || got[1] != "b" || got[2] != "c" {
+		t.Fatalf("cascade fired %v, want [a b c]", got)
+	}
+}
+
+// TestRunUntil: only events inside the horizon fire, and the clock lands on
+// the horizon so segments compose.
+func TestRunUntil(t *testing.T) {
+	var l Loop
+	fired := map[float64]bool{}
+	for _, at := range []float64{0.5, 1.5, 2.5} {
+		at := at
+		l.At(at, func() { fired[at] = true })
+	}
+	l.RunUntil(2)
+	if !fired[0.5] || !fired[1.5] || fired[2.5] {
+		t.Fatalf("fired %v after RunUntil(2)", fired)
+	}
+	if l.Now() != 2 {
+		t.Fatalf("Now = %v, want 2", l.Now())
+	}
+	if l.Pending() != 1 {
+		t.Fatalf("Pending = %d, want 1", l.Pending())
+	}
+	l.RunUntil(3)
+	if !fired[2.5] {
+		t.Fatal("resumed segment did not fire the queued event")
+	}
+}
+
+// TestPastSchedulingPanics: scheduling before now is a loud failure.
+func TestPastSchedulingPanics(t *testing.T) {
+	var l Loop
+	l.At(2, func() {})
+	l.Run()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("scheduling in the past did not panic")
+		}
+	}()
+	l.At(1, func() {})
+}
+
+// TestRandomizedOrder: a fuzz-ish shuffle of schedule times still fires in
+// nondecreasing time order.
+func TestRandomizedOrder(t *testing.T) {
+	var l Loop
+	rng := rand.New(rand.NewSource(7))
+	var got []float64
+	for i := 0; i < 5000; i++ {
+		at := rng.Float64() * 100
+		l.At(at, func() { got = append(got, at) })
+	}
+	l.Run()
+	for i := 1; i < len(got); i++ {
+		if got[i] < got[i-1] {
+			t.Fatalf("time went backwards at %d: %v after %v", i, got[i], got[i-1])
+		}
+	}
+}

@@ -1,0 +1,228 @@
+// Cluster scale-out experiment: the six production apps of Table 1 served
+// from a simulated multi-host TPU fleet behind a front-end router, driven
+// through a load ramp with a host killed mid-ramp. This is the paper's
+// deployment frame made executable — "the TPU was designed to be a
+// coprocessor" for fleets that "need responses in milliseconds" — with
+// every app's service times from the Table 4 analytic model, its Weight
+// Memory footprint from the compiler's exact tile accounting, and the
+// serving plan, health machine, failover and autoscaler composed by
+// internal/cluster on the discrete-event core.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"tpusim/internal/cluster"
+	"tpusim/internal/compiler"
+	"tpusim/internal/latency"
+	"tpusim/internal/models"
+	"tpusim/internal/serve"
+	"tpusim/internal/workload"
+)
+
+// ClusterConfig parameterizes the fleet experiment. Zero values mean the
+// acceptance defaults: an 8x4 fleet, bounded-load hashing, a 25%->150%
+// capacity ramp with host 0 hard-killed mid-ramp.
+type ClusterConfig struct {
+	// Hosts and DevicesPerHost size the fleet. 0 means 8 x 4.
+	Hosts, DevicesPerHost int
+	// Router names the routing policy ("wrr", "least-loaded",
+	// "bounded-hash"). Empty means bounded-hash.
+	Router string
+	// RampSeconds is the virtual-time length of the load ramp; the run
+	// holds peak load for another RampSeconds/2 after it. 0 means 0.4.
+	RampSeconds float64
+	// StartFrac and PeakFrac bound the ramp as fractions of each app's
+	// initial rated capacity. 0 means 0.25 -> 1.5.
+	StartFrac, PeakFrac float64
+	// NoKill skips the mid-ramp host kill; otherwise KillHost dies at half
+	// the ramp.
+	NoKill   bool
+	KillHost int
+	// SLASeconds is the per-request deadline. 0 means the paper's 7 ms.
+	SLASeconds float64
+	// Seed pins arrivals and request keys. 0 means 42.
+	Seed int64
+}
+
+func (c ClusterConfig) withDefaults() ClusterConfig {
+	if c.Hosts == 0 {
+		c.Hosts = 8
+	}
+	if c.DevicesPerHost == 0 {
+		c.DevicesPerHost = 4
+	}
+	if c.Router == "" {
+		c.Router = "bounded-hash"
+	}
+	if c.RampSeconds == 0 {
+		c.RampSeconds = 0.4
+	}
+	if c.StartFrac == 0 {
+		c.StartFrac = 0.25
+	}
+	if c.PeakFrac == 0 {
+		c.PeakFrac = 1.5
+	}
+	if c.SLASeconds == 0 {
+		c.SLASeconds = 7e-3
+	}
+	if c.Seed == 0 {
+		c.Seed = 42
+	}
+	return c
+}
+
+// ClusterAppInfo is one app's static serving profile in the experiment.
+type ClusterAppInfo struct {
+	Name string
+	// DeployShare is Table 1's datacenter load share, context for the mix.
+	DeployShare float64
+	// WeightBytes is the compiler's exact Weight Memory footprint.
+	WeightBytes int64
+	// SafeBatch and ReplicaRate are the resolved operating point: largest
+	// deadline-safe batch and one un-shared replica's saturation rate.
+	SafeBatch   int
+	ReplicaRate float64
+	// PeakRate is the app's offered load at the top of the ramp.
+	PeakRate float64
+}
+
+// ClusterResult is the experiment outcome.
+type ClusterResult struct {
+	Cfg ClusterConfig
+	// Apps are the served apps' profiles, Table 1 order.
+	Apps []ClusterAppInfo
+	// Skipped lists apps with no deadline-safe operating point at the SLA
+	// (dropped from the mix rather than failing the experiment).
+	Skipped []string
+	// KilledAt is the virtual time of the host kill, 0 if NoKill.
+	KilledAt float64
+	// Snap is the final fleet snapshot; Events the full ordered log.
+	Snap   *cluster.Snapshot
+	Events []cluster.Event
+}
+
+// RunCluster builds the six-app fleet and drives it through the ramp.
+// Each app's load curve ramps from StartFrac to PeakFrac of its own
+// initial rated capacity, so every app — not just the big MLPs — crosses
+// its scale-up threshold and the autoscaler must act while a host dies.
+func RunCluster(cfg ClusterConfig) (*ClusterResult, error) {
+	cfg = cfg.withDefaults()
+	policy, err := cluster.ParsePolicy(cfg.Router)
+	if err != nil {
+		return nil, err
+	}
+	res := &ClusterResult{Cfg: cfg}
+	var apps []cluster.AppConfig
+	for _, b := range models.All() {
+		name := b.Model.Name
+		svc := latency.ServiceFunc(func(n int) (float64, error) { return TPUBatchSeconds(name, n) })
+		pol := serve.Policy{MaxBatch: b.Model.Batch, SLASeconds: cfg.SLASeconds}
+		plan, err := pol.Resolve(svc)
+		if err != nil {
+			// No deadline-safe operating point at this SLA (CNN1 under
+			// tight deadlines): the fleet serves the apps that have one.
+			res.Skipped = append(res.Skipped, name)
+			continue
+		}
+		one := float64(plan.SafeBatch) / plan.SafeServiceSeconds
+		ramp, err := workload.NewPiecewiseLinear(
+			workload.Point{T: 0, Rate: cfg.StartFrac * one},
+			workload.Point{T: cfg.RampSeconds, Rate: cfg.PeakFrac * one},
+		)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %s ramp: %w", name, err)
+		}
+		res.Apps = append(res.Apps, ClusterAppInfo{
+			Name:        name,
+			DeployShare: b.DeployShare,
+			WeightBytes: compiler.WeightFootprint(b.Model, false),
+			SafeBatch:   plan.SafeBatch,
+			ReplicaRate: one,
+			PeakRate:    cfg.PeakFrac * one,
+		})
+		apps = append(apps, cluster.AppConfig{
+			Name:            name,
+			Service:         svc,
+			Policy:          pol,
+			WeightBytes:     compiler.WeightFootprint(b.Model, false),
+			Curve:           ramp,
+			InitialReplicas: 1,
+			MinReplicas:     1,
+		})
+	}
+	if len(apps) == 0 {
+		return nil, fmt.Errorf("experiments: no app has an operating point at SLA %.1f ms", cfg.SLASeconds*1e3)
+	}
+	c, err := cluster.New(cluster.Config{
+		Hosts:          cfg.Hosts,
+		DevicesPerHost: cfg.DevicesPerHost,
+		Router:         policy,
+		Apps:           apps,
+		// The short virtual horizon needs a snappy decision window: ~10
+		// batch epochs per tick at the apps' millisecond service times.
+		Autoscale: cluster.AutoscaleConfig{Interval: cfg.RampSeconds / 8},
+		Seed:      cfg.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if !cfg.NoKill {
+		res.KilledAt = cfg.RampSeconds / 2
+		if err := c.KillHostAt(res.KilledAt, cfg.KillHost); err != nil {
+			return nil, err
+		}
+	}
+	c.Run(cfg.RampSeconds * 1.5) // ramp, then hold peak for half a ramp
+	res.Snap = c.Snapshot()
+	res.Events = c.Events()
+	return res, nil
+}
+
+// RenderCluster formats the experiment report.
+func RenderCluster(r *ClusterResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Cluster scale-out: %d hosts x %d devices, router=%s, seed=%d\n",
+		r.Cfg.Hosts, r.Cfg.DevicesPerHost, r.Cfg.Router, r.Cfg.Seed)
+	fmt.Fprintf(&b, "ramp %.0f%% -> %.0f%% of initial rated capacity over %.2fs virtual, hold %.2fs",
+		r.Cfg.StartFrac*100, r.Cfg.PeakFrac*100, r.Cfg.RampSeconds, r.Cfg.RampSeconds/2)
+	if r.KilledAt > 0 {
+		fmt.Fprintf(&b, ", host%d killed at %.2fs", r.Cfg.KillHost, r.KilledAt)
+	}
+	b.WriteString("\n\n")
+	fmt.Fprintf(&b, "%-6s %7s %10s %6s %12s %12s\n",
+		"app", "share", "weights", "batch", "replica-cap", "peak-load")
+	for _, a := range r.Apps {
+		fmt.Fprintf(&b, "%-6s %6.1f%% %8.1fMiB %6d %10.0f/s %10.0f/s\n",
+			a.Name, a.DeployShare, float64(a.WeightBytes)/(1<<20), a.SafeBatch, a.ReplicaRate, a.PeakRate)
+	}
+	if len(r.Skipped) > 0 {
+		fmt.Fprintf(&b, "skipped (no operating point at %.1f ms SLA): %s\n",
+			r.Cfg.SLASeconds*1e3, strings.Join(r.Skipped, ", "))
+	}
+	b.WriteString("\n")
+	b.WriteString(r.Snap.Render())
+
+	// Digest the event log by kind: the log itself is pinned by tests.
+	counts := map[string]int{}
+	for _, e := range r.Events {
+		counts[e.Kind]++
+	}
+	kinds := make([]string, 0, len(counts))
+	for k := range counts {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	b.WriteString("\nevent log: ")
+	for i, k := range kinds {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%d %s", counts[k], k)
+	}
+	fmt.Fprintf(&b, " (%d total)\n", len(r.Events))
+	return b.String()
+}

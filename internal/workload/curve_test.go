@@ -1,0 +1,188 @@
+package workload
+
+import (
+	"math"
+	"testing"
+)
+
+func TestConstantCurveIsPoisson(t *testing.T) {
+	p, err := NewNHPP(Constant(100), 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	times := Collect(p, 20000)
+	if r := MeanRate(times); math.Abs(r-100) > 5 {
+		t.Fatalf("empirical rate %v, want ~100", r)
+	}
+}
+
+func TestPiecewiseLinearInterpolation(t *testing.T) {
+	c, err := NewPiecewiseLinear(Point{T: 1, Rate: 10}, Point{T: 3, Rate: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct{ t, want float64 }{
+		{0, 10},   // held flat before the first anchor
+		{1, 10},   // anchor
+		{2, 20},   // midpoint
+		{2.5, 25}, // interior
+		{3, 30},   // anchor
+		{9, 30},   // held flat after the last anchor
+	}
+	for _, tc := range cases {
+		if got := c.Rate(tc.t); math.Abs(got-tc.want) > 1e-12 {
+			t.Errorf("Rate(%v) = %v, want %v", tc.t, got, tc.want)
+		}
+	}
+	if c.MaxRate() != 30 {
+		t.Errorf("MaxRate = %v, want 30", c.MaxRate())
+	}
+}
+
+func TestPiecewiseLinearValidation(t *testing.T) {
+	if _, err := NewPiecewiseLinear(); err == nil {
+		t.Error("empty point list accepted")
+	}
+	if _, err := NewPiecewiseLinear(Point{T: 0, Rate: -1}); err == nil {
+		t.Error("negative rate accepted")
+	}
+	if _, err := NewPiecewiseLinear(Point{T: 1, Rate: 1}, Point{T: 1, Rate: 2}); err == nil {
+		t.Error("non-increasing times accepted")
+	}
+}
+
+func TestMultiPeriodShape(t *testing.T) {
+	// One diurnal harmonic: peak at a quarter period, trough at three
+	// quarters, mean at zero phase.
+	day := 86400.0
+	c, err := NewMultiPeriod(100, Harmonic{Amp: 60, Period: day})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Rate(0); math.Abs(got-100) > 1e-9 {
+		t.Errorf("Rate(0) = %v, want mean 100", got)
+	}
+	if got := c.Rate(day / 4); math.Abs(got-160) > 1e-9 {
+		t.Errorf("peak = %v, want 160", got)
+	}
+	if got := c.Rate(3 * day / 4); math.Abs(got-40) > 1e-9 {
+		t.Errorf("trough = %v, want 40", got)
+	}
+	if got := c.Rate(day/4 + day); math.Abs(got-160) > 1e-9 {
+		t.Errorf("peak one day later = %v, want 160 (periodicity)", got)
+	}
+	if c.MaxRate() != 160 {
+		t.Errorf("MaxRate = %v, want 160", c.MaxRate())
+	}
+}
+
+func TestMultiPeriodClampsAtZero(t *testing.T) {
+	c, err := NewMultiPeriod(10, Harmonic{Amp: 50, Period: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Rate(75); got != 0 { // trough: 10 - 50 clamps to 0
+		t.Errorf("trough = %v, want clamped 0", got)
+	}
+}
+
+func TestMultiPeriodValidation(t *testing.T) {
+	if _, err := NewMultiPeriod(0); err == nil {
+		t.Error("zero mean accepted")
+	}
+	if _, err := NewMultiPeriod(10, Harmonic{Amp: 1, Period: 0}); err == nil {
+		t.Error("zero period accepted")
+	}
+	if _, err := NewMultiPeriod(10, Harmonic{Amp: -1, Period: 10}); err == nil {
+		t.Error("negative amplitude accepted")
+	}
+}
+
+// TestNHPPTracksCurve: windowed empirical rates of a thinned process follow
+// the underlying sinusoid — peak windows are busy, trough windows quiet.
+func TestNHPPTracksCurve(t *testing.T) {
+	period := 100.0
+	c, err := NewMultiPeriod(200, Harmonic{Amp: 150, Period: period})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewNHPP(c, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Count arrivals per window over several periods.
+	const window = 10.0
+	counts := map[int]int{}
+	horizon := 5 * period
+	for {
+		at := p.Next()
+		if at > horizon {
+			break
+		}
+		counts[int(at/window)]++
+	}
+	// Expected arrivals in a window = integral of the rate; compare each
+	// window against the curve's midpoint rate with generous slack.
+	for w, n := range counts {
+		mid := (float64(w) + 0.5) * window
+		want := c.Rate(mid) * window
+		got := float64(n)
+		// 5-sigma-ish slack on a Poisson count, floored for tiny windows.
+		slack := 5 * math.Sqrt(want+10)
+		if math.Abs(got-want) > slack {
+			t.Errorf("window %d: %v arrivals, want ~%.0f (±%.0f)", w, got, want, slack)
+		}
+	}
+	// The process must actually modulate: peak windows see multiples of
+	// trough windows.
+	peak := counts[int(period/4/window)]
+	trough := counts[int(3*period/4/window)]
+	if peak < 3*trough {
+		t.Errorf("peak window %d arrivals vs trough %d — curve not tracked", peak, trough)
+	}
+}
+
+// TestNHPPDeterminism: same seed, same curve — identical stream.
+func TestNHPPDeterminism(t *testing.T) {
+	c, err := NewPiecewiseLinear(Point{T: 0, Rate: 50}, Point{T: 10, Rate: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := NewNHPP(c, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewNHPP(c, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5000; i++ {
+		if x, y := a.Next(), b.Next(); x != y {
+			t.Fatalf("arrival %d diverged: %v vs %v", i, x, y)
+		}
+	}
+	other, err := NewNHPP(c, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := 0; i < 100; i++ {
+		if a.Next() != other.Next() {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced the same stream")
+	}
+}
+
+func TestNHPPRejectsDegenerateCurves(t *testing.T) {
+	zero, err := NewPiecewiseLinear(Point{T: 0, Rate: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewNHPP(zero, 1); err == nil {
+		t.Error("all-zero curve accepted (NHPP would never return)")
+	}
+}
