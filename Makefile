@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: ci vet vet-cmd build test race bench-smoke bench bench-gate fuzz-smoke cover obs-smoke chaos-smoke integrity-smoke cluster-smoke
+.PHONY: ci vet vet-cmd build test race bench-smoke bench bench-gate fuzz-smoke cover obs-smoke chaos-smoke integrity-smoke cluster-smoke report-smoke
 
-ci: vet vet-cmd build race fuzz-smoke cover bench-smoke bench-gate obs-smoke chaos-smoke integrity-smoke cluster-smoke
+ci: vet vet-cmd build race fuzz-smoke cover bench-smoke bench-gate obs-smoke chaos-smoke integrity-smoke cluster-smoke report-smoke
 
 vet:
 	$(GO) vet ./...
@@ -102,6 +102,21 @@ cluster-smoke:
 	$(GO) test -race -count=1 -timeout 300s ./internal/des
 	$(GO) test -race -count=1 -timeout 300s ./internal/cluster
 	$(GO) test -race -count=1 -timeout 600s ./internal/experiments -run 'TestCluster'
+
+# Saturation-report smoke: build the CLI, run the seeded acceptance-default
+# cluster ramp, and diff the saturation report against the pinned golden —
+# end-to-end proof that the binary, the experiment wiring and the analyzer
+# produce the exact bytes the test suite pins. Also pins the telemetry
+# overhead contracts: the telemetry-off hooks stay zero-alloc and the
+# cluster-span disabled-path / determinism tests hold.
+report-smoke:
+	$(GO) test -count=1 ./internal/cluster -run 'TestTelemetryDisabledAllocs|TestTelemetryPassive|TestSaturationDeterminism'
+	@tmp=$$(mktemp -d); trap 'rm -rf $$tmp' EXIT; \
+	$(GO) build -o $$tmp/tpuserve ./cmd/tpuserve; \
+	$$tmp/tpuserve -mode cluster -report $$tmp/saturation.txt > /dev/null; \
+	diff -u internal/experiments/testdata/golden/cluster_saturation.txt $$tmp/saturation.txt \
+		&& echo "report-smoke: saturation report matches golden" \
+		|| { echo "report-smoke: saturation report drifted from golden"; exit 1; }
 
 # Coverage floor: the tier-1 packages must keep at least 80% statement
 # coverage (examples are exercised separately by their smoke test).

@@ -50,9 +50,14 @@
 // behind a front-end router on a simulated multi-host fleet, offered a
 // 25%->150% capacity ramp while one host is hard-killed mid-ramp. The
 // report shows each app's placement, failover traffic, autoscaler
-// decisions and whether the 7 ms p99 SLA held:
+// decisions and whether the 7 ms p99 SLA held. Three flags export the
+// run's fleet observability artifacts: -report and -report-json write the
+// saturation analysis (per-app knee rate, bottleneck attribution, SLO
+// burn) as text or JSON to a file or - for stdout, and -trace-json exports
+// the ramp's virtual-time spans as Chrome trace-event JSON for Perfetto:
 //
 //	tpuserve -mode cluster -hosts 8 -devices-per-host 4 -router bounded-hash
+//	tpuserve -mode cluster -report - -report-json report.json -trace-json ramp.json
 package main
 
 import (
@@ -99,6 +104,9 @@ func main() {
 	devsPerHost := flag.Int("devices-per-host", 4, "cluster mode: devices per host")
 	router := flag.String("router", "bounded-hash", "cluster mode: routing policy (wrr, least-loaded, bounded-hash)")
 	noKill := flag.Bool("no-kill", false, "cluster mode: skip the mid-ramp host kill")
+	report := flag.String("report", "", "cluster mode: write the saturation report (text) to this file, or - for stdout")
+	reportJSON := flag.String("report-json", "", "cluster mode: write the saturation report as JSON to this file, or - for stdout")
+	traceJSON := flag.String("trace-json", "", "cluster mode: export the ramp's virtual-time spans as Chrome trace-event JSON (Perfetto-loadable) to this file")
 	flag.Parse()
 
 	switch *mode {
@@ -128,14 +136,57 @@ func main() {
 		r, err := experiments.RunCluster(experiments.ClusterConfig{
 			Hosts: *hosts, DevicesPerHost: *devsPerHost,
 			Router: *router, NoKill: *noKill,
+			Trace: *traceJSON != "",
 		})
 		if err != nil {
 			log.Fatal(err)
 		}
 		fmt.Print(experiments.RenderCluster(r))
+		if err := clusterArtifacts(r, *report, *reportJSON, *traceJSON); err != nil {
+			log.Fatal(err)
+		}
 	default:
 		log.Fatalf("unknown -mode %q (want sweep, live, chaos, sdc or cluster)", *mode)
 	}
+}
+
+// clusterArtifacts writes the cluster mode's optional outputs: the
+// saturation report as text and/or JSON ("-" means stdout), and the
+// recorded virtual-time trace as Chrome trace-event JSON.
+func clusterArtifacts(r *experiments.ClusterResult, report, reportJSON, traceJSON string) error {
+	emit := func(path string, data []byte) error {
+		if path == "-" {
+			_, err := os.Stdout.Write(data)
+			return err
+		}
+		return os.WriteFile(path, data, 0o644)
+	}
+	if report != "" {
+		if err := emit(report, []byte(r.Report.Render())); err != nil {
+			return fmt.Errorf("write -report: %w", err)
+		}
+	}
+	if reportJSON != "" {
+		data, err := r.Report.JSON()
+		if err != nil {
+			return err
+		}
+		if err := emit(reportJSON, append(data, '\n')); err != nil {
+			return fmt.Errorf("write -report-json: %w", err)
+		}
+	}
+	if traceJSON != "" {
+		f, err := os.Create(traceJSON)
+		if err != nil {
+			return fmt.Errorf("write -trace-json: %w", err)
+		}
+		if err := obs.WriteChromeTrace(f, r.Spans); err != nil {
+			f.Close()
+			return err
+		}
+		return f.Close()
+	}
+	return nil
 }
 
 // chaos runs the fault-injected fleet sweep and prints the baseline/chaos

@@ -172,4 +172,5 @@ func (c *Cluster) decide(a *app, action string, from, to int, reason string) {
 	d := Decision{Time: c.loop.Now(), App: a.cfg.Name, Action: action, From: from, To: to, Reason: reason}
 	a.decisions = append(a.decisions, d)
 	c.log(-1, action, fmt.Sprintf("%s %d -> %d (%s)", a.cfg.Name, from, to, reason))
+	c.tel.onDecision(a, d)
 }

@@ -9,6 +9,7 @@ import (
 	"testing"
 
 	"tpusim/internal/latency"
+	"tpusim/internal/obs"
 	"tpusim/internal/serve"
 	"tpusim/internal/workload"
 )
@@ -16,6 +17,13 @@ import (
 // benchCluster builds a 250-host x 4-device pod (1000 devices) running 10
 // apps x 100 replicas with steady Poisson load.
 func benchCluster(b *testing.B) *Cluster {
+	b.Helper()
+	return benchClusterWith(b, nil)
+}
+
+// benchClusterWith is the same pod with telemetry attached, for the
+// enabled-overhead benchmark.
+func benchClusterWith(b *testing.B, tel *Telemetry) *Cluster {
 	b.Helper()
 	apps := make([]AppConfig, 10)
 	for i := range apps {
@@ -34,6 +42,7 @@ func benchCluster(b *testing.B) *Cluster {
 		Apps:      apps,
 		Autoscale: AutoscaleConfig{Disabled: true},
 		Seed:      1,
+		Telemetry: tel,
 	})
 	if err != nil {
 		b.Fatal(err)
@@ -49,6 +58,35 @@ func BenchmarkClusterSim(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		b.StopTimer()
 		c := benchCluster(b)
+		b.StartTimer()
+		c.Run(virtualSeconds)
+		events = c.EventsProcessed()
+	}
+	b.StopTimer()
+	if events == 0 {
+		b.Fatal("benchmark processed no events")
+	}
+	perIter := b.Elapsed().Seconds() / float64(b.N)
+	b.ReportMetric(float64(events)/perIter, "events/s")
+	b.ReportMetric(float64(events), "events/run")
+	b.ReportMetric(virtualSeconds/perIter, "virtual-s/wall-s")
+}
+
+// BenchmarkClusterSimTelemetry is the enabled-overhead twin: the same pod
+// with the fleet registry, sampled spans and the window sampler running.
+// The PR 8 gate holds it at >= 90% of BenchmarkClusterSim's event rate.
+func BenchmarkClusterSimTelemetry(b *testing.B) {
+	const virtualSeconds = 10.0
+	var events uint64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		c := benchClusterWith(b, &Telemetry{
+			Tracer:      obs.NewTracer(obs.DefaultCapacity),
+			Metrics:     NewFleetMetrics(0.1),
+			SampleEvery: 256,
+		})
 		b.StartTimer()
 		c.Run(virtualSeconds)
 		events = c.EventsProcessed()

@@ -23,6 +23,7 @@ import (
 
 	"tpusim/internal/des"
 	"tpusim/internal/latency"
+	"tpusim/internal/obs"
 	"tpusim/internal/runtime"
 	"tpusim/internal/serve"
 	"tpusim/internal/workload"
@@ -126,6 +127,11 @@ type Config struct {
 	// MaxRouteAttempts bounds per-request failover re-routes after a host
 	// death. 0 means 3.
 	MaxRouteAttempts int
+	// Telemetry opts into fleet observability: virtual-time spans, the
+	// FleetMetrics registry and the saturation analyzer's windowed series
+	// (see telemetry.go). nil is the guaranteed zero-overhead path — no
+	// extra events on the loop, no allocations, byte-identical replays.
+	Telemetry *Telemetry
 }
 
 func (c Config) maxRouteAttempts() int {
@@ -161,6 +167,7 @@ func (e Event) String() string {
 // request is one in-flight request.
 type request struct {
 	arrival  float64
+	enq      float64 // time of the last admission into a replica queue
 	key      uint64
 	attempts int
 }
@@ -199,6 +206,11 @@ type replica struct {
 	svcGen   uint64    // invalidates in-flight completions (host death)
 	serving  bool
 	draining bool
+
+	// Telemetry state for the in-flight batch (meaningful while serving).
+	dispatchAt float64
+	trig       trigger
+	span       *obs.Span
 
 	routed, completed uint64
 }
@@ -261,6 +273,7 @@ type Cluster struct {
 	apps     []*app
 	events   []Event
 	eventSeq uint64
+	tel      *Telemetry
 }
 
 // New builds the fleet: hosts and devices, resolved per-app serving plans,
@@ -363,6 +376,8 @@ func New(cfg Config) (*Cluster, error) {
 	if !cfg.Autoscale.Disabled {
 		c.loop.At(cfg.Autoscale.interval(), c.autoscaleTick)
 	}
+	c.tel = cfg.Telemetry
+	c.tel.attach(c)
 	return c, nil
 }
 
@@ -400,7 +415,12 @@ func (c *Cluster) EventsProcessed() uint64 { return c.loop.Processed() }
 
 // Run advances the fleet to the given virtual time. Segments compose:
 // Run(2) then Run(5) is Run(5).
-func (c *Cluster) Run(until float64) { c.loop.RunUntil(until) }
+func (c *Cluster) Run(until float64) {
+	c.loop.RunUntil(until)
+	if c.tel != nil && c.tel.Metrics != nil {
+		c.telemetryFlush()
+	}
+}
 
 // KillHostAt schedules a hard host death: every replica on it is
 // quarantined, in-flight batches are lost, and queued plus in-flight
@@ -433,6 +453,7 @@ func (c *Cluster) route(a *app, r request) {
 	if !ok {
 		a.routerMiss++
 		a.errors++
+		c.tel.onError(a)
 		return
 	}
 	c.enqueue(a.replicas[id], r)
@@ -445,8 +466,10 @@ func (c *Cluster) enqueue(rep *replica, r request) {
 	if len(rep.queue) >= a.plan.QueueLimit {
 		a.shedQueue++
 		a.winShed++
+		c.tel.onShedQueue(rep)
 		return
 	}
+	r.enq = c.loop.Now()
 	rep.routed++
 	rep.queue = append(rep.queue, r)
 	a.router.AddLoad(rep.id, 1)
@@ -470,8 +493,12 @@ func (c *Cluster) maybeDispatch(rep *replica) {
 	}
 	now := c.loop.Now()
 	fill := rep.queue[0].arrival + plan.MaxWaitSeconds
-	if len(rep.queue) >= plan.SafeBatch || now >= fill {
-		c.dispatch(rep)
+	if len(rep.queue) >= plan.SafeBatch {
+		c.dispatch(rep, trigBatchFull)
+		return
+	}
+	if now >= fill {
+		c.dispatch(rep, trigFillWait)
 		return
 	}
 	// Wait for the batch to fill, bounded by the head request's MaxWait —
@@ -485,15 +512,17 @@ func (c *Cluster) maybeDispatch(rep *replica) {
 				rep.dev.waiters = append(rep.dev.waiters, rep)
 				return
 			}
-			c.dispatch(rep)
+			c.dispatch(rep, trigFillWait)
 		}
 	})
 }
 
 // dispatch takes up to SafeBatch requests, sheds the ones that can no
 // longer meet the SLA (shed-at-dispatch keeps the p99 of served requests
-// bounded by construction), and puts the batch on the device.
-func (c *Cluster) dispatch(rep *replica) {
+// bounded by construction), and puts the batch on the device. trig names
+// what fired the dispatch; telemetry uses it to attribute the batch's
+// queue time to fill waiting vs device contention.
+func (c *Cluster) dispatch(rep *replica, trig trigger) {
 	a := rep.app
 	rep.fillGen++
 	rep.pending = false
@@ -508,15 +537,18 @@ func (c *Cluster) dispatch(rep *replica) {
 	}
 	svc := a.svc[n]
 	kept := make([]request, 0, n)
+	expired := 0
 	for _, r := range rep.queue[:n] {
 		if plan.Expired(r.arrival, now, svc) {
 			a.expired++
 			a.winShed++
+			expired++
 			a.router.AddLoad(rep.id, -1)
 			continue
 		}
 		kept = append(kept, r)
 	}
+	c.tel.onExpired(rep, expired)
 	rep.queue = rep.queue[:copy(rep.queue, rep.queue[n:])]
 	if len(kept) == 0 {
 		// Entire batch was stale; try again with what is queued now.
@@ -527,6 +559,9 @@ func (c *Cluster) dispatch(rep *replica) {
 	rep.serving = true
 	rep.inFlight = kept
 	rep.dev.busy = true
+	rep.dispatchAt = now
+	rep.trig = trig
+	c.tel.onDispatch(rep, len(kept), trig)
 	gen := rep.svcGen
 	done := now + svcKept
 	c.loop.At(done, func() {
@@ -541,6 +576,7 @@ func (c *Cluster) dispatch(rep *replica) {
 // replica, FIFO.
 func (c *Cluster) complete(rep *replica, batch []request, done float64) {
 	a := rep.app
+	c.tel.onComplete(rep, batch, done)
 	for _, r := range batch {
 		a.latencies = append(a.latencies, done-r.arrival)
 		a.completed++
@@ -565,7 +601,7 @@ func (c *Cluster) grantDevice(d *device) {
 		next := d.waiters[0]
 		d.waiters = d.waiters[:copy(d.waiters, d.waiters[1:])]
 		if next.pending && len(next.queue) > 0 && !next.serving {
-			c.dispatch(next)
+			c.dispatch(next, trigDeviceFree)
 		} else {
 			next.pending = false
 		}
@@ -579,11 +615,13 @@ func (c *Cluster) killHost(h *host) {
 	}
 	h.alive = false
 	c.log(h.id, "kill", fmt.Sprintf("host%d hard-killed", h.id))
+	c.tel.onKill(h.id)
 	for _, d := range h.devices {
 		d.busy = false
 		d.waiters = nil
 		for _, rep := range d.replicas {
 			a := rep.app
+			c.tel.onBatchKilled(rep)
 			// Void in-flight completions and fill timers.
 			rep.svcGen++
 			rep.fillGen++
@@ -596,6 +634,7 @@ func (c *Cluster) killHost(h *host) {
 				a.router.SetState(rep.id, runtime.Quarantined)
 				c.log(h.id, "quarantine", fmt.Sprintf("%s replica r%d (host%d/dev%d) healthy -> quarantined: host dead",
 					a.cfg.Name, rep.id, h.id, d.idx))
+				c.tel.onQuarantine(rep)
 			}
 			// Cross-host failover: queued and in-flight requests re-route
 			// through the router to surviving replicas.
@@ -624,8 +663,10 @@ func (c *Cluster) failover(a *app, r request) {
 	r.attempts++
 	if r.attempts > c.cfg.maxRouteAttempts() {
 		a.errors++
+		c.tel.onError(a)
 		return
 	}
 	a.failovers++
+	c.tel.onFailover(a)
 	c.route(a, r)
 }

@@ -24,6 +24,13 @@ var update = flag.Bool("update", false, "rewrite golden files with current outpu
 // leaves fingerprints in the snapshot.
 func goldenCluster(t *testing.T) *Cluster {
 	t.Helper()
+	return goldenClusterWith(t, nil)
+}
+
+// goldenClusterWith is the same scenario with observability attached; the
+// telemetry tests use it to prove instrumentation never perturbs the run.
+func goldenClusterWith(t *testing.T, tel *Telemetry) *Cluster {
+	t.Helper()
 	mkApp := func(name string, base, perRow float64, rate workload.Curve, replicas int) AppConfig {
 		return AppConfig{
 			Name:            name,
@@ -55,7 +62,8 @@ func goldenCluster(t *testing.T) *Cluster {
 			mkApp("LSTM", 0.8e-3, 0.09e-3, diurnal, 2),
 			mkApp("CNN", 1.2e-3, 0.07e-3, workload.Constant(1200), 1),
 		},
-		Seed: 7,
+		Seed:      7,
+		Telemetry: tel,
 	})
 	if err != nil {
 		t.Fatal(err)

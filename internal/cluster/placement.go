@@ -92,6 +92,7 @@ func (c *Cluster) finalizeRemoval(rep *replica) {
 		}
 	}
 	d.freeBytes += a.cfg.WeightBytes
+	c.tel.onRetire(rep)
 	delete(a.replicas, rep.id)
 	c.log(d.host.id, "drain", fmt.Sprintf("%s replica r%d removed from host%d/dev%d",
 		a.cfg.Name, rep.id, d.host.id, d.idx))

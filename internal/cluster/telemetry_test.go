@@ -1,0 +1,294 @@
+// Telemetry tests pin the observability seam's two contracts: enabled, it
+// records a faithful virtual-time picture of the fleet (metrics registry,
+// Prometheus exposition, Chrome-trace process groups); disabled, it costs
+// nothing and changes nothing — the simulator renders byte-identically
+// with and without a metrics registry attached.
+package cluster
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"tpusim/internal/obs"
+)
+
+// telemetry builds the golden scenario's Telemetry: a large span ring so
+// the short run evicts nothing, the fleet registry on a 50 ms window, and
+// every 16th dispatched batch traced with its requests.
+func telemetry() *Telemetry {
+	return &Telemetry{
+		Tracer:      obs.NewTracer(1 << 16),
+		Metrics:     NewFleetMetrics(0.05),
+		SampleEvery: 16,
+	}
+}
+
+// telemeteredCluster is goldenCluster with observability attached.
+func telemeteredCluster(t *testing.T) (*Cluster, *Telemetry) {
+	t.Helper()
+	tel := telemetry()
+	c := goldenClusterWith(t, tel)
+	return c, tel
+}
+
+// TestTelemetryDisabledAllocs pins the telemetry-off contract: every hook
+// on a nil *Telemetry is a branch, not an allocation. This is the cluster
+// twin of the obs package's disabled-path test — the hot loop calls these
+// unconditionally, so a single allocation here would multiply by millions
+// of events in BenchmarkClusterSim.
+func TestTelemetryDisabledAllocs(t *testing.T) {
+	c := goldenCluster(t)
+	c.Run(0.5)
+	a := c.apps[0]
+	var rep *replica
+	for _, r := range a.replicas {
+		rep = r
+		break
+	}
+	var tel *Telemetry
+	batch := []request{{arrival: 0.1, enq: 0.1}}
+	allocs := testing.AllocsPerRun(1000, func() {
+		tel.onRetire(rep)
+		tel.onShedQueue(rep)
+		tel.onExpired(rep, 1)
+		tel.onFailover(a)
+		tel.onError(a)
+		tel.onDispatch(rep, 1, trigBatchFull)
+		tel.onComplete(rep, batch, 0.2)
+		tel.onBatchKilled(rep)
+		tel.onKill(0)
+		tel.onQuarantine(rep)
+		tel.onDecision(a, Decision{})
+	})
+	if allocs != 0 {
+		t.Errorf("disabled telemetry hooks allocate %v objects per pass, want 0", allocs)
+	}
+}
+
+// TestTelemetryPassive pins the observer effect away: the same scenario
+// with and without telemetry attached renders byte-identical snapshots and
+// event logs. The sampler tick adds loop events but reads state only.
+func TestTelemetryPassive(t *testing.T) {
+	plain := goldenCluster(t)
+	instrumented := goldenClusterWith(t, telemetry())
+	plain.Run(6)
+	instrumented.Run(6)
+	if a, b := plain.Snapshot().Render(), instrumented.Snapshot().Render(); a != b {
+		t.Errorf("telemetry perturbed the simulation:\n--- without ---\n%s\n--- with ---\n%s", a, b)
+	}
+	ev, evTel := plain.Events(), instrumented.Events()
+	if len(ev) != len(evTel) {
+		t.Fatalf("event log length changed with telemetry: %d vs %d", len(ev), len(evTel))
+	}
+	for i := range ev {
+		if ev[i] != evTel[i] {
+			t.Errorf("event %d differs with telemetry: %v vs %v", i, ev[i], evTel[i])
+		}
+	}
+}
+
+// TestFleetMetricsAccounting checks the registry against the simulator's
+// own cumulative counters: offered/completed/shed must agree exactly, and
+// the per-host rollup must sum to the app totals.
+func TestFleetMetricsAccounting(t *testing.T) {
+	c, tel := telemeteredCluster(t)
+	c.Run(6)
+	f := tel.Metrics
+	for i, a := range c.apps {
+		am := f.apps[i]
+		if am.offered != a.offered {
+			t.Errorf("%s offered: registry %d, simulator %d", a.cfg.Name, am.offered, a.offered)
+		}
+		if am.completed != a.completed {
+			t.Errorf("%s completed: registry %d, simulator %d", a.cfg.Name, am.completed, a.completed)
+		}
+		if am.shedQueue != a.shedQueue || am.expired != a.expired {
+			t.Errorf("%s shed: registry %d/%d, simulator %d/%d",
+				a.cfg.Name, am.shedQueue, am.expired, a.shedQueue, a.expired)
+		}
+		if am.failovers != a.failovers || am.errors != a.errors {
+			t.Errorf("%s failovers/errors: registry %d/%d, simulator %d/%d",
+				a.cfg.Name, am.failovers, am.errors, a.failovers, a.errors)
+		}
+		var completed uint64
+		for _, cl := range am.perHost {
+			completed += cl.Completed
+		}
+		if completed != am.completed {
+			t.Errorf("%s per-host completions sum to %d, want %d", a.cfg.Name, completed, am.completed)
+		}
+		if tot := am.totalLat(); tot.Count() != am.completed {
+			t.Errorf("%s latency histogram has %d observations for %d completions",
+				a.cfg.Name, tot.Count(), am.completed)
+		}
+		var routed uint64
+		for _, cl := range am.perHost {
+			routed += cl.Routed
+		}
+		var simRouted uint64
+		for _, rep := range a.replicas {
+			simRouted += rep.routed
+		}
+		if routed < simRouted {
+			t.Errorf("%s per-host routed sums to %d, want at least %d", a.cfg.Name, routed, simRouted)
+		}
+	}
+	if got := f.Windows("MLP"); len(got) == 0 {
+		t.Error("no closed windows after a 6 s run on a 50 ms sampler")
+	}
+}
+
+// TestFleetMetricsText spot-checks the human rendering.
+func TestFleetMetricsText(t *testing.T) {
+	c, tel := telemeteredCluster(t)
+	c.Run(6)
+	out := tel.Metrics.Text()
+	for _, want := range []string{
+		"fleet metrics", "MLP", "LSTM", "CNN",
+		"latency components ms", "app x host routed/completed/shed",
+		"host device utilization",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Text() missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestFleetMetricsPrometheus checks the exposition is well-formed (every
+// line is a comment or name{labels} value) and carries the families the
+// scrape contract names.
+func TestFleetMetricsPrometheus(t *testing.T) {
+	c, tel := telemeteredCluster(t)
+	c.Run(6)
+	out := tel.Metrics.Prometheus()
+	for _, fam := range []string{
+		"tpucluster_virtual_seconds",
+		"tpucluster_requests_offered_total",
+		"tpucluster_requests_completed_total",
+		"tpucluster_requests_shed_total",
+		"tpucluster_failovers_total",
+		"tpucluster_autoscaler_actions_total",
+		"tpucluster_dispatch_triggers_total",
+		"tpucluster_replicas_live",
+		"tpucluster_device_utilization",
+		"tpucluster_request_component_seconds_bucket",
+		"tpucluster_request_latency_seconds_bucket",
+	} {
+		if !strings.Contains(out, fam) {
+			t.Errorf("exposition missing family %s", fam)
+		}
+	}
+	for _, line := range strings.Split(strings.TrimRight(out, "\n"), "\n") {
+		if strings.HasPrefix(line, "# ") {
+			continue
+		}
+		if !strings.HasPrefix(line, "tpucluster_") || !strings.Contains(line, " ") {
+			t.Errorf("malformed exposition line: %q", line)
+		}
+	}
+}
+
+// TestClusterTrace pins the virtual-time trace: spans are stamped on the
+// des clock (virtual seconds from the Unix epoch, not wall time), batch
+// spans group under their host's process, request/lifecycle/autoscaler
+// spans land on the cluster-level processes, and the whole ramp exports as
+// one Perfetto-loadable Chrome trace with named processes and tracks.
+func TestClusterTrace(t *testing.T) {
+	c, tel := telemeteredCluster(t)
+	c.Run(6)
+	spans := tel.Tracer.Spans()
+	if len(spans) == 0 {
+		t.Fatal("no spans recorded")
+	}
+	procs := map[string]bool{}
+	names := map[string]bool{}
+	for _, s := range spans {
+		procs[s.Proc] = true
+		names[s.Name] = true
+		// Virtual time: the 6 s run must stamp every span inside [0, 7) s
+		// from the epoch. A wall-clock stamp would be ~56 years off.
+		if s.End.UnixNano() < 0 || s.End.UnixNano() > int64(7e9) {
+			t.Fatalf("span %q stamped outside virtual time: %v", s.Name, s.End)
+		}
+	}
+	for _, want := range []string{"host0", "host2", "apps", "cluster"} {
+		if !procs[want] {
+			t.Errorf("no spans on process %q (got %v)", want, procs)
+		}
+	}
+	for _, want := range []string{"MLP", "request", "killed", "kill host1"} {
+		if !names[want] {
+			t.Errorf("no span named %q", want)
+		}
+	}
+
+	// The export is valid JSON and names its processes and tracks.
+	var b strings.Builder
+	if err := obs.WriteChromeTrace(&b, spans); err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal([]byte(b.String()), &events); err != nil {
+		t.Fatalf("exported trace is not valid JSON: %v", err)
+	}
+	metaNames := map[string]bool{}
+	for _, ev := range events {
+		if ev["ph"] == "M" && ev["name"] == "process_name" {
+			if args, ok := ev["args"].(map[string]any); ok {
+				metaNames[args["name"].(string)] = true
+			}
+		}
+	}
+	for _, want := range []string{"host0", "cluster", "apps"} {
+		if !metaNames[want] {
+			t.Errorf("exported trace does not name process %q", want)
+		}
+	}
+}
+
+// TestFleetMetricsConcurrentScrape is the -race test for the scrape
+// contract: an ops endpoint serving the fleet registry is scraped over
+// HTTP while the simulator mutates the registry from another goroutine.
+func TestFleetMetricsConcurrentScrape(t *testing.T) {
+	c, tel := telemeteredCluster(t)
+	ops := obs.NewOps(tel.Tracer)
+	ops.AddCollector(tel.Metrics.WritePrometheus)
+	srv, err := ops.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		c.Run(6)
+	}()
+	scrapes := 0
+	for {
+		select {
+		case <-done:
+			if scrapes == 0 {
+				t.Error("simulation finished before any scrape completed")
+			}
+			return
+		default:
+		}
+		resp, err := http.Get(srv.URL + "/metrics")
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(string(body), "tpucluster_requests_offered_total") {
+			t.Fatalf("scrape missing fleet families:\n%s", body)
+		}
+		scrapes++
+	}
+}

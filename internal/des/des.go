@@ -84,6 +84,24 @@ func (l *Loop) At(t float64, fn func()) {
 // After schedules fn d seconds from now.
 func (l *Loop) After(d float64, fn func()) { l.At(l.now+d, fn) }
 
+// Every schedules fn every d seconds, first firing d seconds from now. The
+// chain is infinite — RunUntil's deadline bounds what actually fires — and
+// fn runs before the next tick is scheduled, so a tick sees every event at
+// or before its own instant that was scheduled ahead of it. This is the
+// shape both the autoscaler and the telemetry sampler need: a periodic
+// observer riding the same deterministic calendar as the actors it watches.
+func (l *Loop) Every(d float64, fn func()) {
+	if d <= 0 {
+		panic(fmt.Sprintf("des: non-positive tick interval %v", d))
+	}
+	var tick func()
+	tick = func() {
+		fn()
+		l.After(d, tick)
+	}
+	l.After(d, tick)
+}
+
 // Run executes events until the calendar is empty.
 func (l *Loop) Run() {
 	for len(l.cal) > 0 {

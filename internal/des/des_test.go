@@ -85,6 +85,42 @@ func TestRunUntil(t *testing.T) {
 	}
 }
 
+// TestEvery: the recurring tick fires on its period inside the horizon,
+// runs its body before scheduling the next tick, and a same-instant actor
+// event scheduled earlier still fires first (FIFO tie-break).
+func TestEvery(t *testing.T) {
+	var l Loop
+	var ticks []float64
+	l.At(0.5, func() {}) // an actor event between ticks
+	l.Every(0.25, func() { ticks = append(ticks, l.Now()) })
+	l.RunUntil(1)
+	want := []float64{0.25, 0.5, 0.75, 1}
+	if len(ticks) != len(want) {
+		t.Fatalf("Every(0.25) fired %d times in [0,1], want %d: %v", len(ticks), len(want), ticks)
+	}
+	for i := range want {
+		if ticks[i] != want[i] {
+			t.Fatalf("tick %d at %v, want %v", i, ticks[i], want[i])
+		}
+	}
+	// The chain keeps going across a resumed segment.
+	l.RunUntil(1.5)
+	if len(ticks) != 6 {
+		t.Fatalf("resumed segment reached %d ticks, want 6", len(ticks))
+	}
+}
+
+// TestEveryBadInterval: a non-positive period would busy-loop the calendar.
+func TestEveryBadInterval(t *testing.T) {
+	var l Loop
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Every(0) did not panic")
+		}
+	}()
+	l.Every(0, func() {})
+}
+
 // TestPastSchedulingPanics: scheduling before now is a loud failure.
 func TestPastSchedulingPanics(t *testing.T) {
 	var l Loop

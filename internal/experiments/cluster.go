@@ -18,6 +18,7 @@ import (
 	"tpusim/internal/compiler"
 	"tpusim/internal/latency"
 	"tpusim/internal/models"
+	"tpusim/internal/obs"
 	"tpusim/internal/serve"
 	"tpusim/internal/workload"
 )
@@ -45,6 +46,10 @@ type ClusterConfig struct {
 	SLASeconds float64
 	// Seed pins arrivals and request keys. 0 means 42.
 	Seed int64
+	// Trace records the whole ramp — every dispatched batch with its member
+	// requests, host kills, quarantines, autoscaler decisions — as
+	// virtual-time spans, returned in Spans for Chrome-trace export.
+	Trace bool
 }
 
 func (c ClusterConfig) withDefaults() ClusterConfig {
@@ -103,6 +108,15 @@ type ClusterResult struct {
 	// Snap is the final fleet snapshot; Events the full ordered log.
 	Snap   *cluster.Snapshot
 	Events []cluster.Event
+	// Report is the saturation analysis: per-app knee rate, bottleneck
+	// attribution and SLO burn over the ramp's windowed series.
+	Report *cluster.SaturationReport
+	// Fleet is the metrics registry behind Report, for Text/Prometheus
+	// rendering or a live scrape during the run.
+	Fleet *cluster.FleetMetrics
+	// Spans is the recorded virtual-time trace when Cfg.Trace is set, ready
+	// for obs.WriteChromeTrace.
+	Spans []obs.SpanData
 }
 
 // RunCluster builds the six-app fleet and drives it through the ramp.
@@ -157,6 +171,21 @@ func RunCluster(cfg ClusterConfig) (*ClusterResult, error) {
 	if len(apps) == 0 {
 		return nil, fmt.Errorf("experiments: no app has an operating point at SLA %.1f ms", cfg.SLASeconds*1e3)
 	}
+	// Fleet observability rides along on every run: the registry's sampler
+	// tick only reads simulator state, so the snapshot and event log are
+	// byte-identical to an uninstrumented run. 20 windows across the ramp
+	// give the knee detector resolution without starving each window of
+	// arrivals; the trace (opt-in — it holds every batch span in memory)
+	// records the ramp unsampled so Perfetto shows the full storyline.
+	tel := &cluster.Telemetry{Metrics: cluster.NewFleetMetrics(cfg.RampSeconds / 20)}
+	if cfg.Trace {
+		// Every 4th batch (with its member requests) keeps the span volume
+		// inside the ring so nothing from the ramp is evicted; host kills,
+		// quarantines and autoscaler decisions are always recorded.
+		tel.Tracer = obs.NewTracer(1 << 18)
+		tel.SampleEvery = 4
+	}
+	res.Fleet = tel.Metrics
 	c, err := cluster.New(cluster.Config{
 		Hosts:          cfg.Hosts,
 		DevicesPerHost: cfg.DevicesPerHost,
@@ -166,6 +195,7 @@ func RunCluster(cfg ClusterConfig) (*ClusterResult, error) {
 		// batch epochs per tick at the apps' millisecond service times.
 		Autoscale: cluster.AutoscaleConfig{Interval: cfg.RampSeconds / 8},
 		Seed:      cfg.Seed,
+		Telemetry: tel,
 	})
 	if err != nil {
 		return nil, err
@@ -179,6 +209,12 @@ func RunCluster(cfg ClusterConfig) (*ClusterResult, error) {
 	c.Run(cfg.RampSeconds * 1.5) // ramp, then hold peak for half a ramp
 	res.Snap = c.Snapshot()
 	res.Events = c.Events()
+	if res.Report, err = c.SaturationReport(); err != nil {
+		return nil, err
+	}
+	if cfg.Trace {
+		res.Spans = tel.Tracer.Spans()
+	}
 	return res, nil
 }
 

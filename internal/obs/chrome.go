@@ -38,38 +38,74 @@ func WriteChromeTrace(w io.Writer, spans []SpanData) error {
 	return err
 }
 
+// trackKey identifies one display lane: a track within a process group.
+type trackKey struct{ proc, track string }
+
 func buildChromeEvents(spans []SpanData) []chromeEvent {
-	const pid = 1
-	// Assign tids in sorted track order for deterministic, readable output.
-	trackSet := map[string]int{}
+	// Group tracks into processes. The empty Proc is the default "tpusim"
+	// process (pid 1), so single-process traces keep their shape; a cluster
+	// trace sets Proc per host and each host renders as its own named
+	// process with its own track namespace.
+	procSet := map[string]bool{}
+	trackSet := map[trackKey]int{}
 	for _, s := range spans {
-		trackSet[s.Track] = 0
+		procSet[s.Proc] = true
+		trackSet[trackKey{s.Proc, s.Track}] = 0
 	}
-	tracks := make([]string, 0, len(trackSet))
-	for tr := range trackSet {
-		tracks = append(tracks, tr)
+	procs := make([]string, 0, len(procSet))
+	for p := range procSet {
+		procs = append(procs, p)
 	}
-	sort.Strings(tracks)
-	for i, tr := range tracks {
-		trackSet[tr] = i + 1
+	sort.Strings(procs) // "" sorts first, keeping the default process at pid 1
+	if len(procs) == 0 {
+		procs = append(procs, "")
+	}
+	pids := make(map[string]int, len(procs))
+	for i, p := range procs {
+		pids[p] = i + 1
+	}
+	// Assign tids per process in sorted track order so Perfetto lists
+	// tracks deterministically and readably.
+	byProc := map[string][]string{}
+	for k := range trackSet {
+		byProc[k.proc] = append(byProc[k.proc], k.track)
+	}
+	for _, p := range procs {
+		tracks := byProc[p]
+		sort.Strings(tracks)
+		for i, tr := range tracks {
+			trackSet[trackKey{p, tr}] = i + 1
+		}
 	}
 
-	events := make([]chromeEvent, 0, 2*len(spans)+len(tracks)+1)
-	events = append(events, chromeEvent{
-		"name": "process_name", "ph": "M", "ts": 0, "pid": pid, "tid": 0,
-		"args": map[string]any{"name": "tpusim"},
-	})
-	for _, tr := range tracks {
-		tid := trackSet[tr]
+	events := make([]chromeEvent, 0, 2*len(spans)+2*len(trackSet)+2*len(procs))
+	for _, p := range procs {
+		pid := pids[p]
+		name := p
+		if name == "" {
+			name = "tpusim"
+		}
 		events = append(events,
 			chromeEvent{
-				"name": "thread_name", "ph": "M", "ts": 0, "pid": pid, "tid": tid,
-				"args": map[string]any{"name": tr},
+				"name": "process_name", "ph": "M", "ts": 0, "pid": pid, "tid": 0,
+				"args": map[string]any{"name": name},
 			},
 			chromeEvent{
-				"name": "thread_sort_index", "ph": "M", "ts": 0, "pid": pid, "tid": tid,
-				"args": map[string]any{"sort_index": tid},
+				"name": "process_sort_index", "ph": "M", "ts": 0, "pid": pid, "tid": 0,
+				"args": map[string]any{"sort_index": pid},
 			})
+		for _, tr := range byProc[p] {
+			tid := trackSet[trackKey{p, tr}]
+			events = append(events,
+				chromeEvent{
+					"name": "thread_name", "ph": "M", "ts": 0, "pid": pid, "tid": tid,
+					"args": map[string]any{"name": tr},
+				},
+				chromeEvent{
+					"name": "thread_sort_index", "ph": "M", "ts": 0, "pid": pid, "tid": tid,
+					"args": map[string]any{"sort_index": tid},
+				})
+		}
 	}
 
 	byID := make(map[uint64]*SpanData, len(spans))
@@ -79,7 +115,8 @@ func buildChromeEvents(spans []SpanData) []chromeEvent {
 
 	for i := range spans {
 		s := &spans[i]
-		tid := trackSet[s.Track]
+		pid := pids[s.Proc]
+		tid := trackSet[trackKey{s.Proc, s.Track}]
 		args := map[string]any{
 			"trace": s.Trace, "span": s.ID,
 		}
@@ -95,9 +132,10 @@ func buildChromeEvents(spans []SpanData) []chromeEvent {
 			"pid": pid, "tid": tid, "args": args,
 		})
 		// Cross-track parent edge -> flow arrow parent.Start .. span.Start.
-		if p, ok := byID[s.Parent]; ok && p.Track != s.Track {
-			events = appendFlow(events, pid, s.ID,
-				trackSet[p.Track], usec(p.Start), tid, usec(s.Start))
+		if p, ok := byID[s.Parent]; ok && (p.Track != s.Track || p.Proc != s.Proc) {
+			events = appendFlow(events, s.ID,
+				pids[p.Proc], trackSet[trackKey{p.Proc, p.Track}], usec(p.Start),
+				pid, tid, usec(s.Start))
 		}
 		// Explicit links -> flow arrow link.End .. span.Start (the linked
 		// span finishing is what fed this one).
@@ -107,8 +145,9 @@ func buildChromeEvents(spans []SpanData) []chromeEvent {
 				continue
 			}
 			// Flow ids must be unique per arrow; fold the link id in.
-			events = appendFlow(events, pid, s.ID<<20|lid&0xfffff,
-				trackSet[l.Track], usec(l.End), tid, usec(s.Start))
+			events = appendFlow(events, s.ID<<20|lid&0xfffff,
+				pids[l.Proc], trackSet[trackKey{l.Proc, l.Track}], usec(l.End),
+				pid, tid, usec(s.Start))
 		}
 	}
 	return events
@@ -116,18 +155,18 @@ func buildChromeEvents(spans []SpanData) []chromeEvent {
 
 // appendFlow emits a flow start ("s") / finish ("f") pair. Chrome requires
 // the finish timestamp to be >= the start timestamp.
-func appendFlow(events []chromeEvent, pid int, id uint64, fromTid int, fromTs int64, toTid int, toTs int64) []chromeEvent {
+func appendFlow(events []chromeEvent, id uint64, fromPid, fromTid int, fromTs int64, toPid, toTid int, toTs int64) []chromeEvent {
 	if toTs < fromTs {
 		toTs = fromTs
 	}
 	return append(events,
 		chromeEvent{
 			"name": "flow", "cat": "flow", "ph": "s", "id": id,
-			"ts": fromTs, "pid": pid, "tid": fromTid,
+			"ts": fromTs, "pid": fromPid, "tid": fromTid,
 		},
 		chromeEvent{
 			"name": "flow", "cat": "flow", "ph": "f", "bp": "e", "id": id,
-			"ts": toTs, "pid": pid, "tid": toTid,
+			"ts": toTs, "pid": toPid, "tid": toTid,
 		})
 }
 

@@ -52,15 +52,74 @@ func TestChromeTraceSchema(t *testing.T) {
 	}
 	// Four spans -> four complete slices; three flow arrows (cross-track
 	// parent edges 1->2 and 2->3, plus link 4->2), each an s/f pair;
-	// metadata naming the process and the three distinct tracks.
+	// metadata naming + sorting the process and the three distinct tracks.
 	if phases["X"] != 4 {
 		t.Errorf("%d complete slices, want 4", phases["X"])
 	}
 	if phases["s"] != 3 || phases["f"] != 3 {
 		t.Errorf("flow pairs s=%d f=%d, want 3/3", phases["s"], phases["f"])
 	}
-	if phases["M"] != 1+2*3 {
-		t.Errorf("%d metadata events, want 7 (process + 2 per track)", phases["M"])
+	if phases["M"] != 2+2*3 {
+		t.Errorf("%d metadata events, want 8 (2 process + 2 per track)", phases["M"])
+	}
+}
+
+// TestChromeTraceProcessGroups: spans carrying a Proc render as separate
+// named Chrome processes — the multi-host cluster trace shape — while
+// Proc-less spans stay in the default "tpusim" process at pid 1.
+func TestChromeTraceProcessGroups(t *testing.T) {
+	t0 := time.Unix(1000, 0)
+	spans := []obs.SpanData{
+		{Trace: 1, ID: 1, Name: "request", Track: "MLP", Proc: "apps",
+			Start: t0, End: t0.Add(2 * time.Millisecond)},
+		{Trace: 1, ID: 2, Parent: 1, Name: "batch", Track: "dev0", Proc: "host0",
+			Start: t0, End: t0.Add(time.Millisecond)},
+		{Trace: 2, ID: 3, Name: "legacy", Track: "tpu0",
+			Start: t0, End: t0.Add(time.Millisecond)},
+	}
+	data, err := obs.ChromeTrace(spans)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal(data, &events); err != nil {
+		t.Fatal(err)
+	}
+	procName := map[float64]string{} // pid -> process name
+	trackPid := map[string]float64{} // thread name -> pid
+	for _, e := range events {
+		if e["ph"] != "M" {
+			continue
+		}
+		name := e["args"].(map[string]any)["name"]
+		switch e["name"] {
+		case "process_name":
+			procName[e["pid"].(float64)] = name.(string)
+		case "thread_name":
+			trackPid[name.(string)] = e["pid"].(float64)
+		}
+	}
+	if procName[1] != "tpusim" {
+		t.Errorf("pid 1 named %q, want the default tpusim process", procName[1])
+	}
+	if got := procName[trackPid["dev0"]]; got != "host0" {
+		t.Errorf("dev0 track lives in process %q, want host0", got)
+	}
+	if got := procName[trackPid["MLP"]]; got != "apps" {
+		t.Errorf("MLP track lives in process %q, want apps", got)
+	}
+	if got := procName[trackPid["tpu0"]]; got != "tpusim" {
+		t.Errorf("proc-less tpu0 track lives in process %q, want tpusim", got)
+	}
+	// The cross-process parent edge renders as a flow pair spanning pids.
+	var flowPids []float64
+	for _, e := range events {
+		if e["cat"] == "flow" {
+			flowPids = append(flowPids, e["pid"].(float64))
+		}
+	}
+	if len(flowPids) != 2 || flowPids[0] == flowPids[1] {
+		t.Errorf("cross-process parent edge flows %v, want an s/f pair on two pids", flowPids)
 	}
 }
 
@@ -124,7 +183,7 @@ func TestChromeTraceEmpty(t *testing.T) {
 	if err := json.Unmarshal(data, &events); err != nil {
 		t.Fatalf("empty trace is not valid JSON: %v", err)
 	}
-	if len(events) != 1 {
-		t.Errorf("empty trace has %d events, want just the process metadata", len(events))
+	if len(events) != 2 {
+		t.Errorf("empty trace has %d events, want just the process name + sort metadata", len(events))
 	}
 }

@@ -68,6 +68,12 @@ type SpanData struct {
 	Name string `json:"name"`
 	// Track is the display lane the span renders on (one Chrome trace tid).
 	Track string `json:"track"`
+	// Proc optionally groups the track into a named Chrome trace process
+	// ("host0", "cluster"). Empty means the default single process, which
+	// keeps single-host traces exactly as before; a multi-host cluster trace
+	// sets one Proc per host so Perfetto shows each host as its own
+	// process group with readable track names.
+	Proc string `json:"proc,omitempty"`
 	// Start and End are wall-clock times.
 	Start time.Time `json:"start"`
 	End   time.Time `json:"end"`
@@ -88,6 +94,10 @@ type Tracer struct {
 	rootSeq atomic.Uint64
 	sample  atomic.Int64 // keep 1 in sample roots; <= 1 keeps all
 	dropped atomic.Uint64
+
+	// clock stamps span start/end times; nil means time.Now. Set once via
+	// SetClock before any span starts (see the data-race note there).
+	clock func() time.Time
 
 	mu   sync.Mutex
 	ring []SpanData
@@ -115,6 +125,30 @@ func (t *Tracer) SetSampleEvery(n int) {
 		return
 	}
 	t.sample.Store(int64(n))
+}
+
+// SetClock replaces the tracer's time source — the seam that lets a
+// discrete-event simulation stamp spans with *virtual* time instead of
+// wall-clock time, so an exported cluster trace lines up with the event
+// log and renders identically across machines. nil restores time.Now.
+//
+// Call it before the first span starts: the clock is read without
+// synchronization on the span hot path, so installing it mid-flight is a
+// data race. A single-threaded simulator (the only caller that needs a
+// virtual clock) satisfies this trivially.
+func (t *Tracer) SetClock(now func() time.Time) {
+	if t == nil {
+		return
+	}
+	t.clock = now
+}
+
+// now reads the tracer's clock.
+func (t *Tracer) now() time.Time {
+	if t.clock != nil {
+		return t.clock()
+	}
+	return time.Now()
 }
 
 // NextID mints a process-unique span id. Exposed so pre-timed spans built
@@ -215,7 +249,7 @@ func (t *Tracer) StartRoot(ctx context.Context, name, track string, attrs ...Att
 		ID:    t.NextID(),
 		Name:  name,
 		Track: track,
-		Start: time.Now(),
+		Start: t.now(),
 		Attrs: attrs,
 	}}
 	return ContextWith(ctx, s), s
@@ -234,7 +268,7 @@ func Start(ctx context.Context, name, track string, attrs ...Attr) (context.Cont
 		Parent: parent.d.ID,
 		Name:   name,
 		Track:  track,
-		Start:  time.Now(),
+		Start:  parent.t.now(),
 		Attrs:  attrs,
 	}}
 	return ContextWith(ctx, s), s
@@ -267,6 +301,14 @@ func (s *Span) ID() uint64 {
 	return s.d.ID
 }
 
+// SetProc assigns the span's Chrome trace process group (SpanData.Proc).
+func (s *Span) SetProc(proc string) {
+	if s == nil {
+		return
+	}
+	s.d.Proc = proc
+}
+
 // SetAttr annotates the span.
 func (s *Span) SetAttr(attrs ...Attr) {
 	if s == nil {
@@ -288,7 +330,7 @@ func (s *Span) End() {
 	if s == nil {
 		return
 	}
-	s.d.End = time.Now()
+	s.d.End = s.t.now()
 	s.t.Emit(s.d)
 }
 

@@ -134,6 +134,52 @@ func TestDisabledPathAllocs(t *testing.T) {
 	}
 }
 
+// TestVirtualClock: SetClock reroutes every span timestamp through the
+// injected time source — the seam the cluster simulator uses to stamp
+// spans with discrete-event virtual time.
+func TestVirtualClock(t *testing.T) {
+	tr := obs.NewTracer(16)
+	epoch := time.Unix(0, 0).UTC()
+	now := 0.0
+	tr.SetClock(func() time.Time { return epoch.Add(time.Duration(now * float64(time.Second))) })
+
+	ctx, root := tr.StartRoot(context.Background(), "request", "t")
+	now = 1.5
+	_, child := obs.Start(ctx, "service", "t")
+	now = 2.0
+	child.End()
+	root.End()
+
+	spans := tr.Spans()
+	if len(spans) != 2 {
+		t.Fatalf("%d spans, want 2", len(spans))
+	}
+	byName := map[string]obs.SpanData{}
+	for _, s := range spans {
+		byName[s.Name] = s
+	}
+	if got := byName["request"].Start; !got.Equal(epoch) {
+		t.Errorf("root starts at %v, want the virtual epoch", got)
+	}
+	if got := byName["service"].Start.Sub(epoch); got != 1500*time.Millisecond {
+		t.Errorf("child starts %v after epoch, want 1.5s of virtual time", got)
+	}
+	if got := byName["request"].End.Sub(epoch); got != 2*time.Second {
+		t.Errorf("root ends %v after epoch, want 2s of virtual time", got)
+	}
+	// Restoring the default clock returns to wall time.
+	tr.SetClock(nil)
+	_, s := tr.StartRoot(context.Background(), "wall", "t")
+	s.End()
+	d := tr.Spans()[2]
+	if d.Start.Year() < 2000 {
+		t.Errorf("wall span starts at %v after clock reset, want wall time", d.Start)
+	}
+	// nil-tracer SetClock is inert.
+	var nilTr *obs.Tracer
+	nilTr.SetClock(func() time.Time { return epoch })
+}
+
 func TestRequestID(t *testing.T) {
 	if got := obs.RequestID(42); got != "req-000042" {
 		t.Errorf("RequestID(42) = %q", got)

@@ -99,6 +99,53 @@ func TestOpsSmoke(t *testing.T) {
 	}
 }
 
+// TestOpsTraceMetadata: a sliced download (/trace?n=) must still carry the
+// process_name/thread_name metadata events, so the tracks in Perfetto
+// keep their readable names however the trace was fetched.
+func TestOpsTraceMetadata(t *testing.T) {
+	tr := obs.NewTracer(64)
+	for i := 0; i < 8; i++ {
+		_, root := tr.StartRoot(context.Background(), "request", "serve/MLP0")
+		root.SetProc("host0")
+		root.End()
+	}
+	srv, err := obs.NewOps(tr).Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	code, body := get(t, srv.URL+"/trace?n=2")
+	if code != http.StatusOK {
+		t.Fatalf("/trace?n=2 status %d", code)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal([]byte(body), &events); err != nil {
+		t.Fatalf("/trace?n=2 is not a JSON array: %v", err)
+	}
+	spans, meta := 0, map[string]bool{}
+	for _, e := range events {
+		switch e["ph"] {
+		case "M":
+			if name, _ := e["name"].(string); name == "process_name" || name == "thread_name" {
+				if args, ok := e["args"].(map[string]any); ok {
+					meta[fmt.Sprintf("%s=%v", name, args["name"])] = true
+				}
+			}
+		case "X":
+			spans++
+		}
+	}
+	if spans != 2 {
+		t.Errorf("sliced trace has %d spans, want 2", spans)
+	}
+	for _, want := range []string{"process_name=host0", "thread_name=serve/MLP0"} {
+		if !meta[want] {
+			t.Errorf("sliced trace missing metadata %s (got %v)", want, meta)
+		}
+	}
+}
+
 // TestOpsNilTracer: the endpoint must stay serviceable with tracing off.
 func TestOpsNilTracer(t *testing.T) {
 	srv, err := obs.NewOps(nil).Start("127.0.0.1:0")

@@ -3,7 +3,6 @@ package serve
 import (
 	"encoding/json"
 	"fmt"
-	"math"
 	"sort"
 	"strings"
 	"sync"
@@ -61,8 +60,7 @@ type ModelMetrics struct {
 	maxQueueDepth             int
 	breakerState              int
 	batchDist                 map[int]uint64
-	lat                       [latBuckets]uint64
-	latSum, latMax            float64
+	hist                      Histogram
 }
 
 // Submitted records an admission attempt.
@@ -117,11 +115,7 @@ func (mm *ModelMetrics) Errored() {
 func (mm *ModelMetrics) Completed(latencySeconds float64) {
 	mm.mu.Lock()
 	mm.completed++
-	mm.latSum += latencySeconds
-	if latencySeconds > mm.latMax {
-		mm.latMax = latencySeconds
-	}
-	mm.lat[latBucket(latencySeconds)]++
+	mm.hist.Observe(latencySeconds)
 	mm.mu.Unlock()
 }
 
@@ -141,59 +135,6 @@ func (mm *ModelMetrics) SetQueueDepth(depth int) {
 		mm.maxQueueDepth = depth
 	}
 	mm.mu.Unlock()
-}
-
-func latBucket(s float64) int {
-	if s <= latLo {
-		return 0
-	}
-	i := int(math.Log(s/latLo) / math.Log(latGrowth))
-	// i < 0 catches float overflow: for huge s, s/latLo is +Inf, the log is
-	// +Inf, and the int conversion lands at the platform's min int — such a
-	// sample belongs in the overflow bucket, not bucket 0.
-	if i >= latBuckets || i < 0 {
-		i = latBuckets - 1
-	}
-	return i
-}
-
-// latBucketBounds returns bucket i's [lo, hi) latency range in seconds.
-func latBucketBounds(i int) (float64, float64) {
-	lo := latLo * math.Pow(latGrowth, float64(i))
-	if i == 0 {
-		lo = 0
-	}
-	return lo, latLo * math.Pow(latGrowth, float64(i+1))
-}
-
-// quantile interpolates the q-th quantile (0..1) from the histogram.
-func (mm *ModelMetrics) quantile(q float64) float64 {
-	var total uint64
-	for _, c := range mm.lat {
-		total += c
-	}
-	if total == 0 {
-		return 0
-	}
-	rank := q * float64(total)
-	var cum float64
-	for i, c := range mm.lat {
-		if c == 0 {
-			continue
-		}
-		next := cum + float64(c)
-		if next >= rank {
-			lo, hi := latBucketBounds(i)
-			frac := (rank - cum) / float64(c)
-			v := lo + frac*(hi-lo)
-			if v > mm.latMax && mm.latMax > 0 {
-				v = mm.latMax
-			}
-			return v
-		}
-		cum = next
-	}
-	return mm.latMax
 }
 
 // ModelSnapshot is one model's exported state.
@@ -238,9 +179,9 @@ func (mm *ModelMetrics) snapshot() ModelSnapshot {
 		Batches:      mm.batches,
 		BatchDist:    make(map[int]uint64, len(mm.batchDist)),
 		QueueDepth:   mm.queueDepth, MaxQueueDepth: mm.maxQueueDepth,
-		P50Ms: mm.quantile(0.50) * 1e3,
-		P99Ms: mm.quantile(0.99) * 1e3,
-		MaxMs: mm.latMax * 1e3,
+		P50Ms: mm.hist.Quantile(0.50) * 1e3,
+		P99Ms: mm.hist.Quantile(0.99) * 1e3,
+		MaxMs: mm.hist.Max() * 1e3,
 	}
 	settled := mm.shedQueue + mm.shedBrownout + mm.shedBreaker + mm.expired + mm.errored + mm.completed
 	if mm.submitted > settled {
@@ -255,7 +196,7 @@ func (mm *ModelMetrics) snapshot() ModelSnapshot {
 		s.MeanBatch = float64(servedInBatches) / float64(mm.batches)
 	}
 	if mm.completed > 0 {
-		s.MeanMs = mm.latSum / float64(mm.completed) * 1e3
+		s.MeanMs = mm.hist.Mean() * 1e3
 	}
 	return s
 }

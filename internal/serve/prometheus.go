@@ -22,8 +22,7 @@ type promView struct {
 	queueDepth                int
 	maxQueueDepth             int
 	breakerState              int
-	lat                       [latBuckets]uint64
-	latSum                    float64
+	hist                      Histogram
 }
 
 // promSnapshot copies every model's state, sorted by model name.
@@ -46,7 +45,7 @@ func (m *Metrics) promSnapshot() (views []promView, uptime float64) {
 			errored: mm.errored, batches: mm.batches,
 			queueDepth: mm.queueDepth, maxQueueDepth: mm.maxQueueDepth,
 			breakerState: mm.breakerState,
-			lat:          mm.lat, latSum: mm.latSum,
+			hist:         mm.hist,
 		}
 		for size, count := range mm.batchDist {
 			v.batchSum += uint64(size) * count
@@ -124,16 +123,7 @@ func (m *Metrics) WritePrometheus(w io.Writer) {
 	writeFam(w, "tpuserve_request_latency_seconds", "histogram",
 		"Served request latency (enqueue to completion), geometric buckets.")
 	for _, v := range views {
-		var cum uint64
-		for i, c := range v.lat {
-			cum += c
-			_, hi := latBucketBounds(i)
-			fmt.Fprintf(w, "tpuserve_request_latency_seconds_bucket{model=%q,le=%q} %d\n",
-				v.name, formatLe(hi), cum)
-		}
-		fmt.Fprintf(w, "tpuserve_request_latency_seconds_bucket{model=%q,le=\"+Inf\"} %d\n", v.name, cum)
-		fmt.Fprintf(w, "tpuserve_request_latency_seconds_sum{model=%q} %g\n", v.name, v.latSum)
-		fmt.Fprintf(w, "tpuserve_request_latency_seconds_count{model=%q} %d\n", v.name, v.completed)
+		v.hist.WriteBuckets(w, "tpuserve_request_latency_seconds", fmt.Sprintf("model=%q", v.name))
 	}
 }
 
