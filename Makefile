@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: ci vet vet-cmd build test race bench-smoke bench bench-gate fuzz-smoke cover obs-smoke chaos-smoke integrity-smoke cluster-smoke report-smoke
+.PHONY: ci vet vet-cmd build test race bench-smoke bench bench-gate fuzz-smoke cover obs-smoke chaos-smoke integrity-smoke cluster-smoke cluster-chaos-smoke report-smoke
 
-ci: vet vet-cmd build race fuzz-smoke cover bench-smoke bench-gate obs-smoke chaos-smoke integrity-smoke cluster-smoke report-smoke
+ci: vet vet-cmd build race fuzz-smoke cover bench-smoke bench-gate obs-smoke chaos-smoke integrity-smoke cluster-smoke cluster-chaos-smoke report-smoke
 
 vet:
 	$(GO) vet ./...
@@ -101,7 +101,20 @@ integrity-smoke:
 cluster-smoke:
 	$(GO) test -race -count=1 -timeout 300s ./internal/des
 	$(GO) test -race -count=1 -timeout 300s ./internal/cluster
-	$(GO) test -race -count=1 -timeout 600s ./internal/experiments -run 'TestCluster'
+	$(GO) test -race -count=1 -timeout 600s ./internal/experiments -run 'TestCluster' -skip 'TestClusterChaos'
+
+# Cluster chaos smoke, race-enabled: the cluster failure model (revive and
+# re-admission, partitions with black-holed requests, correlated zone
+# kills, flapping and degraded-slow hosts), the anti-retry-storm defenses
+# (zone anti-affinity, per-app retry budgets with the NoBudget storm
+# control, deadline-aware failover, the autoscaler incident guard), the
+# chaos-plan parser, the chaos golden snapshots, the concurrent-scrape
+# churn test, and the end-to-end campaign (full-zone kill at 75% load:
+# p99 <= 2x healthy, errors < 1%, retries within budget, full recovery)
+# with its same-seed determinism twin.
+cluster-chaos-smoke:
+	$(GO) test -race -count=1 -timeout 300s ./internal/cluster -run 'Chaos|Revive|Partition|Zone|Budget|Flap|Degrade|IncidentGuard|Deadline|Incident'
+	$(GO) test -race -count=1 -timeout 600s ./internal/experiments -run 'TestClusterChaos'
 
 # Saturation-report smoke: build the CLI, run the seeded acceptance-default
 # cluster ramp, and diff the saturation report against the pinned golden —

@@ -6,6 +6,7 @@
 //	tpuserve -mode chaos      # fault-injected fleet sweep: kill/throttle devices mid-load
 //	tpuserve -mode sdc        # silent-data-corruption campaign: bit flips vs integrity tiers
 //	tpuserve -mode cluster    # multi-host fleet: routing, autoscaling, host kill mid-ramp
+//	tpuserve -mode cluster-chaos # zoned fleet: full-zone outage, retry budgets, storm control
 //
 // The sweep mode replays each app's deadline-aware batching policy against
 // open-loop Poisson arrivals at increasing rates and prints the
@@ -58,6 +59,19 @@
 //
 //	tpuserve -mode cluster -hosts 8 -devices-per-host 4 -router bounded-hash
 //	tpuserve -mode cluster -report - -report-json report.json -trace-json ramp.json
+//
+// The cluster-chaos mode runs the robustness campaign: the same six apps
+// on a fleet partitioned into -zones failure domains, with a full zone
+// (a quarter of the hosts) killed at 75% load and revived later. The same
+// seed runs three ways — healthy, defended (zone-aware placement, per-app
+// retry budgets, deadline-aware failover, autoscaler incident guard), and
+// a NoBudget control that demonstrates the retry storm — and the report
+// compares them and checks the acceptance criteria (exit 1 on violation).
+// -chaos-plan layers extra scripted failures (partitions, flapping hosts,
+// degraded-slow hosts) onto the campaign:
+//
+//	tpuserve -mode cluster-chaos -zones 4
+//	tpuserve -mode cluster-chaos -chaos-plan 'part=4@0.55-0.7,flap=5@0.9x2/0.1'
 package main
 
 import (
@@ -107,6 +121,8 @@ func main() {
 	report := flag.String("report", "", "cluster mode: write the saturation report (text) to this file, or - for stdout")
 	reportJSON := flag.String("report-json", "", "cluster mode: write the saturation report as JSON to this file, or - for stdout")
 	traceJSON := flag.String("trace-json", "", "cluster mode: export the ramp's virtual-time spans as Chrome trace-event JSON (Perfetto-loadable) to this file")
+	zones := flag.Int("zones", 4, "cluster-chaos mode: failure-domain count (a zone fails and recovers as one unit)")
+	chaosPlan := flag.String("chaos-plan", "", "cluster-chaos mode: extra chaos actions layered on the zone kill (e.g. 'part=4@0.55-0.7,flap=5@0.9x2/0.1,slow=6x2.5@0.3')")
 	flag.Parse()
 
 	switch *mode {
@@ -145,8 +161,28 @@ func main() {
 		if err := clusterArtifacts(r, *report, *reportJSON, *traceJSON); err != nil {
 			log.Fatal(err)
 		}
+	case "cluster-chaos":
+		r, err := experiments.RunClusterChaos(experiments.ClusterChaosConfig{
+			Hosts: *hosts, DevicesPerHost: *devsPerHost, Zones: *zones,
+			Router: *router, ExtraChaos: *chaosPlan,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(experiments.RenderClusterChaos(r))
+		if *report != "" {
+			emit := []byte(r.Report.Render())
+			if *report == "-" {
+				os.Stdout.Write(emit)
+			} else if err := os.WriteFile(*report, emit, 0o644); err != nil {
+				log.Fatalf("write -report: %v", err)
+			}
+		}
+		if len(r.Acceptance()) > 0 {
+			os.Exit(1) // the campaign report already printed the violations
+		}
 	default:
-		log.Fatalf("unknown -mode %q (want sweep, live, chaos, sdc or cluster)", *mode)
+		log.Fatalf("unknown -mode %q (want sweep, live, chaos, sdc, cluster or cluster-chaos)", *mode)
 	}
 }
 

@@ -19,7 +19,8 @@ import (
 
 // perReplicaRate is the replica's saturation throughput: the plan's safe
 // batch over its service time, split among the live replicas sharing the
-// device's execution engine.
+// device's execution engine and discounted by the host's degradation
+// factor — a 2x-slow host contributes half the capacity.
 func perReplicaRate(rep *replica) float64 {
 	sharing := 0
 	for _, r := range rep.dev.replicas {
@@ -31,7 +32,7 @@ func perReplicaRate(rep *replica) float64 {
 		sharing = 1
 	}
 	plan := rep.app.plan
-	return float64(plan.SafeBatch) / plan.SafeServiceSeconds / float64(sharing)
+	return float64(plan.SafeBatch) / plan.SafeServiceSeconds / float64(sharing) / rep.dev.host.slow
 }
 
 // liveCapacity sums the routable replicas' saturation rates.
@@ -51,6 +52,12 @@ func (a *app) liveCapacity() float64 {
 func (c *Cluster) autoscaleTick() {
 	cfg := c.cfg.Autoscale
 	interval := cfg.interval()
+	if !c.zoneDark() {
+		// Incident over: re-arm the guard's one-shot announcement.
+		for _, a := range c.apps {
+			a.holdLogged = false
+		}
+	}
 	for _, a := range c.apps {
 		c.autoscaleApp(a, interval)
 		a.winArrivals = 0
@@ -76,6 +83,19 @@ func (c *Cluster) autoscaleApp(a *app, interval float64) {
 	if needUp && live < a.cfg.MaxReplicas {
 		a.lowTicks = 0
 		c.scaleUp(a, rate, capacity, shedFrac)
+		return
+	}
+
+	// Incident guard: while a failure domain is dark, never shed capacity.
+	// The dip in arrivals during an incident is traffic failing, not demand
+	// falling — scaling down on it is how outages compound. Scale-up stays
+	// allowed (handled above).
+	if c.zoneDark() {
+		if !a.holdLogged {
+			a.holdLogged = true
+			c.decide(a, "scale-hold", live, live, "incident guard: a zone is dark, scale-down frozen")
+		}
+		a.lowTicks = 0
 		return
 	}
 

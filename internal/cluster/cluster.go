@@ -127,6 +127,20 @@ type Config struct {
 	// MaxRouteAttempts bounds per-request failover re-routes after a host
 	// death. 0 means 3.
 	MaxRouteAttempts int
+	// Zones groups hosts into contiguous failure domains (host h is in zone
+	// h*Zones/Hosts) that fail and recover as one unit via KillZoneAt /
+	// ReviveZoneAt. Placement spreads an app's replicas across zones before
+	// doubling up (zone anti-affinity) and the autoscaler freezes
+	// scale-down while a zone is dark. 0 or 1 means one zone — behavior is
+	// identical to before zones existed.
+	Zones int
+	// Retry tunes client-style retries and the anti-storm defenses (token
+	// bucket, deadline-aware failover). Zero value: disabled.
+	Retry RetryConfig
+	// PartitionTimeoutSeconds is how long a request black-holed behind a
+	// network partition hangs before re-routing. 0 means half the app's
+	// SLA.
+	PartitionTimeoutSeconds float64
 	// Telemetry opts into fleet observability: virtual-time spans, the
 	// FleetMetrics registry and the saturation analyzer's windowed series
 	// (see telemetry.go). nil is the guaranteed zero-overhead path — no
@@ -152,8 +166,10 @@ type Event struct {
 	Time float64
 	// Host is the host involved, -1 for cluster-level events.
 	Host int
-	// Kind is the event type: place, kill, quarantine, failover-reroute,
-	// scale-up, scale-down, scale-blocked, drain.
+	// Kind is the event type: place, kill, revive, readmit, quarantine,
+	// failover-reroute, partition, partition-heal, blackhole, degrade,
+	// zone-down, zone-up, retry-budget-exhausted, scale-up, scale-down,
+	// scale-blocked, scale-hold, drain.
 	Kind string
 	// Detail is a human-readable description.
 	Detail string
@@ -187,8 +203,15 @@ type device struct {
 // replicas with it.
 type host struct {
 	id      int
+	zone    int
 	alive   bool
 	devices []*device
+
+	// partitioned: the router cannot reach the host (its replicas are
+	// quarantined, resident requests black-hole) but the machine is fine.
+	partitioned bool
+	// slow multiplies every batch service time on the host; 1 is healthy.
+	slow float64
 }
 
 // replica is one placed instance of an app: a batching lane on a device,
@@ -234,9 +257,18 @@ type app struct {
 	failovers, errors, routerMiss          uint64
 	latencies                              []float64
 
+	// Retry-defense state (active only with Config.Retry.Enabled).
+	retries, budgetDenied uint64 // granted vs budget-refused retries
+	deadlineDrops         uint64 // retries refused: SLA cannot be met anyway
+	blackholed            uint64 // requests stranded behind a partition
+	blackholePending      int    // stranded requests whose timeout hasn't fired
+	budgetTokens          float64
+	budgetDenyStreak      int
+
 	// Autoscaler window state.
 	winArrivals, winShed int
 	lowTicks             int
+	holdLogged           bool // incident guard announced for this incident
 	decisions            []Decision
 }
 
@@ -274,6 +306,11 @@ type Cluster struct {
 	events   []Event
 	eventSeq uint64
 	tel      *Telemetry
+
+	// Failure-domain and incident bookkeeping (see chaos.go).
+	zoneAlive []int // alive hosts per zone
+	downHosts int   // hosts currently dead or partitioned
+	incidents []Incident
 }
 
 // New builds the fleet: hosts and devices, resolved per-app serving plans,
@@ -290,13 +327,22 @@ func New(cfg Config) (*Cluster, error) {
 	if cfg.DeviceWeightBytes == 0 {
 		cfg.DeviceWeightBytes = DefaultDeviceWeightBytes
 	}
+	if cfg.Zones > cfg.Hosts {
+		return nil, fmt.Errorf("cluster: %d zones need at least %d hosts, have %d", cfg.Zones, cfg.Zones, cfg.Hosts)
+	}
+	if cfg.Zones < 0 {
+		return nil, fmt.Errorf("cluster: negative zone count %d", cfg.Zones)
+	}
 	c := &Cluster{cfg: cfg, loop: &des.Loop{}}
+	zones := cfg.zones()
+	c.zoneAlive = make([]int, zones)
 	for h := 0; h < cfg.Hosts; h++ {
-		hst := &host{id: h, alive: true}
+		hst := &host{id: h, zone: h * zones / cfg.Hosts, alive: true, slow: 1}
 		for d := 0; d < cfg.DevicesPerHost; d++ {
 			hst.devices = append(hst.devices, &device{host: hst, idx: d, freeBytes: cfg.DeviceWeightBytes})
 		}
 		c.hosts = append(c.hosts, hst)
+		c.zoneAlive[hst.zone]++
 	}
 	fleetDevices := cfg.Hosts * cfg.DevicesPerHost
 	for i, ac := range cfg.Apps {
@@ -429,7 +475,7 @@ func (c *Cluster) KillHostAt(t float64, hostID int) error {
 	if hostID < 0 || hostID >= len(c.hosts) {
 		return fmt.Errorf("cluster: host %d outside fleet of %d", hostID, len(c.hosts))
 	}
-	c.loop.At(t, func() { c.killHost(c.hosts[hostID]) })
+	c.loop.At(t, func() { c.killHost(c.hosts[hostID], "host-kill") })
 	return nil
 }
 
@@ -443,6 +489,7 @@ func (c *Cluster) scheduleNextArrival(a *app) {
 		c.scheduleNextArrival(a)
 		a.offered++
 		a.winArrivals++
+		c.earnRetryToken(a)
 		c.route(a, request{arrival: at, key: key})
 	})
 }
@@ -460,10 +507,16 @@ func (c *Cluster) route(a *app, r request) {
 }
 
 // enqueue is bounded-queue admission, the serve layer's first overload
-// defense: a request joins only if fewer than QueueLimit are waiting.
+// defense: a request joins only if fewer than QueueLimit are waiting. With
+// retries enabled, a shed request gets another spin through the router
+// while its deadline, attempt count and the app's retry budget allow —
+// only the final give-up counts as a shed.
 func (c *Cluster) enqueue(rep *replica, r request) {
 	a := rep.app
 	if len(rep.queue) >= a.plan.QueueLimit {
+		if c.cfg.Retry.Enabled && c.shedRetry(a, r) {
+			return
+		}
 		a.shedQueue++
 		a.winShed++
 		c.tel.onShedQueue(rep)
@@ -535,7 +588,7 @@ func (c *Cluster) dispatch(rep *replica, trig trigger) {
 	if n > plan.SafeBatch {
 		n = plan.SafeBatch
 	}
-	svc := a.svc[n]
+	svc := a.svc[n] * rep.dev.host.slow
 	kept := make([]request, 0, n)
 	expired := 0
 	for _, r := range rep.queue[:n] {
@@ -555,7 +608,7 @@ func (c *Cluster) dispatch(rep *replica, trig trigger) {
 		c.maybeDispatch(rep)
 		return
 	}
-	svcKept := a.svc[len(kept)]
+	svcKept := a.svc[len(kept)] * rep.dev.host.slow
 	rep.serving = true
 	rep.inFlight = kept
 	rep.dev.busy = true
@@ -608,12 +661,23 @@ func (c *Cluster) grantDevice(d *device) {
 	}
 }
 
-// killHost executes a hard host death.
-func (c *Cluster) killHost(h *host) {
+// killHost executes a hard host death. why tags the incident trigger
+// (host-kill, zone-down, flap). Death is no longer one-way: reviveHost
+// (chaos.go) brings the host back and re-admits its replicas.
+func (c *Cluster) killHost(h *host, why string) {
 	if !h.alive {
 		return
 	}
 	h.alive = false
+	c.zoneAlive[h.zone]--
+	if h.partitioned {
+		// Already counted down and quarantined; the kill just upgrades the
+		// incident's trigger set.
+		h.partitioned = false
+		c.incidentAddKind(why)
+	} else {
+		c.incidentBegin(why)
+	}
 	c.log(h.id, "kill", fmt.Sprintf("host%d hard-killed", h.id))
 	c.tel.onKill(h.id)
 	for _, d := range h.devices {
@@ -656,15 +720,35 @@ func (c *Cluster) killHost(h *host) {
 	}
 }
 
-// failover re-routes one request that lost its replica. A request that
-// exhausts MaxRouteAttempts (or finds no routable replica) is an error —
-// the client-visible failure the acceptance bound caps at 1%.
+// failover re-routes one request that lost its replica (host death or a
+// partition timeout). A request that exhausts MaxRouteAttempts (or finds
+// no routable replica) is an error — the client-visible failure the
+// acceptance bound caps at 1%. With retries enabled, two further gates
+// apply before the re-route: deadline-aware failover refuses a request
+// whose remaining SLA cannot cover another service time, and the app's
+// retry budget refuses once the token bucket is empty — failing fast
+// instead of feeding a storm.
 func (c *Cluster) failover(a *app, r request) {
 	r.attempts++
 	if r.attempts > c.cfg.maxRouteAttempts() {
 		a.errors++
 		c.tel.onError(a)
 		return
+	}
+	if c.cfg.Retry.Enabled {
+		if !c.deadlineCovers(a, r) {
+			a.deadlineDrops++
+			a.errors++
+			c.tel.onError(a)
+			return
+		}
+		if !c.takeRetryToken(a) {
+			a.errors++
+			c.tel.onError(a)
+			return
+		}
+		a.retries++
+		c.tel.onRetry(a)
 	}
 	a.failovers++
 	c.tel.onFailover(a)

@@ -31,13 +31,17 @@ func (c *Cluster) place(a *app) (*replica, error) {
 
 // bestDevice scans the fleet for the placement target: an alive device
 // with footprint room, ranked spread-first — fewest replicas of this app
-// on the host (anti-affinity: one host death should not halve an app's
-// replica set), then fewest replicas on the host overall, then fewest on
-// the device, then most free weight bytes. The scan-order tie-break keeps
-// placement deterministic.
+// in the host's failure domain (zone anti-affinity: one dark zone should
+// not take an app below quorum), then fewest of this app on the host (one
+// host death should not halve a replica set), then fewest replicas on the
+// host overall, then fewest on the device, then most free weight bytes.
+// With Zones <= 1 every host shares zone 0 and the ranking reduces exactly
+// to the pre-zone ordering. The scan-order tie-break keeps placement
+// deterministic.
 func (c *Cluster) bestDevice(a *app) *device {
 	appOnHost := make([]int, len(c.hosts))
 	totalOnHost := make([]int, len(c.hosts))
+	appInZone := make([]int, c.cfg.zones())
 	for _, h := range c.hosts {
 		for _, d := range h.devices {
 			for _, rep := range d.replicas {
@@ -47,22 +51,25 @@ func (c *Cluster) bestDevice(a *app) *device {
 				totalOnHost[h.id]++
 				if rep.app == a {
 					appOnHost[h.id]++
+					appInZone[h.zone]++
 				}
 			}
 		}
 	}
 	var best *device
-	var bestKey [4]int64
+	var bestKey [5]int64
 	for _, h := range c.hosts {
-		if !h.alive {
+		if !h.alive || h.partitioned {
+			// A partitioned host is alive but unreachable from the router:
+			// placing a replica there would route traffic into the black hole.
 			continue
 		}
 		for _, d := range h.devices {
 			if d.freeBytes < a.cfg.WeightBytes {
 				continue
 			}
-			key := [4]int64{int64(appOnHost[h.id]), int64(totalOnHost[h.id]), int64(len(d.replicas)), -d.freeBytes}
-			if best == nil || less4(key, bestKey) {
+			key := [5]int64{int64(appInZone[h.zone]), int64(appOnHost[h.id]), int64(totalOnHost[h.id]), int64(len(d.replicas)), -d.freeBytes}
+			if best == nil || less5(key, bestKey) {
 				best, bestKey = d, key
 			}
 		}
@@ -70,8 +77,8 @@ func (c *Cluster) bestDevice(a *app) *device {
 	return best
 }
 
-// less4 is lexicographic comparison of placement rank keys.
-func less4(a, b [4]int64) bool {
+// less5 is lexicographic comparison of placement rank keys.
+func less5(a, b [5]int64) bool {
 	for i := range a {
 		if a[i] != b[i] {
 			return a[i] < b[i]

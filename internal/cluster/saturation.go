@@ -30,6 +30,7 @@ package cluster
 import (
 	"encoding/json"
 	"fmt"
+	"math"
 	"sort"
 	"strings"
 
@@ -107,6 +108,17 @@ type SLOBurn struct {
 	LongWindowSeconds  float64 `json:"long_window_seconds"`
 }
 
+// IncidentImpact attributes an app's saturated windows that overlap an
+// incident (dead or partitioned hosts) to the incident, keeping them out
+// of capacity-knee detection: a fleet losing a quarter of its hosts is an
+// outage, not a capacity cliff.
+type IncidentImpact struct {
+	// Windows counts sampling windows overlapping any incident interval.
+	Windows int `json:"windows"`
+	// Saturated counts those windows showing a saturation signal.
+	Saturated int `json:"saturated"`
+}
+
 // Knee is where (and how) an app's capacity gave out on the ramp.
 type Knee struct {
 	// Detected reports whether any saturation signal fired.
@@ -151,6 +163,9 @@ type AppSaturation struct {
 	Triggers    TriggerMix `json:"triggers"`
 
 	Knee Knee `json:"knee"`
+	// Incident is set when the run had incidents: how many of the app's
+	// windows fell inside one and how many of those saturated.
+	Incident *IncidentImpact `json:"incident_impact,omitempty"`
 	// Bottleneck is the analyzer's attribution: "fill-window-limited",
 	// "device-limited", "queue-limited", "replica-count-limited" or
 	// "headroom". Why is the one-line evidence.
@@ -183,6 +198,9 @@ type SaturationReport struct {
 
 	Apps      []AppSaturation   `json:"apps"`
 	HostUtils []HostUtilization `json:"host_utilization"`
+	// Incidents are the run's dead/partitioned-host intervals; windows
+	// inside them are attributed to the incident, not to a capacity knee.
+	Incidents []Incident `json:"incidents,omitempty"`
 }
 
 // SaturationReport analyzes the run so far. It needs the FleetMetrics
@@ -204,8 +222,9 @@ func (c *Cluster) SaturationReport() (*SaturationReport, error) {
 		WindowSeconds:  f.window,
 		SLOTarget:      f.sloTarget,
 	}
+	r.Incidents = c.Incidents()
 	for i, a := range c.apps {
-		r.Apps = append(r.Apps, analyzeApp(a, f.apps[i], f.window, f.sloTarget))
+		r.Apps = append(r.Apps, analyzeApp(a, f.apps[i], f.window, f.sloTarget, r.Incidents))
 	}
 	sort.Slice(r.Apps, func(i, j int) bool { return r.Apps[i].Name < r.Apps[j].Name })
 	for h, hm := range f.hosts {
@@ -222,7 +241,7 @@ func (c *Cluster) SaturationReport() (*SaturationReport, error) {
 
 // analyzeApp runs knee detection, bottleneck attribution and SLO burn for
 // one app. Caller holds the registry lock.
-func analyzeApp(a *app, am *appMetrics, window, sloTarget float64) AppSaturation {
+func analyzeApp(a *app, am *appMetrics, window, sloTarget float64, incidents []Incident) AppSaturation {
 	tot := am.totalLat()
 	s := AppSaturation{
 		Name:         a.cfg.Name,
@@ -253,7 +272,20 @@ func analyzeApp(a *app, am *appMetrics, window, sloTarget float64) AppSaturation
 	if am.replicaSeconds > 0 {
 		s.Utilization = am.busySeconds / am.replicaSeconds
 	}
-	s.Knee = detectKnee(am.windows, window, a.plan.SLASeconds)
+	s.Knee = detectKnee(am.windows, window, a.plan.SLASeconds, incidents)
+	if len(incidents) > 0 {
+		impact := &IncidentImpact{}
+		for _, w := range am.windows {
+			if !inIncident(w, incidents) {
+				continue
+			}
+			impact.Windows++
+			if windowSignal(w, a.plan.SLASeconds) != "" {
+				impact.Saturated++
+			}
+		}
+		s.Incident = impact
+	}
 	s.Bottleneck, s.Why = classifyBottleneck(a, am, s)
 	s.SLO = burnRates(am, window, sloTarget)
 	return s
@@ -276,13 +308,30 @@ func windowSignal(w Window, sla float64) string {
 	return ""
 }
 
+// inIncident reports whether a window overlaps any incident interval (an
+// open incident extends to the horizon).
+func inIncident(w Window, incidents []Incident) bool {
+	for _, in := range incidents {
+		end := in.End
+		if in.Open {
+			end = math.Inf(1)
+		}
+		if w.End > in.Start && w.Start < end {
+			return true
+		}
+	}
+	return false
+}
+
 // detectKnee scans the windowed series for the first run of
 // kneeDebounceWindows consecutive saturated windows and reports the first
-// window of that run.
-func detectKnee(windows []Window, window, sla float64) Knee {
+// window of that run. Windows overlapping an incident are excluded and
+// reset the run: saturation while a failure domain is down is the
+// incident's signature, not the capacity knee the ramp is probing for.
+func detectKnee(windows []Window, window, sla float64, incidents []Incident) Knee {
 	run := 0
 	for i, w := range windows {
-		if windowSignal(w, sla) == "" {
+		if inIncident(w, incidents) || windowSignal(w, sla) == "" {
 			run = 0
 			continue
 		}
@@ -405,6 +454,10 @@ func (r *SaturationReport) Render() string {
 		} else {
 			fmt.Fprintf(&b, "  knee: none — capacity stayed ahead of offered load\n")
 		}
+		if a.Incident != nil && a.Incident.Windows > 0 {
+			fmt.Fprintf(&b, "  incident: %d of %d incident windows saturated — attributed to the incident, not a capacity knee\n",
+				a.Incident.Saturated, a.Incident.Windows)
+		}
 		c := a.Components
 		fmt.Fprintf(&b, "  components ms (p50/p99): queue %.3f/%.3f  fill %.3f/%.3f  service %.3f/%.3f  failover %.3f/%.3f  total %.3f/%.3f\n",
 			c.Queue.P50Ms, c.Queue.P99Ms, c.Fill.P50Ms, c.Fill.P99Ms,
@@ -419,6 +472,13 @@ func (r *SaturationReport) Render() string {
 				100*float64(a.Triggers.BatchFull)/float64(total),
 				100*float64(a.Triggers.FillTimer)/float64(total),
 				100*float64(a.Triggers.DeviceFree)/float64(total), total)
+		}
+	}
+
+	if len(r.Incidents) > 0 {
+		b.WriteString("\nincidents (dead or partitioned hosts):\n")
+		for i, in := range r.Incidents {
+			fmt.Fprintf(&b, "  #%d %s\n", i+1, in.String())
 		}
 	}
 

@@ -54,11 +54,11 @@ func TestDetectKnee(t *testing.T) {
 	}
 
 	// One saturated window between healthy ones is noise, not a knee.
-	if k := detectKnee([]Window{healthy, sat(0.2, 100), healthy}, 0.1, sla); k.Detected {
+	if k := detectKnee([]Window{healthy, sat(0.2, 100), healthy}, 0.1, sla, nil); k.Detected {
 		t.Errorf("single noisy window detected as knee: %+v", k)
 	}
 	// Two consecutive saturated windows: the knee is the FIRST of the run.
-	k := detectKnee([]Window{healthy, sat(0.2, 120), sat(0.3, 140)}, 0.1, sla)
+	k := detectKnee([]Window{healthy, sat(0.2, 120), sat(0.3, 140)}, 0.1, sla, nil)
 	if !k.Detected {
 		t.Fatal("two consecutive saturated windows not detected")
 	}
@@ -66,7 +66,7 @@ func TestDetectKnee(t *testing.T) {
 		t.Errorf("knee = %+v, want first window of the run (t=0.2, 1200/s, divergence)", k)
 	}
 	// The debounce counter must reset across a healthy gap.
-	k = detectKnee([]Window{sat(0.1, 100), healthy, sat(0.3, 100), healthy}, 0.1, sla)
+	k = detectKnee([]Window{sat(0.1, 100), healthy, sat(0.3, 100), healthy}, 0.1, sla, nil)
 	if k.Detected {
 		t.Errorf("alternating windows detected as knee: %+v", k)
 	}

@@ -21,6 +21,9 @@ type AppSnapshot struct {
 	Offered                       uint64
 	Completed, ShedQueue, Expired uint64
 	Failovers, Errors, RouterMiss uint64
+	// Retry-defense counters (nonzero only with Config.Retry.Enabled).
+	Retries, BudgetDenied         uint64
+	DeadlineDrops, Blackholed     uint64
 	P50Ms, P99Ms                  float64
 	// ShedFrac is (queue sheds + dispatch expiries) over offered load;
 	// ErrorRate is client-visible failures over offered load.
@@ -49,10 +52,21 @@ type Snapshot struct {
 	EventsProcessed       uint64
 	HostsAlive            int
 	DeadHosts             []int
-	Apps                  []AppSnapshot
-	Replicas              []ReplicaSnapshot
-	Decisions             []Decision
-	EventLogLen           int
+	// Chaos-mode state: failure domains, partitioned hosts and the retry
+	// defense. Zero/empty for a cluster without zones, partitions or
+	// retries — Render omits the sections entirely, keeping legacy
+	// snapshots byte-identical.
+	Zones            int
+	DarkZones        []int
+	PartitionedHosts []int
+	RetryEnabled     bool
+	BudgetRatio      float64
+	BudgetBurst      float64
+	NoBudget         bool
+	Apps             []AppSnapshot
+	Replicas         []ReplicaSnapshot
+	Decisions        []Decision
+	EventLogLen      int
 }
 
 // Snapshot captures the fleet state. It is cheap enough to call between
@@ -73,6 +87,23 @@ func (c *Cluster) Snapshot() *Snapshot {
 		} else {
 			s.DeadHosts = append(s.DeadHosts, h.id)
 		}
+		if h.partitioned {
+			s.PartitionedHosts = append(s.PartitionedHosts, h.id)
+		}
+	}
+	if c.cfg.zones() > 1 {
+		s.Zones = c.cfg.zones()
+		for z, n := range c.zoneAlive {
+			if n == 0 {
+				s.DarkZones = append(s.DarkZones, z)
+			}
+		}
+	}
+	if c.cfg.Retry.Enabled {
+		s.RetryEnabled = true
+		s.BudgetRatio = c.cfg.Retry.ratio()
+		s.BudgetBurst = c.cfg.Retry.burst()
+		s.NoBudget = c.cfg.Retry.NoBudget
 	}
 	for _, a := range c.apps {
 		as := AppSnapshot{
@@ -85,6 +116,10 @@ func (c *Cluster) Snapshot() *Snapshot {
 			Failovers:  a.failovers,
 			Errors:     a.errors,
 			RouterMiss: a.routerMiss,
+			Retries:    a.retries,
+			BudgetDenied:  a.budgetDenied,
+			DeadlineDrops: a.deadlineDrops,
+			Blackholed:    a.blackholed,
 			Decisions:  len(a.decisions),
 		}
 		if len(a.latencies) > 0 {
@@ -127,13 +162,30 @@ func (c *Cluster) Snapshot() *Snapshot {
 // Render formats the snapshot as the golden-file text.
 func (s *Snapshot) Render() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "cluster: %d hosts x %d devices, router=%s, seed=%d\n",
-		s.Hosts, s.DevicesPerHost, s.Router, s.Seed)
+	fmt.Fprintf(&b, "cluster: %d hosts x %d devices, router=%s, seed=%d", s.Hosts, s.DevicesPerHost, s.Router, s.Seed)
+	if s.Zones > 1 {
+		fmt.Fprintf(&b, ", zones=%d", s.Zones)
+	}
+	b.WriteString("\n")
 	fmt.Fprintf(&b, "virtual time %.3f s, hosts alive %d/%d", s.VirtualTime, s.HostsAlive, s.Hosts)
 	if len(s.DeadHosts) > 0 {
 		fmt.Fprintf(&b, " (dead:")
 		for _, h := range s.DeadHosts {
 			fmt.Fprintf(&b, " host%d", h)
+		}
+		b.WriteString(")")
+	}
+	if len(s.PartitionedHosts) > 0 {
+		fmt.Fprintf(&b, " (partitioned:")
+		for _, h := range s.PartitionedHosts {
+			fmt.Fprintf(&b, " host%d", h)
+		}
+		b.WriteString(")")
+	}
+	if len(s.DarkZones) > 0 {
+		fmt.Fprintf(&b, " (dark:")
+		for _, z := range s.DarkZones {
+			fmt.Fprintf(&b, " zone%d", z)
 		}
 		b.WriteString(")")
 	}
@@ -145,6 +197,18 @@ func (s *Snapshot) Render() string {
 		fmt.Fprintf(&b, "%-6s %4d %8d %9d %6d %7d %8d %6d %7.3f %7.3f %7.2f%% %7.3f%%\n",
 			a.Name, a.Replicas, a.Offered, a.Completed, a.ShedQueue, a.Expired,
 			a.Failovers, a.Errors, a.P50Ms, a.P99Ms, a.ShedFrac*100, a.ErrorRate*100)
+	}
+
+	if s.RetryEnabled {
+		bucket := fmt.Sprintf("budget ratio %.2f, burst %.0f", s.BudgetRatio, s.BudgetBurst)
+		if s.NoBudget {
+			bucket = "NO BUDGET (storm control)"
+		}
+		fmt.Fprintf(&b, "\nretry defense (%s):\n", bucket)
+		for _, a := range s.Apps {
+			fmt.Fprintf(&b, "  %-6s retries=%d budget-denied=%d deadline-drops=%d blackholed=%d\n",
+				a.Name, a.Retries, a.BudgetDenied, a.DeadlineDrops, a.Blackholed)
+		}
 	}
 
 	b.WriteString("\nreplicas:\n")

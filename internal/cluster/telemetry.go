@@ -98,7 +98,7 @@ func (t *Telemetry) attach(c *Cluster) {
 		for i, a := range c.apps {
 			names[i] = a.cfg.Name
 		}
-		t.Metrics.register(len(c.hosts), c.cfg.DevicesPerHost, names)
+		t.Metrics.register(len(c.hosts), c.cfg.DevicesPerHost, c.cfg.zones(), names)
 		c.loop.Every(t.Metrics.window, c.telemetryTick)
 	}
 }
@@ -189,6 +189,18 @@ func (t *Telemetry) onFailover(a *app) {
 	f := t.Metrics
 	f.mu.Lock()
 	f.apps[a.idx].failovers++
+	f.mu.Unlock()
+}
+
+// onRetry records one granted retry (failover re-route or admission-shed
+// retry) against the app's retries_total counter.
+func (t *Telemetry) onRetry(a *app) {
+	if t == nil || t.Metrics == nil {
+		return
+	}
+	f := t.Metrics
+	f.mu.Lock()
+	f.apps[a.idx].retries++
 	f.mu.Unlock()
 }
 
@@ -333,6 +345,72 @@ func (t *Telemetry) onKill(hostID int) {
 	hsp.End()
 }
 
+// onRevive marks a host revival as an instant span on the cluster
+// lifecycle track and on the host's own process group.
+func (t *Telemetry) onRevive(hostID int) {
+	if t == nil || t.Tracer == nil {
+		return
+	}
+	_, sp := t.Tracer.StartRoot(context.Background(), "revive host"+strconv.Itoa(hostID), "hosts")
+	sp.SetProc("cluster")
+	sp.End()
+	_, hsp := t.Tracer.StartRoot(context.Background(), "revived", "lifecycle")
+	hsp.SetProc("host" + strconv.Itoa(hostID))
+	hsp.End()
+}
+
+// onPartition marks a router<->host partition start as an instant span.
+func (t *Telemetry) onPartition(hostID int) {
+	if t == nil || t.Tracer == nil {
+		return
+	}
+	_, sp := t.Tracer.StartRoot(context.Background(), "partition host"+strconv.Itoa(hostID), "hosts")
+	sp.SetProc("cluster")
+	sp.End()
+}
+
+// onPartitionHeal marks a partition healing as an instant span.
+func (t *Telemetry) onPartitionHeal(hostID int) {
+	if t == nil || t.Tracer == nil {
+		return
+	}
+	_, sp := t.Tracer.StartRoot(context.Background(), "partition-heal host"+strconv.Itoa(hostID), "hosts")
+	sp.SetProc("cluster")
+	sp.End()
+}
+
+// onDegrade marks a host service-time degradation (or restore) as an
+// instant span.
+func (t *Telemetry) onDegrade(hostID int, factor float64) {
+	if t == nil || t.Tracer == nil {
+		return
+	}
+	_, sp := t.Tracer.StartRoot(context.Background(), "degrade host"+strconv.Itoa(hostID), "hosts",
+		obs.Float("factor", factor))
+	sp.SetProc("cluster")
+	sp.End()
+}
+
+// onZoneDown marks a correlated zone failure as an instant span.
+func (t *Telemetry) onZoneDown(zone int) {
+	if t == nil || t.Tracer == nil {
+		return
+	}
+	_, sp := t.Tracer.StartRoot(context.Background(), "zone-down zone"+strconv.Itoa(zone), "hosts")
+	sp.SetProc("cluster")
+	sp.End()
+}
+
+// onZoneUp marks a zone recovery as an instant span.
+func (t *Telemetry) onZoneUp(zone int) {
+	if t == nil || t.Tracer == nil {
+		return
+	}
+	_, sp := t.Tracer.StartRoot(context.Background(), "zone-up zone"+strconv.Itoa(zone), "hosts")
+	sp.SetProc("cluster")
+	sp.End()
+}
+
 // onQuarantine marks a replica quarantine as an instant span on its
 // device's track.
 func (t *Telemetry) onQuarantine(rep *replica) {
@@ -362,6 +440,8 @@ func (t *Telemetry) onDecision(a *app, d Decision) {
 			am.scaleDowns++
 		case "scale-blocked":
 			am.scaleBlocked++
+		case "scale-hold":
+			am.scaleHolds++
 		}
 		f.mu.Unlock()
 	}
@@ -405,7 +485,16 @@ func (c *Cluster) telemetryTick() {
 		am.total.Merge(&am.win.lat)
 		am.win = winAccum{}
 	}
+	f.sampleZones(c)
 	f.mu.Unlock()
+}
+
+// sampleZones refreshes the per-zone up/dark gauges from the simulator's
+// alive counts. Caller holds f.mu on the simulator goroutine.
+func (f *FleetMetrics) sampleZones(c *Cluster) {
+	for z := range f.zoneUp {
+		f.zoneUp[z] = c.zoneAlive[z] > 0
+	}
 }
 
 // sample pulls one app's simulator-owned counters into the registry:
@@ -414,6 +503,9 @@ func (c *Cluster) telemetryTick() {
 // simulator goroutine, so reading sim state here is race-free.
 func (f *FleetMetrics) sample(a *app, am *appMetrics) {
 	am.offered = a.offered
+	am.budgetDenied = a.budgetDenied
+	am.deadlineDrops = a.deadlineDrops
+	am.blackholed = a.blackholed
 	for h := range am.perHost {
 		am.perHost[h].Routed = am.baseRouted[h]
 	}
@@ -440,6 +532,7 @@ func (c *Cluster) telemetryFlush() {
 		f.sample(a, am)
 		am.liveReplicas = a.liveReplicas()
 	}
+	f.sampleZones(c)
 	f.mu.Unlock()
 }
 
@@ -476,11 +569,13 @@ type winAccum struct {
 
 // appMetrics is one app's fleet-level counters.
 type appMetrics struct {
-	name                               string
-	offered, lastOffered, completed    uint64
-	shedQueue, expired                 uint64
-	failovers, errors                  uint64
-	scaleUps, scaleDowns, scaleBlocked uint64
+	name                                           string
+	offered, lastOffered, completed                uint64
+	shedQueue, expired                             uint64
+	failovers, errors                              uint64
+	retries, budgetDenied                          uint64
+	deadlineDrops, blackholed                      uint64
+	scaleUps, scaleDowns, scaleBlocked, scaleHolds uint64
 	batches, batched                   uint64
 	trig                               [numTriggers]uint64
 	queueDepth, maxQueueDepth          int
@@ -529,6 +624,7 @@ type FleetMetrics struct {
 	hosts          []*hostMetrics
 	apps           []*appMetrics
 	byName         map[string]*appMetrics
+	zoneUp         []bool // per failure domain: any host alive
 }
 
 // DefaultWindowSeconds is the sampling window when NewFleetMetrics is
@@ -560,10 +656,17 @@ func (f *FleetMetrics) SetSLOTarget(target float64) {
 func (f *FleetMetrics) WindowSeconds() float64 { return f.window }
 
 // register sizes the registry for the fleet. Called once from cluster.New.
-func (f *FleetMetrics) register(hosts, devicesPerHost int, appNames []string) {
+func (f *FleetMetrics) register(hosts, devicesPerHost, zones int, appNames []string) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	f.devicesPerHost = devicesPerHost
+	if zones < 1 {
+		zones = 1
+	}
+	f.zoneUp = make([]bool, zones)
+	for z := range f.zoneUp {
+		f.zoneUp[z] = true
+	}
 	f.hosts = make([]*hostMetrics, hosts)
 	for i := range f.hosts {
 		f.hosts[i] = &hostMetrics{}
@@ -702,11 +805,20 @@ func (f *FleetMetrics) WritePrometheus(w io.Writer) {
 	for _, am := range f.apps {
 		fmt.Fprintf(w, "tpucluster_errors_total{app=%q} %d\n", am.name, am.errors)
 	}
+	fam("tpucluster_retries_total", "counter", "Granted retries: failover re-routes plus admission-shed retries within budget.")
+	for _, am := range f.apps {
+		fmt.Fprintf(w, "tpucluster_retries_total{app=%q} %d\n", am.name, am.retries)
+	}
+	fam("tpucluster_retry_budget_exhausted_total", "counter", "Retries refused because the app's token-bucket retry budget was empty.")
+	for _, am := range f.apps {
+		fmt.Fprintf(w, "tpucluster_retry_budget_exhausted_total{app=%q} %d\n", am.name, am.budgetDenied)
+	}
 	fam("tpucluster_autoscaler_actions_total", "counter", "Autoscaler decisions by action.")
 	for _, am := range f.apps {
 		fmt.Fprintf(w, "tpucluster_autoscaler_actions_total{app=%q,action=\"scale-up\"} %d\n", am.name, am.scaleUps)
 		fmt.Fprintf(w, "tpucluster_autoscaler_actions_total{app=%q,action=\"scale-down\"} %d\n", am.name, am.scaleDowns)
 		fmt.Fprintf(w, "tpucluster_autoscaler_actions_total{app=%q,action=\"scale-blocked\"} %d\n", am.name, am.scaleBlocked)
+		fmt.Fprintf(w, "tpucluster_autoscaler_actions_total{app=%q,action=\"scale-hold\"} %d\n", am.name, am.scaleHolds)
 	}
 	fam("tpucluster_dispatch_triggers_total", "counter", "Batch dispatches by what fired them.")
 	for _, am := range f.apps {
@@ -738,6 +850,14 @@ func (f *FleetMetrics) WritePrometheus(w io.Writer) {
 			util = hm.busySeconds / (f.elapsed * float64(f.devicesPerHost))
 		}
 		fmt.Fprintf(w, "tpucluster_device_utilization{host=\"%d\"} %g\n", h, util)
+	}
+	fam("tpucluster_zone_state", "gauge", "Failure-domain state at the last sampler tick: 1 when any host in the zone is alive, 0 when the zone is dark.")
+	for z, up := range f.zoneUp {
+		v := 0
+		if up {
+			v = 1
+		}
+		fmt.Fprintf(w, "tpucluster_zone_state{zone=\"%d\"} %d\n", z, v)
 	}
 	fam("tpucluster_request_component_seconds", "histogram",
 		"Served request latency decomposed into queue, fill, service and failover components.")

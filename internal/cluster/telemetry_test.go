@@ -62,6 +62,13 @@ func TestTelemetryDisabledAllocs(t *testing.T) {
 		tel.onKill(0)
 		tel.onQuarantine(rep)
 		tel.onDecision(a, Decision{})
+		tel.onRetry(a)
+		tel.onRevive(0)
+		tel.onPartition(0)
+		tel.onPartitionHeal(0)
+		tel.onDegrade(0, 2.0)
+		tel.onZoneDown(0)
+		tel.onZoneUp(0)
 	})
 	if allocs != 0 {
 		t.Errorf("disabled telemetry hooks allocate %v objects per pass, want 0", allocs)
@@ -176,6 +183,9 @@ func TestFleetMetricsPrometheus(t *testing.T) {
 		"tpucluster_device_utilization",
 		"tpucluster_request_component_seconds_bucket",
 		"tpucluster_request_latency_seconds_bucket",
+		"tpucluster_retries_total",
+		"tpucluster_retry_budget_exhausted_total",
+		"tpucluster_zone_state",
 	} {
 		if !strings.Contains(out, fam) {
 			t.Errorf("exposition missing family %s", fam)

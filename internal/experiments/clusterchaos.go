@@ -1,0 +1,398 @@
+// Cluster chaos campaign: the six production apps of Table 1 served from
+// a zoned TPU fleet while a full failure domain — a quarter of the hosts
+// — dies at 75% load and later returns. The same seed is run three ways:
+// a healthy baseline, the chaos run with the anti-retry-storm defenses on
+// (zone-aware placement, per-app retry budgets, deadline-aware failover,
+// the autoscaler's incident guard), and a NoBudget control that shows the
+// metastable retry storm the budget prevents. The acceptance criteria are
+// the robustness story in executable form: surviving apps hold p99 within
+// 2x of healthy, client-visible errors stay under 1%, granted retries
+// stay inside the budget, and the fleet fully recovers after the revive.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"tpusim/internal/cluster"
+	"tpusim/internal/compiler"
+	"tpusim/internal/latency"
+	"tpusim/internal/models"
+	"tpusim/internal/serve"
+	"tpusim/internal/workload"
+)
+
+// ClusterChaosConfig parameterizes the campaign. Zero values mean the
+// acceptance defaults: an 8x4 fleet in 4 zones, bounded-load hashing,
+// retry budgets at the classic 10%/64, zone 0 killed at 75% load and
+// revived one ramp later.
+type ClusterChaosConfig struct {
+	// Hosts and DevicesPerHost size the fleet. 0 means 8 x 4.
+	Hosts, DevicesPerHost int
+	// Zones is the failure-domain count. 0 means 4 (a zone = 1/4 of hosts).
+	Zones int
+	// Router names the routing policy. Empty means bounded-hash.
+	Router string
+	// RampSeconds is the load ramp length; the zone dies at 1.25x this,
+	// revives at 2x, and the run ends at 2.75x. 0 means 0.4.
+	RampSeconds float64
+	// StartFrac and PeakFrac bound the ramp as fractions of each app's
+	// initial rated capacity (InitialReplicas x one replica's saturation
+	// rate). 0 means 0.25 -> 0.75: the fleet sits at 75% load when the
+	// zone goes dark, so each surviving replica sees 150% overload until
+	// the autoscaler reacts.
+	StartFrac, PeakFrac float64
+	// Zone is the failure domain killed. Defaults to 0.
+	Zone int
+	// SLASeconds is the per-request deadline. 0 means the paper's 7 ms.
+	SLASeconds float64
+	// Seed pins arrivals and request keys. 0 means 42.
+	Seed int64
+	// ExtraChaos is an optional -chaos-plan spec layered on top of the
+	// zone kill/revive in both chaos runs (e.g. "part=4@0.55-0.7").
+	ExtraChaos string
+}
+
+func (c ClusterChaosConfig) withDefaults() ClusterChaosConfig {
+	if c.Hosts == 0 {
+		c.Hosts = 8
+	}
+	if c.DevicesPerHost == 0 {
+		c.DevicesPerHost = 4
+	}
+	if c.Zones == 0 {
+		c.Zones = 4
+	}
+	if c.Router == "" {
+		c.Router = "bounded-hash"
+	}
+	if c.RampSeconds == 0 {
+		c.RampSeconds = 0.4
+	}
+	if c.StartFrac == 0 {
+		c.StartFrac = 0.25
+	}
+	if c.PeakFrac == 0 {
+		c.PeakFrac = 0.75
+	}
+	if c.SLASeconds == 0 {
+		c.SLASeconds = 7e-3
+	}
+	if c.Seed == 0 {
+		c.Seed = 42
+	}
+	return c
+}
+
+// ZoneDownAt is the virtual time the zone dies: just past the ramp top,
+// with the fleet at PeakFrac load.
+func (c ClusterChaosConfig) ZoneDownAt() float64 { return 1.25 * c.RampSeconds }
+
+// ZoneUpAt is the virtual time the zone revives.
+func (c ClusterChaosConfig) ZoneUpAt() float64 { return 2 * c.RampSeconds }
+
+// Horizon is the campaign end: 0.75 ramps of recovered steady state after
+// the revive.
+func (c ClusterChaosConfig) Horizon() float64 { return 2.75 * c.RampSeconds }
+
+// ClusterChaosResult is the campaign outcome: the same seed run healthy,
+// defended, and undefended.
+type ClusterChaosResult struct {
+	Cfg ClusterChaosConfig
+	// Apps are the served apps' profiles, Table 1 order; PeakRate is
+	// PeakFrac x the two-replica initial rated capacity.
+	Apps []ClusterAppInfo
+	// Skipped lists apps with no deadline-safe operating point at the SLA.
+	Skipped []string
+	// ZoneHosts are the killed zone's host ids.
+	ZoneHosts []int
+	// Healthy is the no-chaos baseline's final snapshot.
+	Healthy *cluster.Snapshot
+	// Chaos is the defended run's final snapshot; ChaosAtRevive its state
+	// at the instant the zone returned, for the recovery delta.
+	Chaos, ChaosAtRevive *cluster.Snapshot
+	// Control is the NoBudget storm run's final snapshot.
+	Control *cluster.Snapshot
+	// Events is the defended run's full ordered log.
+	Events []cluster.Event
+	// Incidents are the defended run's dead-or-partitioned intervals.
+	Incidents []cluster.Incident
+	// Report is the defended run's saturation analysis: the dark window's
+	// saturated windows attributed to the incident, not a capacity knee.
+	Report *cluster.SaturationReport
+	// RecoveredCompletions counts batches completed on the killed zone's
+	// hosts after the revive — the proof replicas re-admitted.
+	RecoveredCompletions uint64
+}
+
+// RunClusterChaos runs the three-way campaign.
+func RunClusterChaos(cfg ClusterChaosConfig) (*ClusterChaosResult, error) {
+	cfg = cfg.withDefaults()
+	policy, err := cluster.ParsePolicy(cfg.Router)
+	if err != nil {
+		return nil, err
+	}
+	extra, err := cluster.ParseChaosPlan(cfg.ExtraChaos)
+	if err != nil {
+		return nil, err
+	}
+	res := &ClusterChaosResult{Cfg: cfg}
+	for h := 0; h < cfg.Hosts; h++ {
+		if h*cfg.Zones/cfg.Hosts == cfg.Zone {
+			res.ZoneHosts = append(res.ZoneHosts, h)
+		}
+	}
+
+	// Two replicas per app: zone anti-affinity places them in distinct
+	// failure domains, so one dark zone leaves every app with quorum.
+	const initialReplicas = 2
+	var apps []cluster.AppConfig
+	for _, b := range models.All() {
+		name := b.Model.Name
+		svc := latency.ServiceFunc(func(n int) (float64, error) { return TPUBatchSeconds(name, n) })
+		pol := serve.Policy{MaxBatch: b.Model.Batch, SLASeconds: cfg.SLASeconds}
+		plan, err := pol.Resolve(svc)
+		if err != nil {
+			res.Skipped = append(res.Skipped, name)
+			continue
+		}
+		one := float64(plan.SafeBatch) / plan.SafeServiceSeconds
+		rated := float64(initialReplicas) * one
+		ramp, err := workload.NewPiecewiseLinear(
+			workload.Point{T: 0, Rate: cfg.StartFrac * rated},
+			workload.Point{T: cfg.RampSeconds, Rate: cfg.PeakFrac * rated},
+		)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %s ramp: %w", name, err)
+		}
+		res.Apps = append(res.Apps, ClusterAppInfo{
+			Name:        name,
+			DeployShare: b.DeployShare,
+			WeightBytes: compiler.WeightFootprint(b.Model, false),
+			SafeBatch:   plan.SafeBatch,
+			ReplicaRate: one,
+			PeakRate:    cfg.PeakFrac * rated,
+		})
+		apps = append(apps, cluster.AppConfig{
+			Name:            name,
+			Service:         svc,
+			Policy:          pol,
+			WeightBytes:     compiler.WeightFootprint(b.Model, false),
+			Curve:           ramp,
+			InitialReplicas: initialReplicas,
+			MinReplicas:     initialReplicas,
+		})
+	}
+	if len(apps) == 0 {
+		return nil, fmt.Errorf("experiments: no app has an operating point at SLA %.1f ms", cfg.SLASeconds*1e3)
+	}
+
+	build := func(chaotic, noBudget bool) (*cluster.Cluster, error) {
+		tel := &cluster.Telemetry{Metrics: cluster.NewFleetMetrics(cfg.RampSeconds / 20)}
+		c, err := cluster.New(cluster.Config{
+			Hosts:          cfg.Hosts,
+			DevicesPerHost: cfg.DevicesPerHost,
+			Zones:          cfg.Zones,
+			Router:         policy,
+			Apps:           apps,
+			Autoscale:      cluster.AutoscaleConfig{Interval: cfg.RampSeconds / 8},
+			Retry:          cluster.RetryConfig{Enabled: true, NoBudget: noBudget},
+			Seed:           cfg.Seed,
+			Telemetry:      tel,
+		})
+		if err != nil {
+			return nil, err
+		}
+		if chaotic {
+			if err := c.KillZoneAt(cfg.ZoneDownAt(), cfg.Zone); err != nil {
+				return nil, err
+			}
+			if err := c.ReviveZoneAt(cfg.ZoneUpAt(), cfg.Zone); err != nil {
+				return nil, err
+			}
+			if err := c.ApplyChaos(extra); err != nil {
+				return nil, err
+			}
+		}
+		return c, nil
+	}
+
+	// Healthy baseline: same seed, same defenses, no failures.
+	healthy, err := build(false, false)
+	if err != nil {
+		return nil, err
+	}
+	healthy.Run(cfg.Horizon())
+	res.Healthy = healthy.Snapshot()
+
+	// The defended chaos run, segmented at the revive for the recovery delta.
+	defended, err := build(true, false)
+	if err != nil {
+		return nil, err
+	}
+	defended.Run(cfg.ZoneUpAt())
+	res.ChaosAtRevive = defended.Snapshot()
+	defended.Run(cfg.Horizon())
+	res.Chaos = defended.Snapshot()
+	res.Events = defended.Events()
+	res.Incidents = defended.Incidents()
+	if res.Report, err = defended.SaturationReport(); err != nil {
+		return nil, err
+	}
+	res.RecoveredCompletions = completedOnHosts(res.Chaos, res.ZoneHosts) - completedOnHosts(res.ChaosAtRevive, res.ZoneHosts)
+
+	// The NoBudget control: the same failures with the storm defense off.
+	control, err := build(true, true)
+	if err != nil {
+		return nil, err
+	}
+	control.Run(cfg.Horizon())
+	res.Control = control.Snapshot()
+	return res, nil
+}
+
+// completedOnHosts sums replica completions resident on the given hosts.
+func completedOnHosts(s *cluster.Snapshot, hosts []int) uint64 {
+	in := map[int]bool{}
+	for _, h := range hosts {
+		in[h] = true
+	}
+	var total uint64
+	for _, r := range s.Replicas {
+		if in[r.Host] {
+			total += r.Completed
+		}
+	}
+	return total
+}
+
+// totalRetries sums granted retries across apps.
+func totalRetries(s *cluster.Snapshot) uint64 {
+	var total uint64
+	for _, a := range s.Apps {
+		total += a.Retries
+	}
+	return total
+}
+
+// Acceptance evaluates the campaign's robustness criteria, returning one
+// violation string per failed criterion (empty slice: all pass).
+func (r *ClusterChaosResult) Acceptance() []string {
+	var bad []string
+	for i, a := range r.Chaos.Apps {
+		h := r.Healthy.Apps[i]
+		if a.ErrorRate >= 0.01 {
+			bad = append(bad, fmt.Sprintf("%s error rate %.3f%% >= 1%% through the zone outage", a.Name, a.ErrorRate*100))
+		}
+		if h.P99Ms > 0 && a.P99Ms > 2*h.P99Ms {
+			bad = append(bad, fmt.Sprintf("%s p99 %.3f ms > 2x healthy %.3f ms", a.Name, a.P99Ms, h.P99Ms))
+		}
+		budget := r.Chaos.BudgetRatio*float64(a.Offered) + r.Chaos.BudgetBurst
+		if float64(a.Retries) > budget+1 {
+			bad = append(bad, fmt.Sprintf("%s retries %d exceed the budget cap %.0f", a.Name, a.Retries, budget))
+		}
+	}
+	if db, dc := totalRetries(r.Chaos), totalRetries(r.Control); dc <= db {
+		bad = append(bad, fmt.Sprintf("NoBudget control retried %d <= defended %d: no storm to defend against", dc, db))
+	}
+	if r.Chaos.HostsAlive != r.Cfg.Hosts {
+		bad = append(bad, fmt.Sprintf("%d/%d hosts alive at the end: revive incomplete", r.Chaos.HostsAlive, r.Cfg.Hosts))
+	}
+	if len(r.Chaos.DarkZones) != 0 {
+		bad = append(bad, fmt.Sprintf("zones %v still dark at the end", r.Chaos.DarkZones))
+	}
+	for _, rep := range r.Chaos.Replicas {
+		if rep.State.String() == "quarantined" && !rep.Draining {
+			bad = append(bad, fmt.Sprintf("%s r%d still quarantined after the revive", rep.App, rep.ID))
+		}
+	}
+	if r.RecoveredCompletions == 0 {
+		bad = append(bad, "revived zone completed nothing: replicas never re-admitted")
+	}
+	return bad
+}
+
+// RenderClusterChaos formats the campaign report.
+func RenderClusterChaos(r *ClusterChaosResult) string {
+	var b strings.Builder
+	cfg := r.Cfg
+	fmt.Fprintf(&b, "Cluster chaos campaign: %d hosts x %d devices in %d zones, router=%s, seed=%d\n",
+		cfg.Hosts, cfg.DevicesPerHost, cfg.Zones, cfg.Router, cfg.Seed)
+	fmt.Fprintf(&b, "ramp %.0f%% -> %.0f%% of initial rated capacity over %.2fs; zone%d (%s, 1/%d of hosts) dark %.2fs -> %.2fs; horizon %.2fs\n",
+		cfg.StartFrac*100, cfg.PeakFrac*100, cfg.RampSeconds,
+		cfg.Zone, hostNames(r.ZoneHosts), cfg.Zones, cfg.ZoneDownAt(), cfg.ZoneUpAt(), cfg.Horizon())
+	if cfg.ExtraChaos != "" {
+		fmt.Fprintf(&b, "extra chaos: %s\n", cfg.ExtraChaos)
+	}
+	b.WriteString("\n")
+
+	fmt.Fprintf(&b, "%-6s %7s %10s %6s %12s %12s\n",
+		"app", "share", "weights", "batch", "replica-cap", "peak-load")
+	for _, a := range r.Apps {
+		fmt.Fprintf(&b, "%-6s %6.1f%% %8.1fMiB %6d %10.0f/s %10.0f/s\n",
+			a.Name, a.DeployShare, float64(a.WeightBytes)/(1<<20), a.SafeBatch, a.ReplicaRate, a.PeakRate)
+	}
+	if len(r.Skipped) > 0 {
+		fmt.Fprintf(&b, "skipped (no operating point at %.1f ms SLA): %s\n",
+			cfg.SLASeconds*1e3, strings.Join(r.Skipped, ", "))
+	}
+
+	// The three-way comparison: healthy / defended / storm control.
+	b.WriteString("\nhealthy baseline vs defended chaos vs NoBudget storm control (same seed):\n")
+	fmt.Fprintf(&b, "%-6s | %7s %7s | %7s %7s %8s %7s %7s | %8s %7s\n",
+		"app", "h-p99", "h-err%", "c-p99", "c-err%", "c-shed%", "retries", "denied", "s-retry", "s-err%")
+	for i, h := range r.Healthy.Apps {
+		c, s := r.Chaos.Apps[i], r.Control.Apps[i]
+		fmt.Fprintf(&b, "%-6s | %7.3f %6.3f%% | %7.3f %6.3f%% %7.2f%% %7d %7d | %8d %6.3f%%\n",
+			h.Name, h.P99Ms, h.ErrorRate*100,
+			c.P99Ms, c.ErrorRate*100, c.ShedFrac*100, c.Retries, c.BudgetDenied,
+			s.Retries, s.ErrorRate*100)
+	}
+	fmt.Fprintf(&b, "total granted retries: defended %d vs NoBudget control %d\n",
+		totalRetries(r.Chaos), totalRetries(r.Control))
+
+	b.WriteString("\nincidents (defended run):\n")
+	for i, in := range r.Incidents {
+		fmt.Fprintf(&b, "  #%d %s\n", i+1, in)
+	}
+	fmt.Fprintf(&b, "completions on the revived zone's hosts after the revive: %d\n", r.RecoveredCompletions)
+
+	// Event digest by kind, like RenderCluster.
+	counts := map[string]int{}
+	for _, e := range r.Events {
+		counts[e.Kind]++
+	}
+	kinds := make([]string, 0, len(counts))
+	for k := range counts {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	b.WriteString("\nevent log (defended run): ")
+	for i, k := range kinds {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%d %s", counts[k], k)
+	}
+	fmt.Fprintf(&b, " (%d total)\n", len(r.Events))
+
+	if bad := r.Acceptance(); len(bad) == 0 {
+		b.WriteString("\nacceptance: PASS (p99 <= 2x healthy, errors < 1%, retries within budget, full recovery, storm demonstrated)\n")
+	} else {
+		b.WriteString("\nacceptance: FAIL\n")
+		for _, v := range bad {
+			fmt.Fprintf(&b, "  - %s\n", v)
+		}
+	}
+	return b.String()
+}
+
+// hostNames joins host ids as host0+host1.
+func hostNames(hosts []int) string {
+	names := make([]string, len(hosts))
+	for i, h := range hosts {
+		names[i] = fmt.Sprintf("host%d", h)
+	}
+	return strings.Join(names, "+")
+}
