@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: ci vet vet-cmd build test race bench-smoke bench bench-gate fuzz-smoke cover obs-smoke chaos-smoke integrity-smoke cluster-smoke cluster-chaos-smoke report-smoke
+.PHONY: ci vet vet-cmd build test race bench-smoke bench bench-gate fuzz-smoke cover obs-smoke chaos-smoke integrity-smoke cluster-smoke cluster-chaos-smoke report-smoke rollout-smoke
 
-ci: vet vet-cmd build race fuzz-smoke cover bench-smoke bench-gate obs-smoke chaos-smoke integrity-smoke cluster-smoke cluster-chaos-smoke report-smoke
+ci: vet vet-cmd build race fuzz-smoke cover bench-smoke bench-gate obs-smoke chaos-smoke integrity-smoke cluster-smoke cluster-chaos-smoke report-smoke rollout-smoke
 
 vet:
 	$(GO) vet ./...
@@ -130,6 +130,17 @@ report-smoke:
 	diff -u internal/experiments/testdata/golden/cluster_saturation.txt $$tmp/saturation.txt \
 		&& echo "report-smoke: saturation report matches golden" \
 		|| { echo "report-smoke: saturation report drifted from golden"; exit 1; }
+
+# Safe-change-management smoke, race-enabled: the rollout plan parser,
+# cordoned-host placement, graceful drain and drain-deadline failover, the
+# rollout state machine (canary verdicts, wave promotion, SLO-gated
+# auto-rollback, chaos-pause with the same-seed determinism twin, golden
+# mid-canary and post-rollback snapshots, the autoscaler rollout guard),
+# and the end-to-end campaign (bad v2 caught at the canary and fully
+# rolled back; good v2 promoted to 100% of the fleet with zero SLO burn).
+rollout-smoke:
+	$(GO) test -race -count=1 -timeout 300s ./internal/cluster -run 'Rollout|Cordon|Drain|ParseRolloutPlan'
+	$(GO) test -race -count=1 -timeout 600s ./internal/experiments -run 'TestRollout'
 
 # Coverage floor: the tier-1 packages must keep at least 80% statement
 # coverage (examples are exercised separately by their smoke test).

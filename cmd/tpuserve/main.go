@@ -7,6 +7,7 @@
 //	tpuserve -mode sdc        # silent-data-corruption campaign: bit flips vs integrity tiers
 //	tpuserve -mode cluster    # multi-host fleet: routing, autoscaling, host kill mid-ramp
 //	tpuserve -mode cluster-chaos # zoned fleet: full-zone outage, retry budgets, storm control
+//	tpuserve -mode rollout    # safe change management: canary analysis, SLO-gated rollback
 //
 // The sweep mode replays each app's deadline-aware batching policy against
 // open-loop Poisson arrivals at increasing rates and prints the
@@ -72,6 +73,19 @@
 //
 //	tpuserve -mode cluster-chaos -zones 4
 //	tpuserve -mode cluster-chaos -chaos-plan 'part=4@0.55-0.7,flap=5@0.9x2/0.1'
+//
+// The rollout mode runs the safe change management campaign: the fleet is
+// taken from model version v1 to v2 by the rollout controller — cordon,
+// graceful drain, re-place, canary analysis, wave-by-wave promotion. The
+// same seed runs three ways — healthy (no change), a bad v2 whose -bad-factor
+// service-time inflation must be caught at the canary stage and auto-rolled
+// back, and a good v2 that must reach 100% of the fleet with zero SLO
+// error-budget burn — and the report compares them and checks the acceptance
+// criteria (exit 1 on violation). -rollout-plan overrides the bad run's plan
+// (the good run reuses it with factor=1):
+//
+//	tpuserve -mode rollout -zones 4 -bad-factor 4
+//	tpuserve -mode rollout -rollout-plan 'start=0.2,factor=4,canary=0.1,windows=2,window=0.05,wave=2,drain=0.05'
 package main
 
 import (
@@ -123,6 +137,8 @@ func main() {
 	traceJSON := flag.String("trace-json", "", "cluster mode: export the ramp's virtual-time spans as Chrome trace-event JSON (Perfetto-loadable) to this file")
 	zones := flag.Int("zones", 4, "cluster-chaos mode: failure-domain count (a zone fails and recovers as one unit)")
 	chaosPlan := flag.String("chaos-plan", "", "cluster-chaos mode: extra chaos actions layered on the zone kill (e.g. 'part=4@0.55-0.7,flap=5@0.9x2/0.1,slow=6x2.5@0.3')")
+	rolloutPlan := flag.String("rollout-plan", "", "rollout mode: override the bad run's plan (e.g. 'start=0.2,factor=4,canary=0.1,windows=2,window=0.05,wave=2,drain=0.05')")
+	badFactor := flag.Float64("bad-factor", 4, "rollout mode: the bad v2's service-time inflation")
 	flag.Parse()
 
 	switch *mode {
@@ -181,8 +197,28 @@ func main() {
 		if len(r.Acceptance()) > 0 {
 			os.Exit(1) // the campaign report already printed the violations
 		}
+	case "rollout":
+		r, err := experiments.RunRollout(experiments.RolloutConfig{
+			Hosts: *hosts, DevicesPerHost: *devsPerHost, Zones: *zones,
+			Router: *router, BadFactor: *badFactor, Plan: *rolloutPlan,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(experiments.RenderRollout(r))
+		if *report != "" {
+			emit := []byte(r.GoodReport.Render())
+			if *report == "-" {
+				os.Stdout.Write(emit)
+			} else if err := os.WriteFile(*report, emit, 0o644); err != nil {
+				log.Fatalf("write -report: %v", err)
+			}
+		}
+		if len(r.Acceptance()) > 0 {
+			os.Exit(1) // the campaign report already printed the violations
+		}
 	default:
-		log.Fatalf("unknown -mode %q (want sweep, live, chaos, sdc, cluster or cluster-chaos)", *mode)
+		log.Fatalf("unknown -mode %q (want sweep, live, chaos, sdc, cluster, cluster-chaos or rollout)", *mode)
 	}
 }
 

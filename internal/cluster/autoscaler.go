@@ -58,6 +58,12 @@ func (c *Cluster) autoscaleTick() {
 			a.holdLogged = false
 		}
 	}
+	if !c.rolloutActive() {
+		// Rollout over (or none): re-arm the rollout guard's announcement.
+		for _, a := range c.apps {
+			a.rolloutHold = false
+		}
+	}
 	for _, a := range c.apps {
 		c.autoscaleApp(a, interval)
 		a.winArrivals = 0
@@ -94,6 +100,18 @@ func (c *Cluster) autoscaleApp(a *app, interval float64) {
 		if !a.holdLogged {
 			a.holdLogged = true
 			c.decide(a, "scale-hold", live, live, "incident guard: a zone is dark, scale-down frozen")
+		}
+		a.lowTicks = 0
+		return
+	}
+
+	// Rollout guard: while a change is in progress, never shed capacity —
+	// newest-first removal would eat the canaries and the surge replicas,
+	// and the wave churn makes the utilization window unreadable anyway.
+	if c.rolloutActive() {
+		if !a.rolloutHold {
+			a.rolloutHold = true
+			c.decide(a, "scale-hold", live, live, "rollout guard: change in progress, scale-down frozen")
 		}
 		a.lowTicks = 0
 		return

@@ -169,7 +169,10 @@ type Event struct {
 	// Kind is the event type: place, kill, revive, readmit, quarantine,
 	// failover-reroute, partition, partition-heal, blackhole, degrade,
 	// zone-down, zone-up, retry-budget-exhausted, scale-up, scale-down,
-	// scale-blocked, scale-hold, drain.
+	// scale-blocked, scale-hold, drain, and the rollout controller's
+	// rollout, canary, canary-verdict, promote, wave, wave-hold,
+	// wave-resume, rollback, rollout-done, cordon, uncordon, drain-begin,
+	// drain-deadline.
 	Kind string
 	// Detail is a human-readable description.
 	Detail string
@@ -212,6 +215,9 @@ type host struct {
 	partitioned bool
 	// slow multiplies every batch service time on the host; 1 is healthy.
 	slow float64
+	// cordoned: placement skips the host while its residents keep serving —
+	// the rollout controller's wave primitive.
+	cordoned bool
 }
 
 // replica is one placed instance of an app: a batching lane on a device,
@@ -229,6 +235,15 @@ type replica struct {
 	svcGen   uint64    // invalidates in-flight completions (host death)
 	serving  bool
 	draining bool
+
+	// Rollout state: the model version served, its service-time scale
+	// (1 for v1 — exact identity, so a rollout-free run is byte-identical
+	// to before versions existed), whether an in-progress drain finishes
+	// its queue gracefully, and whether its removal completes a wave.
+	version   int
+	svcScale  float64
+	graceful  bool
+	waveDrain bool
 
 	// Telemetry state for the in-flight batch (meaningful while serving).
 	dispatchAt float64
@@ -270,6 +285,13 @@ type app struct {
 	lowTicks             int
 	holdLogged           bool // incident guard announced for this incident
 	decisions            []Decision
+
+	// Rollout state: the version scale-ups place, the app's rollout-local
+	// bookkeeping (nil without a rollout), and the one-shot rollout-guard
+	// announcement flag.
+	curVersion  int
+	ro          *appRollout
+	rolloutHold bool
 }
 
 // liveReplicas counts routable (non-quarantined, non-draining) replicas.
@@ -311,6 +333,9 @@ type Cluster struct {
 	zoneAlive []int // alive hosts per zone
 	downHosts int   // hosts currently dead or partitioned
 	incidents []Incident
+
+	// Rollout controller state (see rollout.go); nil without a rollout.
+	ro *rolloutState
 }
 
 // New builds the fleet: hosts and devices, resolved per-app serving plans,
@@ -370,12 +395,13 @@ func New(cfg Config) (*Cluster, error) {
 			ac.MaxReplicas = fleetDevices
 		}
 		a := &app{
-			cfg:      ac,
-			idx:      i,
-			plan:     plan,
-			router:   NewRouter(cfg.Router),
-			replicas: map[int]*replica{},
-			keys:     rand.New(rand.NewSource(cfg.Seed*7919 + int64(i)*104729 + 1)),
+			cfg:        ac,
+			idx:        i,
+			plan:       plan,
+			router:     NewRouter(cfg.Router),
+			replicas:   map[int]*replica{},
+			keys:       rand.New(rand.NewSource(cfg.Seed*7919 + int64(i)*104729 + 1)),
+			curVersion: 1,
 		}
 		// Memoize service times up to the safe batch: the dispatcher prices
 		// every batch from this table instead of re-running the analytic
@@ -495,7 +521,18 @@ func (c *Cluster) scheduleNextArrival(a *app) {
 }
 
 // route sends a request through the app's router into a replica queue.
+// During the canary stage a fixed fraction of key space diverts to the
+// canary cohort — keyed, not random, so same-seed replay stays
+// byte-identical.
 func (c *Cluster) route(a *app, r request) {
+	if ro := a.ro; ro != nil && ro.splitting && len(ro.canaryIDs) > 0 && r.key&1023 < c.ro.splitKeys {
+		id := ro.canaryIDs[int((r.key>>10)%uint64(len(ro.canaryIDs)))]
+		if rep, ok := a.replicas[id]; ok && rep.state != runtime.Quarantined && !rep.draining &&
+			rep.dev.host.alive && !rep.dev.host.partitioned {
+			c.enqueue(rep, r)
+			return
+		}
+	}
 	id, ok := a.router.Route(r.key)
 	if !ok {
 		a.routerMiss++
@@ -513,7 +550,14 @@ func (c *Cluster) route(a *app, r request) {
 // only the final give-up counts as a shed.
 func (c *Cluster) enqueue(rep *replica, r request) {
 	a := rep.app
+	co := a.cohortOf(rep)
+	if co != nil {
+		co.offered++
+	}
 	if len(rep.queue) >= a.plan.QueueLimit {
+		if co != nil {
+			co.shed++ // queue pressure counts against the cohort even if retried
+		}
 		if c.cfg.Retry.Enabled && c.shedRetry(a, r) {
 			return
 		}
@@ -550,7 +594,9 @@ func (c *Cluster) maybeDispatch(rep *replica) {
 		c.dispatch(rep, trigBatchFull)
 		return
 	}
-	if now >= fill {
+	// A gracefully draining replica stops waiting for fill: admissions have
+	// ceased, so the queue can only shrink — flush it.
+	if now >= fill || rep.draining {
 		c.dispatch(rep, trigFillWait)
 		return
 	}
@@ -588,7 +634,8 @@ func (c *Cluster) dispatch(rep *replica, trig trigger) {
 	if n > plan.SafeBatch {
 		n = plan.SafeBatch
 	}
-	svc := a.svc[n] * rep.dev.host.slow
+	svc := a.svc[n] * rep.dev.host.slow * rep.svcScale
+	co := a.cohortOf(rep)
 	kept := make([]request, 0, n)
 	expired := 0
 	for _, r := range rep.queue[:n] {
@@ -596,6 +643,9 @@ func (c *Cluster) dispatch(rep *replica, trig trigger) {
 			a.expired++
 			a.winShed++
 			expired++
+			if co != nil {
+				co.shed++
+			}
 			a.router.AddLoad(rep.id, -1)
 			continue
 		}
@@ -608,7 +658,7 @@ func (c *Cluster) dispatch(rep *replica, trig trigger) {
 		c.maybeDispatch(rep)
 		return
 	}
-	svcKept := a.svc[len(kept)] * rep.dev.host.slow
+	svcKept := a.svc[len(kept)] * rep.dev.host.slow * rep.svcScale
 	rep.serving = true
 	rep.inFlight = kept
 	rep.dev.busy = true
@@ -630,22 +680,28 @@ func (c *Cluster) dispatch(rep *replica, trig trigger) {
 func (c *Cluster) complete(rep *replica, batch []request, done float64) {
 	a := rep.app
 	c.tel.onComplete(rep, batch, done)
+	co := a.cohortOf(rep)
 	for _, r := range batch {
-		a.latencies = append(a.latencies, done-r.arrival)
+		lat := done - r.arrival
+		a.latencies = append(a.latencies, lat)
 		a.completed++
 		rep.completed++
+		if co != nil {
+			co.completed++
+			co.lats = append(co.lats, lat)
+		}
 		a.router.AddLoad(rep.id, -1)
 	}
 	rep.serving = false
 	rep.inFlight = nil
 	rep.dev.busy = false
-	if rep.draining {
+	if rep.draining && (!rep.graceful || len(rep.queue) == 0) {
 		c.finalizeRemoval(rep)
+		c.grantDevice(rep.dev)
+		return
 	}
 	c.grantDevice(rep.dev)
-	if !rep.draining {
-		c.maybeDispatch(rep)
-	}
+	c.maybeDispatch(rep)
 }
 
 // grantDevice pops the first still-interested waiter and dispatches it.

@@ -11,22 +11,52 @@ import "fmt"
 
 // place creates and registers one replica of the app on the best
 // available device, or fails when no alive device has the weight capacity.
+// The version is the app's current one — v1 until a rollout finishes.
 func (c *Cluster) place(a *app) (*replica, error) {
+	v := a.curVersion
+	if v == 0 {
+		v = 1
+	}
+	return c.placeReplica(a, v, false)
+}
+
+// placeReplica places one replica at an explicit model version. A canary
+// replica stays out of the router — the rollout controller diverts its
+// traffic share by key until the canary verdict promotes it.
+func (c *Cluster) placeReplica(a *app, version int, canary bool) (*replica, error) {
 	d := c.bestDevice(a)
 	if d == nil {
 		return nil, fmt.Errorf("no alive device with %d weight bytes free for %s", a.cfg.WeightBytes, a.cfg.Name)
 	}
-	rep := &replica{id: a.nextID, app: a, dev: d}
+	rep := &replica{id: a.nextID, app: a, dev: d, version: version, svcScale: c.versionScale(version)}
 	a.nextID++
 	d.freeBytes -= a.cfg.WeightBytes
 	d.replicas = append(d.replicas, rep)
 	a.replicas[rep.id] = rep
-	if err := a.router.Add(rep.id, 1); err != nil {
-		return nil, err
+	if !canary {
+		if err := a.router.Add(rep.id, 1); err != nil {
+			return nil, err
+		}
 	}
-	c.log(d.host.id, "place", fmt.Sprintf("%s replica r%d on host%d/dev%d (%d B weights, %d B free)",
-		a.cfg.Name, rep.id, d.host.id, d.idx, a.cfg.WeightBytes, d.freeBytes))
+	detail := fmt.Sprintf("%s replica r%d on host%d/dev%d (%d B weights, %d B free)",
+		a.cfg.Name, rep.id, d.host.id, d.idx, a.cfg.WeightBytes, d.freeBytes)
+	if version > 1 {
+		detail += fmt.Sprintf(" v%d", version)
+	}
+	if canary {
+		detail += " canary"
+	}
+	c.log(d.host.id, "place", detail)
 	return rep, nil
+}
+
+// versionScale is the service-time multiplier a version serves at: the
+// rollout plan's factor for v2+, exactly 1 otherwise.
+func (c *Cluster) versionScale(version int) float64 {
+	if version >= 2 && c.ro != nil {
+		return c.ro.plan.factor()
+	}
+	return 1
 }
 
 // bestDevice scans the fleet for the placement target: an alive device
@@ -59,9 +89,11 @@ func (c *Cluster) bestDevice(a *app) *device {
 	var best *device
 	var bestKey [5]int64
 	for _, h := range c.hosts {
-		if !h.alive || h.partitioned {
+		if !h.alive || h.partitioned || h.cordoned {
 			// A partitioned host is alive but unreachable from the router:
 			// placing a replica there would route traffic into the black hole.
+			// A cordoned host is mid-upgrade: placing there would immediately
+			// drain the new replica again.
 			continue
 		}
 		for _, d := range h.devices {
@@ -103,4 +135,13 @@ func (c *Cluster) finalizeRemoval(rep *replica) {
 	delete(a.replicas, rep.id)
 	c.log(d.host.id, "drain", fmt.Sprintf("%s replica r%d removed from host%d/dev%d",
 		a.cfg.Name, rep.id, d.host.id, d.idx))
+	if rep.waveDrain {
+		rep.waveDrain = false
+		if ro := c.ro; ro != nil && ro.stage == RolloutWave {
+			ro.waveRemaining--
+			if ro.waveRemaining == 0 {
+				c.waveDrained()
+			}
+		}
+	}
 }

@@ -201,6 +201,17 @@ type SaturationReport struct {
 	// Incidents are the run's dead/partitioned-host intervals; windows
 	// inside them are attributed to the incident, not to a capacity knee.
 	Incidents []Incident `json:"incidents,omitempty"`
+	// Rollout is the change-management state, present only when a rollout
+	// was applied (so rollout-free reports stay byte-identical).
+	Rollout *RolloutStatus `json:"rollout,omitempty"`
+}
+
+// RolloutStatus summarizes the rollout controller for the report.
+type RolloutStatus struct {
+	Stage         string `json:"stage"`
+	Wave          int    `json:"wave"`
+	Rollbacks     int    `json:"rollbacks"`
+	CordonedHosts int    `json:"cordoned_hosts"`
 }
 
 // SaturationReport analyzes the run so far. It needs the FleetMetrics
@@ -223,6 +234,14 @@ func (c *Cluster) SaturationReport() (*SaturationReport, error) {
 		SLOTarget:      f.sloTarget,
 	}
 	r.Incidents = c.Incidents()
+	if ro := c.ro; ro != nil {
+		r.Rollout = &RolloutStatus{
+			Stage:         ro.stage.String(),
+			Wave:          ro.wave,
+			Rollbacks:     ro.rollbacks,
+			CordonedHosts: c.cordonedHosts(),
+		}
+	}
 	for i, a := range c.apps {
 		r.Apps = append(r.Apps, analyzeApp(a, f.apps[i], f.window, f.sloTarget, r.Incidents))
 	}
@@ -480,6 +499,11 @@ func (r *SaturationReport) Render() string {
 		for i, in := range r.Incidents {
 			fmt.Fprintf(&b, "  #%d %s\n", i+1, in.String())
 		}
+	}
+
+	if ro := r.Rollout; ro != nil {
+		fmt.Fprintf(&b, "\nrollout: stage=%s wave=%d rollbacks=%d cordoned=%d\n",
+			ro.Stage, ro.Wave, ro.Rollbacks, ro.CordonedHosts)
 	}
 
 	b.WriteString("\nhost device utilization:\n")

@@ -38,9 +38,23 @@ type ReplicaSnapshot struct {
 	Host, Dev int
 	State     runtime.HealthState
 	Draining  bool
+	// Version is the model version served; 1 outside rollouts (rendered
+	// only when above 1, keeping rollout-free snapshots byte-identical).
+	Version   int
 	Routed    uint64
 	Completed uint64
 	QueueLen  int
+}
+
+// RolloutSnapshot is the rollout controller's state, present only when a
+// rollout was applied.
+type RolloutSnapshot struct {
+	Stage      string
+	Wave       int
+	CanaryFrac float64
+	Factor     float64
+	Rollbacks  int
+	Reason     string // last verdict failure, "" if none
 }
 
 // Snapshot is the full fleet state at one virtual instant.
@@ -59,14 +73,18 @@ type Snapshot struct {
 	Zones            int
 	DarkZones        []int
 	PartitionedHosts []int
-	RetryEnabled     bool
-	BudgetRatio      float64
-	BudgetBurst      float64
-	NoBudget         bool
-	Apps             []AppSnapshot
-	Replicas         []ReplicaSnapshot
-	Decisions        []Decision
-	EventLogLen      int
+	// CordonedHosts and Rollout are the change-management state; empty/nil
+	// without a rollout or manual cordon, and then omitted from Render.
+	CordonedHosts []int
+	Rollout       *RolloutSnapshot
+	RetryEnabled  bool
+	BudgetRatio   float64
+	BudgetBurst   float64
+	NoBudget      bool
+	Apps          []AppSnapshot
+	Replicas      []ReplicaSnapshot
+	Decisions     []Decision
+	EventLogLen   int
 }
 
 // Snapshot captures the fleet state. It is cheap enough to call between
@@ -89,6 +107,19 @@ func (c *Cluster) Snapshot() *Snapshot {
 		}
 		if h.partitioned {
 			s.PartitionedHosts = append(s.PartitionedHosts, h.id)
+		}
+		if h.cordoned {
+			s.CordonedHosts = append(s.CordonedHosts, h.id)
+		}
+	}
+	if ro := c.ro; ro != nil {
+		s.Rollout = &RolloutSnapshot{
+			Stage:      ro.stage.String(),
+			Wave:       ro.wave,
+			CanaryFrac: ro.plan.canaryFrac(),
+			Factor:     ro.plan.factor(),
+			Rollbacks:  ro.rollbacks,
+			Reason:     ro.reason,
 		}
 	}
 	if c.cfg.zones() > 1 {
@@ -147,7 +178,8 @@ func (c *Cluster) Snapshot() *Snapshot {
 				App: a.cfg.Name, ID: id,
 				Host: rep.dev.host.id, Dev: rep.dev.idx,
 				State: rep.state, Draining: rep.draining,
-				Routed: rep.routed, Completed: rep.completed,
+				Version: rep.version,
+				Routed:  rep.routed, Completed: rep.completed,
 				QueueLen: len(rep.queue),
 			})
 		}
@@ -178,6 +210,13 @@ func (s *Snapshot) Render() string {
 	if len(s.PartitionedHosts) > 0 {
 		fmt.Fprintf(&b, " (partitioned:")
 		for _, h := range s.PartitionedHosts {
+			fmt.Fprintf(&b, " host%d", h)
+		}
+		b.WriteString(")")
+	}
+	if len(s.CordonedHosts) > 0 {
+		fmt.Fprintf(&b, " (cordoned:")
+		for _, h := range s.CordonedHosts {
 			fmt.Fprintf(&b, " host%d", h)
 		}
 		b.WriteString(")")
@@ -214,11 +253,22 @@ func (s *Snapshot) Render() string {
 	b.WriteString("\nreplicas:\n")
 	for _, r := range s.Replicas {
 		status := r.State.String()
+		if r.Version > 1 {
+			status += fmt.Sprintf(",v%d", r.Version)
+		}
 		if r.Draining {
 			status += ",draining"
 		}
 		fmt.Fprintf(&b, "  %-6s r%-3d host%d/dev%d %-11s routed=%d completed=%d queue=%d\n",
 			r.App, r.ID, r.Host, r.Dev, status, r.Routed, r.Completed, r.QueueLen)
+	}
+
+	if r := s.Rollout; r != nil {
+		fmt.Fprintf(&b, "\nrollout: stage=%s wave=%d canary=%.0f%% factor=x%g rollbacks=%d\n",
+			r.Stage, r.Wave, r.CanaryFrac*100, r.Factor, r.Rollbacks)
+		if r.Reason != "" {
+			fmt.Fprintf(&b, "  reason: %s\n", r.Reason)
+		}
 	}
 
 	if len(s.Decisions) > 0 {

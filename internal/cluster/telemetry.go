@@ -411,6 +411,37 @@ func (t *Telemetry) onZoneUp(zone int) {
 	sp.End()
 }
 
+// onCordon marks a host cordon as an instant span on the hosts track.
+func (t *Telemetry) onCordon(hostID int) {
+	if t == nil || t.Tracer == nil {
+		return
+	}
+	_, sp := t.Tracer.StartRoot(context.Background(), "cordon host"+strconv.Itoa(hostID), "hosts")
+	sp.SetProc("cluster")
+	sp.End()
+}
+
+// onUncordon marks a cordon's removal as an instant span.
+func (t *Telemetry) onUncordon(hostID int) {
+	if t == nil || t.Tracer == nil {
+		return
+	}
+	_, sp := t.Tracer.StartRoot(context.Background(), "uncordon host"+strconv.Itoa(hostID), "hosts")
+	sp.SetProc("cluster")
+	sp.End()
+}
+
+// onRolloutEvent marks a rollout controller transition (canary verdicts,
+// waves, promotions, rollbacks) as an instant span on its own track.
+func (t *Telemetry) onRolloutEvent(kind, detail string) {
+	if t == nil || t.Tracer == nil {
+		return
+	}
+	_, sp := t.Tracer.StartRoot(context.Background(), kind, "rollout", obs.String("detail", detail))
+	sp.SetProc("cluster")
+	sp.End()
+}
+
 // onQuarantine marks a replica quarantine as an instant span on its
 // device's track.
 func (t *Telemetry) onQuarantine(rep *replica) {
@@ -486,6 +517,7 @@ func (c *Cluster) telemetryTick() {
 		am.win = winAccum{}
 	}
 	f.sampleZones(c)
+	f.sampleRollout(c)
 	f.mu.Unlock()
 }
 
@@ -495,6 +527,14 @@ func (f *FleetMetrics) sampleZones(c *Cluster) {
 	for z := range f.zoneUp {
 		f.zoneUp[z] = c.zoneAlive[z] > 0
 	}
+}
+
+// sampleRollout refreshes the change-management gauges from the rollout
+// controller. Caller holds f.mu on the simulator goroutine.
+func (f *FleetMetrics) sampleRollout(c *Cluster) {
+	f.rolloutStage = int(c.RolloutStage())
+	f.rollbacks = c.Rollbacks()
+	f.cordonedHosts = c.cordonedHosts()
 }
 
 // sample pulls one app's simulator-owned counters into the registry:
@@ -533,6 +573,7 @@ func (c *Cluster) telemetryFlush() {
 		am.liveReplicas = a.liveReplicas()
 	}
 	f.sampleZones(c)
+	f.sampleRollout(c)
 	f.mu.Unlock()
 }
 
@@ -624,6 +665,10 @@ type FleetMetrics struct {
 	hosts          []*hostMetrics
 	apps           []*appMetrics
 	byName         map[string]*appMetrics
+	// Change-management gauges, sampled from the rollout controller.
+	rolloutStage  int // RolloutStage numeric value
+	rollbacks     int
+	cordonedHosts int
 	zoneUp         []bool // per failure domain: any host alive
 }
 
@@ -859,6 +904,12 @@ func (f *FleetMetrics) WritePrometheus(w io.Writer) {
 		}
 		fmt.Fprintf(w, "tpucluster_zone_state{zone=\"%d\"} %d\n", z, v)
 	}
+	fam("tpucluster_rollout_state", "gauge", "Rollout controller stage at the last sampler tick: 0 idle, 1 canary, 2 wave, 3 hold, 4 done, 5 rolled-back.")
+	fmt.Fprintf(w, "tpucluster_rollout_state %d\n", f.rolloutStage)
+	fam("tpucluster_rollbacks_total", "counter", "Automatic rollbacks executed by the rollout controller.")
+	fmt.Fprintf(w, "tpucluster_rollbacks_total %d\n", f.rollbacks)
+	fam("tpucluster_cordoned_hosts", "gauge", "Hosts cordoned (serving but excluded from placement) at the last sampler tick.")
+	fmt.Fprintf(w, "tpucluster_cordoned_hosts %d\n", f.cordonedHosts)
 	fam("tpucluster_request_component_seconds", "histogram",
 		"Served request latency decomposed into queue, fill, service and failover components.")
 	for _, am := range f.apps {

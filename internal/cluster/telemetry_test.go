@@ -69,6 +69,9 @@ func TestTelemetryDisabledAllocs(t *testing.T) {
 		tel.onDegrade(0, 2.0)
 		tel.onZoneDown(0)
 		tel.onZoneUp(0)
+		tel.onCordon(0)
+		tel.onUncordon(0)
+		tel.onRolloutEvent("rollout", "x")
 	})
 	if allocs != 0 {
 		t.Errorf("disabled telemetry hooks allocate %v objects per pass, want 0", allocs)
@@ -186,6 +189,9 @@ func TestFleetMetricsPrometheus(t *testing.T) {
 		"tpucluster_retries_total",
 		"tpucluster_retry_budget_exhausted_total",
 		"tpucluster_zone_state",
+		"tpucluster_rollout_state",
+		"tpucluster_rollbacks_total",
+		"tpucluster_cordoned_hosts",
 	} {
 		if !strings.Contains(out, fam) {
 			t.Errorf("exposition missing family %s", fam)
